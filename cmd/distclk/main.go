@@ -1,0 +1,136 @@
+// Command distclk runs the distributed Chained Lin-Kernighan algorithm.
+//
+// In-process mode (default) simulates the whole cluster with goroutines
+// and channels — the configuration used by the paper-reproduction
+// experiments:
+//
+//	distclk -standin fl3795 -nodes 8 -time 60s
+//
+// TCP mode runs ONE node of a real multi-machine deployment; start
+// cmd/hub first, then one distclk per machine:
+//
+//	hub     -listen :7070 -nodes 8 &
+//	distclk -tsp inst.tsp -hub host:7070 -listen :0 -time 600s
+//
+// Every node writes its local best; collect the minimum across nodes, as
+// the paper does.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"distclk/internal/cli"
+	"distclk/internal/clk"
+	"distclk/internal/core"
+	"distclk/internal/dist"
+	"distclk/internal/topology"
+	"distclk/internal/tsp"
+)
+
+func main() {
+	var (
+		tspPath = flag.String("tsp", "", "TSPLIB instance file")
+		standin = flag.String("standin", "", "solve the synthetic stand-in for a paper instance name")
+		family  = flag.String("family", "", "generate and solve: family name (with -n)")
+		n       = flag.Int("n", 1000, "size for -family")
+		seed    = flag.Int64("seed", 1, "random seed")
+		nodes   = flag.Int("nodes", 8, "cluster size (in-process mode)")
+		topoStr = flag.String("topology", "hypercube", "overlay: hypercube|ring|grid|complete")
+		kick    = flag.String("kick", "random-walk", "kicking strategy")
+		budget  = flag.Duration("time", 10*time.Second, "per-node time limit")
+		target  = flag.Int64("target", 0, "stop at this tour length (0 = none)")
+		cv      = flag.Int("cv", 64, "perturbation strength divisor c_v (scale down for short runs)")
+		cr      = flag.Int("cr", 256, "restart threshold c_r (scale down for short runs)")
+		kpc     = flag.Int64("kpc", 0, "CLK kicks per EA iteration (0 = n/10)")
+		hubAddr = flag.String("hub", "", "TCP mode: hub address (runs one node)")
+		listen  = flag.String("listen", "127.0.0.1:0", "TCP mode: this node's listen address")
+		tourOut = flag.String("tour", "", "write the best tour to this file")
+	)
+	flag.Parse()
+
+	in, err := cli.LoadInstance(*tspPath, *standin, *family, *n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "distclk:", err)
+		os.Exit(1)
+	}
+	kind, err := topology.Parse(*topoStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "distclk:", err)
+		os.Exit(1)
+	}
+	strategy, err := clk.ParseKick(*kick)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "distclk:", err)
+		os.Exit(1)
+	}
+	ea := core.DefaultConfig()
+	ea.CV, ea.CR = *cv, *cr
+	ea.CLK.Kick = strategy
+	ea.KicksPerCall = *kpc
+
+	var best tsp.Tour
+	var bestLen int64
+	if *hubAddr != "" {
+		best, bestLen, err = runTCPNode(in, *hubAddr, *listen, ea, *budget, *target, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "distclk:", err)
+			os.Exit(1)
+		}
+	} else {
+		res := dist.RunCluster(in, dist.ClusterConfig{
+			Nodes: *nodes,
+			Topo:  kind,
+			EA:    ea,
+			Budget: core.Budget{
+				Deadline: time.Now().Add(*budget),
+				Target:   *target,
+			},
+			Seed: *seed,
+		})
+		best, bestLen = res.BestTour, res.BestLength
+		fmt.Printf("cluster: %d nodes, %d broadcasts, best %d in %.2fs wall\n",
+			*nodes, res.Broadcasts(), bestLen, res.Elapsed.Seconds())
+		for _, s := range res.Stats {
+			fmt.Printf("  node %d: best=%d iters=%d sent=%d recv=%d restarts=%d\n",
+				s.NodeID, s.BestLength, s.Iterations, s.Broadcasts, s.Received, s.Restarts)
+		}
+	}
+	fmt.Printf("final: len=%d\n", bestLen)
+
+	if *tourOut != "" {
+		f, err := os.Create(*tourOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "distclk:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := tsp.WriteTourFile(f, in.Name, best); err != nil {
+			fmt.Fprintln(os.Stderr, "distclk:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runTCPNode(in *tsp.Instance, hubAddr, listen string, ea core.Config, budget time.Duration, target, seed int64) (tsp.Tour, int64, error) {
+	tn, err := dist.JoinTCP(hubAddr, listen, in.N())
+	if err != nil {
+		return nil, 0, err
+	}
+	defer tn.Close()
+	fmt.Printf("node %d/%d: listening on %s, %d peers\n", tn.ID, tn.Total, tn.Addr(), tn.PeerCount())
+	node := core.NewNode(tn.ID, in, ea, tn, seed+int64(tn.ID)*1_000_000_007)
+	node.OnImprove = func(length int64, at time.Duration) {
+		fmt.Printf("  %8.2fs  len %d\n", at.Seconds(), length)
+	}
+	stats := node.Run(core.Budget{
+		Deadline: time.Now().Add(budget),
+		Target:   target,
+	})
+	fmt.Printf("node %d: best=%d iters=%d sent=%d recv=%d restarts=%d\n",
+		stats.NodeID, stats.BestLength, stats.Iterations, stats.Broadcasts, stats.Received, stats.Restarts)
+	tour, l := node.Best()
+	return tour, l, nil
+}

@@ -1,0 +1,104 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic testbed.
+//
+// Usage:
+//
+//	experiments                      # all experiments, quick scale
+//	experiments -exp table3          # one experiment
+//	experiments -mode paper -runs 10 # paper-shaped scale (hours)
+//	experiments -csv results/        # also write figure traces as CSV
+//
+// Experiments: table1 table2 table3 table4 table5 fig2 fig3 messages
+// variator. See DESIGN.md §3 for the experiment-to-paper mapping and
+// EXPERIMENTS.md for recorded results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"distclk/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id or 'all'")
+		mode   = flag.String("mode", "quick", "quick|paper")
+		runs   = flag.Int("runs", 0, "override runs per configuration")
+		budget = flag.Duration("time", 0, "override plain-CLK budget (DistCLK gets 1/10 per node)")
+		nodes  = flag.Int("nodes", 0, "override cluster size")
+		scale  = flag.Int("scale", 0, "override instance size divisor (1 = paper sizes)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		csvDir = flag.String("csv", "", "write figure traces as CSV into this directory")
+		maxIns = flag.Int("instances", 0, "truncate each experiment's instance list (0 = all)")
+	)
+	flag.Parse()
+
+	var opt bench.Options
+	switch *mode {
+	case "quick":
+		opt = bench.QuickOptions()
+	case "paper":
+		opt = bench.PaperOptions()
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+	if *runs > 0 {
+		opt.Runs = *runs
+	}
+	if *budget > 0 {
+		opt.CLKBudget = *budget
+	}
+	if *nodes > 0 {
+		opt.Nodes = *nodes
+	}
+	if *scale > 0 {
+		opt.SizeScale = *scale
+	}
+	if *maxIns > 0 {
+		opt.MaxInstances = *maxIns
+	}
+	opt.Seed = *seed
+	opt.OutDir = *csvDir
+
+	h := bench.New(opt)
+	all := []struct {
+		id  string
+		run func(*bench.Bench) error
+	}{
+		{"table1", func(b *bench.Bench) error { return b.Table1(os.Stdout) }},
+		{"table2", func(b *bench.Bench) error { return b.Table2(os.Stdout) }},
+		{"table3", func(b *bench.Bench) error { return b.Table3(os.Stdout) }},
+		{"table4", func(b *bench.Bench) error { return b.Table4(os.Stdout) }},
+		{"table5", func(b *bench.Bench) error { return b.Table5(os.Stdout) }},
+		{"fig2", func(b *bench.Bench) error { return b.Figure2(os.Stdout) }},
+		{"fig3", func(b *bench.Bench) error { return b.Figure3(os.Stdout) }},
+		{"messages", func(b *bench.Bench) error { return b.Messages(os.Stdout) }},
+		{"variator", func(b *bench.Bench) error { return b.Variator(os.Stdout) }},
+	}
+
+	fmt.Printf("testbed: %d runs/config, CLK budget %v, DistCLK %v/node, %d nodes, size scale 1/%d\n\n",
+		opt.Runs, opt.CLKBudget, opt.DistBudget(), opt.Nodes, opt.SizeScale)
+
+	ran := 0
+	for _, e := range all {
+		if *exp != "all" && !strings.EqualFold(*exp, e.id) {
+			continue
+		}
+		start := time.Now()
+		if err := e.run(h); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %.1fs]\n\n", e.id, time.Since(start).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,44 @@
+// Command hub runs the bootstrap node for a multi-machine distributed
+// solve. It assigns hypercube slots to joining nodes and hands each the
+// addresses of its already-joined neighbours; after the last join it exits
+// (the peer-to-peer overlay needs no central component, paper §2.2).
+//
+// Usage:
+//
+//	hub -listen :7070 -nodes 8 -topology hypercube
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distclk/internal/dist"
+	"distclk/internal/topology"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", ":7070", "listen address")
+		nodes  = flag.Int("nodes", 8, "expected number of nodes")
+		topo   = flag.String("topology", "hypercube", "overlay: hypercube|ring|grid|complete")
+	)
+	flag.Parse()
+
+	kind, err := topology.Parse(*topo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hub:", err)
+		os.Exit(1)
+	}
+	h, err := dist.NewHub(*listen, *nodes, kind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hub:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("hub: listening on %s for %d nodes (%s)\n", h.Addr(), *nodes, kind)
+	if err := h.Serve(); err != nil {
+		fmt.Fprintln(os.Stderr, "hub:", err)
+		os.Exit(1)
+	}
+	fmt.Println("hub: all nodes joined; exiting")
+}

@@ -1,0 +1,61 @@
+// Command tspgen generates synthetic TSP instances in TSPLIB format.
+//
+// Usage:
+//
+//	tspgen -family uniform -n 1000 -seed 1 -o E1k.tsp
+//	tspgen -standin fl3795 -o fl3795-standin.tsp
+//
+// Families mirror the paper testbed's structure: uniform (DIMACS E*),
+// clustered (DIMACS C*), drill (fl*/pla*), grid (pr*/pcb*/fnl*), national
+// (fi*/sw*/usa*).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distclk/internal/tsp"
+)
+
+func main() {
+	var (
+		family  = flag.String("family", "uniform", "instance family: uniform|clustered|drill|grid|national")
+		n       = flag.Int("n", 1000, "number of cities")
+		seed    = flag.Int64("seed", 1, "random seed")
+		standin = flag.String("standin", "", "generate the stand-in for a paper instance name (e.g. fl3795); overrides -family/-n")
+		out     = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var in *tsp.Instance
+	var err error
+	if *standin != "" {
+		in, err = tsp.StandIn(*standin, *seed)
+	} else {
+		var f tsp.Family
+		f, err = tsp.ParseFamily(*family)
+		if err == nil {
+			in = tsp.Generate(f, *n, *seed)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tspgen:", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tspgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tsp.WriteTSPLIB(w, in); err != nil {
+		fmt.Fprintln(os.Stderr, "tspgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,86 @@
+// Command tspstat inspects instances and tours: it reports instance
+// statistics, computes Held-Karp lower bounds, and validates/evaluates
+// tour files.
+//
+// Usage:
+//
+//	tspstat -tsp inst.tsp                  # instance summary
+//	tspstat -tsp inst.tsp -hk -hkiters 100 # with Held-Karp bound
+//	tspstat -tsp inst.tsp -tour out.tour   # tour length + gap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distclk/internal/construct"
+	"distclk/internal/heldkarp"
+	"distclk/internal/neighbor"
+	"distclk/internal/tsp"
+)
+
+func main() {
+	var (
+		tspPath  = flag.String("tsp", "", "TSPLIB instance file")
+		standin  = flag.String("standin", "", "use the synthetic stand-in for a paper instance name")
+		seed     = flag.Int64("seed", 1, "seed for -standin")
+		tourPath = flag.String("tour", "", "TSPLIB tour file to evaluate")
+		hk       = flag.Bool("hk", false, "compute the Held-Karp lower bound")
+		hkIters  = flag.Int("hkiters", 80, "Held-Karp ascent iterations")
+	)
+	flag.Parse()
+
+	var in *tsp.Instance
+	var err error
+	switch {
+	case *tspPath != "":
+		in, err = tsp.LoadTSPLIB(*tspPath)
+	case *standin != "":
+		in, err = tsp.StandIn(*standin, *seed)
+	default:
+		err = fmt.Errorf("one of -tsp, -standin is required")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tspstat:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("name: %s\nn: %d\nmetric: %v\n", in.Name, in.N(), in.Metric)
+	if in.Comment != "" {
+		fmt.Printf("comment: %s\n", in.Comment)
+	}
+
+	// Quick construction lengths as reference points.
+	nbr := neighbor.Build(in, 8)
+	for _, m := range []construct.Method{construct.Greedy, construct.SpaceFilling} {
+		t := construct.Build(m, in, nbr, nil)
+		fmt.Printf("%s tour: %d\n", m, t.Length(in))
+	}
+
+	var bound int64
+	if *hk {
+		res := heldkarp.LowerBound(in, heldkarp.Options{Iterations: *hkIters})
+		bound = res.Bound
+		fmt.Printf("held-karp bound: %d (%d iterations)\n", res.Bound, res.Iterations)
+	}
+
+	if *tourPath != "" {
+		f, err := os.Open(*tourPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tspstat:", err)
+			os.Exit(1)
+		}
+		tour, err := tsp.ReadTourFile(f, in.N())
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tspstat:", err)
+			os.Exit(1)
+		}
+		l := tour.Length(in)
+		fmt.Printf("tour length: %d\n", l)
+		if bound > 0 {
+			fmt.Printf("gap over HK bound: %.3f%%\n", float64(l-bound)/float64(bound)*100)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package distclk is a distributed Chained Lin-Kernighan TSP solver — a
+// from-scratch Go reproduction of Fischer & Merz, "A Distributed Chained
+// Lin-Kernighan Algorithm for TSP Problems" (IPDPS/IPPS 2005).
+//
+// The package exposes the high-level API: load or generate instances, solve
+// them with Chained Lin-Kernighan (the Concorde linkern heuristic rebuilt
+// in Go), or with the paper's distributed evolutionary algorithm in which
+// cooperating nodes exchange tours over a hypercube overlay. Lower layers
+// (the LK engine, kicking strategies, transports, baselines, the experiment
+// harness) live under internal/ and are driven by the cmd/ binaries.
+package distclk
+
+import (
+	"fmt"
+	"time"
+
+	"distclk/internal/clk"
+	"distclk/internal/core"
+	"distclk/internal/dist"
+	"distclk/internal/topology"
+	"distclk/internal/tsp"
+)
+
+// Instance is a symmetric TSP instance (see Load and Generate).
+type Instance = tsp.Instance
+
+// Tour is a permutation of the instance's cities.
+type Tour = tsp.Tour
+
+// Load reads a TSPLIB-format .tsp file.
+func Load(path string) (*Instance, error) { return tsp.LoadTSPLIB(path) }
+
+// Generate builds a synthetic instance. Families: "uniform", "clustered",
+// "drill", "grid", "national" — stand-ins for the paper's testbed families.
+func Generate(family string, n int, seed int64) (*Instance, error) {
+	f, err := tsp.ParseFamily(family)
+	if err != nil {
+		return nil, err
+	}
+	return tsp.Generate(f, n, seed), nil
+}
+
+// StandIn generates the synthetic stand-in for a paper testbed instance
+// name such as "fl3795" or "sw24978".
+func StandIn(paperName string, seed int64) (*Instance, error) {
+	return tsp.StandIn(paperName, seed)
+}
+
+// Result reports a solve.
+type Result struct {
+	// Tour is the best tour found.
+	Tour Tour
+	// Length is its length under the instance metric.
+	Length int64
+	// Elapsed is the wall-clock duration of the solve.
+	Elapsed time.Duration
+	// Nodes is the number of cooperating nodes (1 for plain CLK).
+	Nodes int
+	// Broadcasts counts tours exchanged (distributed runs only).
+	Broadcasts int64
+}
+
+// options collects solver configuration; see the With* functions.
+type options struct {
+	kick     clk.KickStrategy
+	budget   time.Duration
+	maxKicks int64
+	target   int64
+	seed     int64
+	topo     topology.Kind
+	cv, cr   int
+	kpc      int64
+}
+
+// Option configures SolveCLK and SolveDistributed.
+type Option func(*options) error
+
+func defaults() options {
+	return options{
+		kick:   clk.KickRandomWalk,
+		budget: 10 * time.Second,
+		seed:   1,
+		topo:   topology.Hypercube,
+		cv:     64,
+		cr:     256,
+	}
+}
+
+// WithKick selects the double-bridge kicking strategy: "random",
+// "geometric", "close", or "random-walk" (default, as in the paper).
+func WithKick(name string) Option {
+	return func(o *options) error {
+		k, err := clk.ParseKick(name)
+		if err != nil {
+			return err
+		}
+		o.kick = k
+		return nil
+	}
+}
+
+// WithBudget bounds the solve duration (per node for distributed solves,
+// matching the paper's per-node CPU limits). Default 10s.
+func WithBudget(d time.Duration) Option {
+	return func(o *options) error {
+		if d <= 0 {
+			return fmt.Errorf("distclk: non-positive budget %v", d)
+		}
+		o.budget = d
+		return nil
+	}
+}
+
+// WithMaxKicks bounds plain CLK by kick count instead of (or on top of)
+// time.
+func WithMaxKicks(k int64) Option {
+	return func(o *options) error {
+		o.maxKicks = k
+		return nil
+	}
+}
+
+// WithTarget stops the solve as soon as a tour of at most this length is
+// found — the paper's known-optimum termination criterion.
+func WithTarget(length int64) Option {
+	return func(o *options) error {
+		o.target = length
+		return nil
+	}
+}
+
+// WithSeed fixes the random seed (default 1).
+func WithSeed(seed int64) Option {
+	return func(o *options) error {
+		o.seed = seed
+		return nil
+	}
+}
+
+// WithTopology selects the overlay for distributed solves: "hypercube"
+// (default, the paper's), "ring", "grid", or "complete".
+func WithTopology(name string) Option {
+	return func(o *options) error {
+		k, err := topology.Parse(name)
+		if err != nil {
+			return err
+		}
+		o.topo = k
+		return nil
+	}
+}
+
+// WithEAParameters overrides the paper's c_v (perturbation strength
+// divisor, default 64) and c_r (restart threshold, default 256). The
+// defaults assume runs long enough for hundreds of EA iterations per node;
+// for second-scale budgets, scale them down proportionally (e.g. 4 and 16)
+// so the variable-strength mechanism engages within the compressed time
+// scale.
+func WithEAParameters(cv, cr int) Option {
+	return func(o *options) error {
+		if cv <= 0 || cr <= 0 {
+			return fmt.Errorf("distclk: EA parameters must be positive")
+		}
+		o.cv, o.cr = cv, cr
+		return nil
+	}
+}
+
+// WithKicksPerCall bounds the embedded CLK run per EA iteration of a
+// distributed solve (default max(20, n/10)). Smaller values yield more
+// frequent exchange and perturbation decisions.
+func WithKicksPerCall(k int64) Option {
+	return func(o *options) error {
+		if k <= 0 {
+			return fmt.Errorf("distclk: kicks per call must be positive")
+		}
+		o.kpc = k
+		return nil
+	}
+}
+
+func build(opts []Option) (options, error) {
+	o := defaults()
+	for _, fn := range opts {
+		if err := fn(&o); err != nil {
+			return o, err
+		}
+	}
+	return o, nil
+}
+
+// SolveCLK runs plain Chained Lin-Kernighan (the paper's ABCC-CLK
+// reference configuration) on one goroutine.
+func SolveCLK(in *Instance, opts ...Option) (Result, error) {
+	o, err := build(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	p := clk.DefaultParams()
+	p.Kick = o.kick
+	start := time.Now()
+	s := clk.New(in, p, o.seed)
+	res := s.Run(clk.Budget{
+		MaxKicks: o.maxKicks,
+		Deadline: start.Add(o.budget),
+		Target:   o.target,
+	})
+	return Result{
+		Tour:    res.Tour,
+		Length:  res.Length,
+		Elapsed: time.Since(start),
+		Nodes:   1,
+	}, nil
+}
+
+// SolveDistributed runs the paper's distributed algorithm with the given
+// number of cooperating in-process nodes (the paper uses 8) under a
+// per-node budget. For multi-machine deployments use cmd/hub and
+// cmd/distclk instead.
+func SolveDistributed(in *Instance, nodes int, opts ...Option) (Result, error) {
+	if nodes <= 0 {
+		return Result{}, fmt.Errorf("distclk: need at least one node, got %d", nodes)
+	}
+	o, err := build(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	ea := core.DefaultConfig()
+	ea.CV, ea.CR = o.cv, o.cr
+	ea.CLK.Kick = o.kick
+	ea.KicksPerCall = o.kpc
+	start := time.Now()
+	res := dist.RunCluster(in, dist.ClusterConfig{
+		Nodes: nodes,
+		Topo:  o.topo,
+		EA:    ea,
+		Budget: core.Budget{
+			Deadline: start.Add(o.budget),
+			Target:   o.target,
+		},
+		Seed: o.seed,
+	})
+	return Result{
+		Tour:       res.BestTour,
+		Length:     res.BestLength,
+		Elapsed:    res.Elapsed,
+		Nodes:      nodes,
+		Broadcasts: res.Broadcasts(),
+	}, nil
+}

@@ -1,0 +1,3 @@
+module distclk
+
+go 1.22

@@ -1,0 +1,140 @@
+package distclk
+
+// End-to-end integration tests spanning every layer: generation ->
+// candidate lists -> construction -> LK -> Or-opt -> CLK -> distributed EA
+// -> bounds, with invariants validated at each stage.
+
+import (
+	"testing"
+	"time"
+
+	"distclk/internal/clk"
+	"distclk/internal/construct"
+	"distclk/internal/core"
+	"distclk/internal/dist"
+	"distclk/internal/heldkarp"
+	"distclk/internal/lk"
+	"distclk/internal/neighbor"
+	"distclk/internal/topology"
+	"distclk/internal/tsp"
+)
+
+// TestFullPipeline walks one instance through every stage and checks the
+// quality ordering: each stage must not be worse than the one before, and
+// the final tour must respect the Held-Karp bound.
+func TestFullPipeline(t *testing.T) {
+	// Uniform geometry: the Held-Karp bound is within ~1% of the optimum
+	// there, so the final gap assertion is meaningful. (On tightly
+	// clustered instances the 1-tree relaxation itself is several percent
+	// loose — see EXPERIMENTS.md.)
+	in := tsp.Generate(tsp.FamilyUniform, 400, 17)
+	nbr := neighbor.Build(in, 10)
+
+	// Stage 1: construction.
+	tour := construct.Build(construct.QuickBoruvka, in, nbr, nil)
+	if err := tour.Validate(400); err != nil {
+		t.Fatal(err)
+	}
+	constructLen := tour.Length(in)
+
+	// Stage 2: LK descent.
+	opt := lk.NewOptimizer(in, nbr, tour, lk.DefaultParams())
+	opt.OptimizeAll(nil)
+	lkLen := opt.Length()
+	if lkLen > constructLen {
+		t.Fatalf("LK worsened construction: %d -> %d", constructLen, lkLen)
+	}
+
+	// Stage 3: Or-opt polish.
+	polished, orGain := lk.OrOptPass(in, nbr, opt.Tour.Tour())
+	orLen := polished.Length(in)
+	if orLen != lkLen-orGain {
+		t.Fatalf("Or-opt accounting: %d != %d - %d", orLen, lkLen, orGain)
+	}
+
+	// Stage 4: CLK chaining from the polished tour.
+	solver := clk.New(in, clk.DefaultParams(), 3)
+	solver.SetTour(polished)
+	res := solver.Run(clk.Budget{MaxKicks: 150})
+	if res.Length > orLen {
+		t.Fatalf("CLK worsened polished tour: %d -> %d", orLen, res.Length)
+	}
+
+	// Stage 5: distributed EA seeded independently must land in the same
+	// quality region (within 2% of the CLK result).
+	ea := core.DefaultConfig()
+	ea.CV, ea.CR = 4, 16
+	ea.KicksPerCall = 10
+	cres := dist.RunCluster(in, dist.ClusterConfig{
+		Nodes:  4,
+		Topo:   topology.Hypercube,
+		EA:     ea,
+		Budget: core.Budget{MaxIterations: 20, Deadline: time.Now().Add(60 * time.Second)},
+		Seed:   5,
+	})
+	if err := cres.BestTour.Validate(400); err != nil {
+		t.Fatal(err)
+	}
+	if float64(cres.BestLength) > float64(res.Length)*1.02 {
+		t.Fatalf("distributed result %d far from CLK result %d", cres.BestLength, res.Length)
+	}
+
+	// Stage 6: bounds. Everything must respect Held-Karp.
+	hk := heldkarp.LowerBound(in, heldkarp.Options{Iterations: 80, UpperBound: res.Length})
+	for name, l := range map[string]int64{
+		"construct": constructLen,
+		"lk":        lkLen,
+		"oropt":     orLen,
+		"clk":       res.Length,
+		"dist":      cres.BestLength,
+	} {
+		if l < hk.Bound {
+			t.Fatalf("%s length %d below the Held-Karp bound %d — a solver or the bound is broken", name, l, hk.Bound)
+		}
+	}
+	// The final tours should be within ~5% of the bound on clustered
+	// instances at this effort.
+	if float64(res.Length) > float64(hk.Bound)*1.05 {
+		t.Errorf("CLK gap over HK bound too large: %d vs %d", res.Length, hk.Bound)
+	}
+}
+
+// TestSeedDeterminismCLK: identical seeds must reproduce identical kick
+// sequences (the solver is deterministic given seed and budget in kicks).
+func TestSeedDeterminismCLK(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 200, 23)
+	run := func() int64 {
+		s := clk.New(in, clk.DefaultParams(), 77)
+		return s.Run(clk.Budget{MaxKicks: 60}).Length
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different results: %d vs %d", a, b)
+	}
+}
+
+// TestAllFamiliesThroughDistributedLoop smoke-tests the distributed loop
+// on every instance family.
+func TestAllFamiliesThroughDistributedLoop(t *testing.T) {
+	for _, fam := range []tsp.Family{
+		tsp.FamilyUniform, tsp.FamilyClustered, tsp.FamilyDrill,
+		tsp.FamilyGrid, tsp.FamilyNational,
+	} {
+		in := tsp.Generate(fam, 150, 29)
+		ea := core.DefaultConfig()
+		ea.KicksPerCall = 5
+		res := dist.RunCluster(in, dist.ClusterConfig{
+			Nodes:  2,
+			Topo:   topology.Ring,
+			EA:     ea,
+			Budget: core.Budget{MaxIterations: 4, Deadline: time.Now().Add(60 * time.Second)},
+			Seed:   7,
+		})
+		if err := res.BestTour.Validate(150); err != nil {
+			t.Fatalf("%v: %v", fam, err)
+		}
+		if res.BestTour.Length(in) != res.BestLength {
+			t.Fatalf("%v: length mismatch", fam)
+		}
+	}
+}

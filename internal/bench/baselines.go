@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"time"
+
+	"distclk/internal/lkh"
+	"distclk/internal/merge"
+	"distclk/internal/multilevel"
+	"distclk/internal/tsp"
+)
+
+// lkhSolve runs the LKH-style baseline with trial count scaled to the
+// harness budget.
+func lkhSolve(in *tsp.Instance, deadline time.Time, seed int64) lkh.Result {
+	p := lkh.DefaultParams()
+	p.AscentIterations = 40
+	return lkh.Solve(in, p, seed, deadline, 0)
+}
+
+// runMultilevel runs the Walshaw-style baseline with its default
+// MLC(N/10)LK configuration.
+func (b *Bench) runMultilevel(in *tsp.Instance) int64 {
+	res := multilevel.Solve(in, multilevel.DefaultParams(), b.Opt.Seed,
+		time.Now().Add(b.Opt.CLKBudget), 0)
+	return res.Length
+}
+
+// runMerge runs Cook & Seymour-style tour merging with base-run budgets
+// shrunk so the whole procedure fits within the CLK budget.
+func (b *Bench) runMerge(in *tsp.Instance) int64 {
+	p := merge.DefaultParams()
+	p.Tours = 5
+	p.KicksPerTour = int64(in.N() / 4)
+	p.MergeKicks = 100
+	res := merge.Solve(in, p, b.Opt.Seed, time.Now().Add(b.Opt.CLKBudget), 0)
+	return res.Length
+}

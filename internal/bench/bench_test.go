@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyOptions keeps harness tests fast: minimal budgets, two instances max.
+func tinyOptions() Options {
+	return Options{
+		Runs:         1,
+		CLKBudget:    800 * time.Millisecond,
+		Nodes:        4,
+		Seed:         1,
+		SizeScale:    16,
+		HKIters:      20,
+		MaxInstances: 2,
+	}
+}
+
+func TestSeriesAtAndTimeToReach(t *testing.T) {
+	s := Series{Points: []Point{
+		{T: 1 * time.Second, Len: 100},
+		{T: 2 * time.Second, Len: 90},
+		{T: 5 * time.Second, Len: 80},
+	}, Final: 80}
+	if got := s.At(0); got != 100 {
+		t.Errorf("At(0) = %d", got)
+	}
+	if got := s.At(3 * time.Second); got != 90 {
+		t.Errorf("At(3s) = %d", got)
+	}
+	if got := s.At(10 * time.Second); got != 80 {
+		t.Errorf("At(10s) = %d", got)
+	}
+	if tt, ok := s.TimeToReach(90); !ok || tt != 2*time.Second {
+		t.Errorf("TimeToReach(90) = %v %v", tt, ok)
+	}
+	if tt, ok := s.TimeToReach(85); !ok || tt != 5*time.Second {
+		t.Errorf("TimeToReach(85) = %v %v", tt, ok)
+	}
+	if _, ok := s.TimeToReach(79); ok {
+		t.Error("reached unreachable target")
+	}
+}
+
+func TestSeriesScale(t *testing.T) {
+	s := Series{Points: []Point{{T: 8 * time.Second, Len: 10}}, Final: 10}
+	scaled := s.Scale(0.125)
+	if scaled.Points[0].T != time.Second {
+		t.Errorf("scaled T = %v", scaled.Points[0].T)
+	}
+}
+
+func TestMeanHelpers(t *testing.T) {
+	runs := []Series{
+		{Points: []Point{{T: time.Second, Len: 100}}, Final: 100},
+		{Points: []Point{{T: time.Second, Len: 200}}, Final: 200},
+	}
+	if got := MeanFinal(runs); got != 150 {
+		t.Errorf("MeanFinal = %f", got)
+	}
+	if got := BestFinal(runs); got != 100 {
+		t.Errorf("BestFinal = %d", got)
+	}
+	if got := MeanAt(runs, 2*time.Second); got != 150 {
+		t.Errorf("MeanAt = %f", got)
+	}
+	mean, reached := MeanTimeToReach(runs, 150)
+	if reached != 1 || mean != time.Second {
+		t.Errorf("MeanTimeToReach = %v %d", mean, reached)
+	}
+}
+
+func TestGapPercent(t *testing.T) {
+	if got := GapPercent(101, 100); got != 1.0 {
+		t.Errorf("GapPercent = %f", got)
+	}
+}
+
+func TestTextTable(t *testing.T) {
+	tbl := &TextTable{
+		Title:  "demo",
+		Header: []string{"a", "bee"},
+	}
+	tbl.AddRow("x", 1)
+	tbl.AddRow("longer", 2.5)
+	tbl.Note("footnote %d", 7)
+	var buf bytes.Buffer
+	if err := tbl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "a", "bee", "longer", "2.500", "footnote 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTestbedScaling(t *testing.T) {
+	opt := tinyOptions()
+	specs := opt.Testbed()
+	if len(specs) != 12 {
+		t.Fatalf("testbed has %d specs", len(specs))
+	}
+	for _, s := range specs {
+		if s.N < 120 {
+			t.Errorf("%s scaled below floor: %d", s.Paper, s.N)
+		}
+	}
+	full := PaperOptions().Testbed()
+	if full[5].Paper != "fl3795" || full[5].N != 3795 {
+		t.Errorf("paper testbed wrong: %+v", full[5])
+	}
+}
+
+func TestRunCLKTraceMonotone(t *testing.T) {
+	b := New(tinyOptions())
+	spec, err := b.Opt.SpecByName("E1k.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := b.Instance(spec)
+	s := b.RunCLK(in, 3, 500*time.Millisecond, 0, 1)
+	if len(s.Points) == 0 || s.Final == 0 {
+		t.Fatal("empty trace")
+	}
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].Len > s.Points[i-1].Len {
+			t.Fatal("CLK trace not monotone non-increasing")
+		}
+		if s.Points[i].T < s.Points[i-1].T {
+			t.Fatal("CLK trace timestamps not ordered")
+		}
+	}
+}
+
+func TestRunDistTrace(t *testing.T) {
+	b := New(tinyOptions())
+	spec, err := b.Opt.SpecByName("C1k.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := b.Instance(spec)
+	res, s := b.RunDist(in, 2, 400*time.Millisecond, 3, 0, 1)
+	if res.BestLength == 0 || s.Final != res.BestLength {
+		t.Fatalf("result %d, trace final %d", res.BestLength, s.Final)
+	}
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].Len > s.Points[i-1].Len {
+			t.Fatal("cluster trace not monotone")
+		}
+	}
+}
+
+func TestHKBoundCached(t *testing.T) {
+	b := New(tinyOptions())
+	spec, _ := b.Opt.SpecByName("E1k.1")
+	first := b.HKBound(spec)
+	second := b.HKBound(spec)
+	if first != second || first <= 0 {
+		t.Fatalf("HK bound unstable: %d %d", first, second)
+	}
+}
+
+func TestCheckpointsSpanBudget(t *testing.T) {
+	cps := Checkpoints(10*time.Second, 5)
+	if len(cps) != 5 {
+		t.Fatalf("%d checkpoints", len(cps))
+	}
+	if cps[4] != 10*time.Second {
+		t.Errorf("last checkpoint %v", cps[4])
+	}
+	for i := 1; i < len(cps); i++ {
+		if cps[i] <= cps[i-1] {
+			t.Error("checkpoints not increasing")
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSV(&buf, []Series{{
+		Label:  "x",
+		Points: []Point{{T: time.Second, Len: 5}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "x,1.000,5") {
+		t.Fatalf("csv: %q", buf.String())
+	}
+}
+
+// TestExperimentsSmoke runs every experiment once at minimal scale and
+// checks that each produces non-empty, well-formed output.
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments smoke test is slow")
+	}
+	opt := tinyOptions()
+	opt.OutDir = t.TempDir()
+	b := New(opt)
+	experiments := []struct {
+		name string
+		run  func(*Bench, *bytes.Buffer) error
+	}{
+		{"table1", func(b *Bench, w *bytes.Buffer) error { return b.Table1(w) }},
+		{"table3", func(b *Bench, w *bytes.Buffer) error { return b.Table3(w) }},
+		{"table4", func(b *Bench, w *bytes.Buffer) error { return b.Table4(w) }},
+		{"table5", func(b *Bench, w *bytes.Buffer) error { return b.Table5(w) }},
+		{"figure3", func(b *Bench, w *bytes.Buffer) error { return b.Figure3(w) }},
+		{"messages", func(b *Bench, w *bytes.Buffer) error { return b.Messages(w) }},
+		{"variator", func(b *Bench, w *bytes.Buffer) error { return b.Variator(w) }},
+	}
+	for _, e := range experiments {
+		var buf bytes.Buffer
+		if err := e.run(b, &buf); err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s: empty output", e.name)
+		}
+		t.Logf("%s:\n%s", e.name, buf.String())
+	}
+}

@@ -1,0 +1,527 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"distclk/internal/clk"
+	"distclk/internal/dist"
+	"distclk/internal/tsp"
+)
+
+// runKey caches completed runs so experiments sharing a configuration
+// (e.g. Tables 3 and 4 both need plain-CLK runs per kicking strategy)
+// do not repeat work.
+type runKey struct {
+	paper string
+	algo  string
+	kick  clk.KickStrategy
+	nodes int
+}
+
+func (b *Bench) cacheGet(k runKey) ([]Series, bool) {
+	if b.runCache == nil {
+		b.runCache = map[runKey][]Series{}
+	}
+	s, ok := b.runCache[k]
+	return s, ok
+}
+
+func (b *Bench) cachePut(k runKey, s []Series) {
+	if b.runCache == nil {
+		b.runCache = map[runKey][]Series{}
+	}
+	b.runCache[k] = s
+}
+
+// CLKRuns returns (cached) plain-CLK traces for the spec and strategy.
+func (b *Bench) CLKRuns(s Spec, kick clk.KickStrategy) []Series {
+	key := runKey{s.Paper, "clk", kick, 1}
+	if runs, ok := b.cacheGet(key); ok {
+		return runs
+	}
+	in := b.Instance(s)
+	runs := make([]Series, b.Opt.Runs)
+	for r := 0; r < b.Opt.Runs; r++ {
+		runs[r] = b.RunCLK(in, kick, b.Opt.CLKBudget, 0, b.Opt.Seed+int64(r)*101)
+	}
+	b.cachePut(key, runs)
+	return runs
+}
+
+// DistRuns returns (cached) distributed traces (per-node CPU time axis).
+func (b *Bench) DistRuns(s Spec, nodes int, perNodeCPU time.Duration, kick clk.KickStrategy) ([]Series, []dist.ClusterResult) {
+	key := runKey{s.Paper, fmt.Sprintf("dist/%v", perNodeCPU), kick, nodes}
+	if runs, ok := b.cacheGet(key); ok {
+		return runs, b.clusterCache[key]
+	}
+	in := b.Instance(s)
+	runs := make([]Series, b.Opt.Runs)
+	results := make([]dist.ClusterResult, b.Opt.Runs)
+	for r := 0; r < b.Opt.Runs; r++ {
+		res, series := b.RunDist(in, nodes, perNodeCPU, kick, 0, b.Opt.Seed+int64(r)*757)
+		runs[r] = series
+		results[r] = res
+	}
+	b.cachePut(key, runs)
+	if b.clusterCache == nil {
+		b.clusterCache = map[runKey][]dist.ClusterResult{}
+	}
+	b.clusterCache[key] = results
+	return runs, results
+}
+
+// subset limits the testbed to the first max entries matching the filter.
+func (b *Bench) subset(filter func(Spec) bool, max int) []Spec {
+	var out []Spec
+	for _, s := range b.Opt.Testbed() {
+		if filter != nil && !filter(s) {
+			continue
+		}
+		out = append(out, s)
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+// reference is the success target for an instance: the best final length
+// over every run the harness performed on it (the paper counts runs that
+// found the known optimum; optima of synthetic instances are unknown, so
+// the global best stands in — see DESIGN.md).
+func reference(runGroups ...[]Series) int64 {
+	var best int64
+	for _, g := range runGroups {
+		if v := BestFinal(g); v > 0 && (best == 0 || v < best) {
+			best = v
+		}
+	}
+	return best
+}
+
+func fmtSecs(d time.Duration) string {
+	return fmt.Sprintf("%.2f", d.Seconds())
+}
+
+func fmtGap(length float64, ref int64) string {
+	if length <= 0 || ref <= 0 {
+		return "-"
+	}
+	g := (length - float64(ref)) / float64(ref) * 100
+	if g <= 0.0005 {
+		return "OPT*"
+	}
+	return fmt.Sprintf("%.3f%%", g)
+}
+
+// Table1 reproduces the speed-up comparison: time for ABCC-CLK, DistCLK(1)
+// and DistCLK(8) to reach fixed quality levels. All three configurations
+// receive the same total CPU; the factor column is DistCLK(1) time over
+// DistCLK(8) per-node time (values above the node count indicate the
+// paper's super-linear cooperation effect).
+func (b *Bench) Table1(w io.Writer) error {
+	specs := b.instancesFor([]string{"pr2392", "fl3795", "fi10639"})
+	levels := []float64{1.0, 0.5, 0.25} // percent above the reference
+	tbl := &TextTable{
+		Title:  "Table 1: CPU time (s) to reach quality levels; speed-up DistCLK(1) vs DistCLK(8)",
+		Header: []string{"instance", "level", "ABCC-CLK", "1 node", "8 nodes", "factor"},
+	}
+	for _, s := range specs {
+		clkRuns := b.CLKRuns(s, clk.KickRandomWalk)
+		one, _ := b.DistRuns(s, 1, b.Opt.CLKBudget, clk.KickRandomWalk)
+		eight, _ := b.DistRuns(s, b.Opt.Nodes, b.Opt.CLKBudget/time.Duration(b.Opt.Nodes), clk.KickRandomWalk)
+		ref := reference(clkRuns, one, eight)
+		for _, lv := range levels {
+			target := int64(float64(ref) * (1 + lv/100))
+			tc, nc := MeanTimeToReach(clkRuns, target)
+			t1, n1 := MeanTimeToReach(one, target)
+			t8, n8 := MeanTimeToReach(eight, target)
+			cell := func(t time.Duration, n int) string {
+				if n == 0 {
+					return "-"
+				}
+				return fmtSecs(t)
+			}
+			factor := "-"
+			if n1 > 0 && n8 > 0 && t8 > 0 {
+				factor = fmt.Sprintf("%.2f", float64(t1)/float64(t8))
+			}
+			tbl.AddRow(s.Paper, fmt.Sprintf("+%.2f%%", lv),
+				cell(tc, nc), cell(t1, n1), cell(t8, n8), factor)
+		}
+	}
+	tbl.Note("reference = best tour over all runs; per-node CPU; total CPU equal across configs")
+	tbl.Note("factor > %d reproduces the paper's super-linear speed-up", b.Opt.Nodes)
+	return tbl.Write(w)
+}
+
+// Table2 compares DistCLK with the reimplemented LKH-style, multilevel and
+// tour-merging baselines: each baseline's final quality and runtime, plus
+// the (total) CPU time DistCLK needs to reach that quality.
+func (b *Bench) Table2(w io.Writer) error {
+	specs := b.instancesFor([]string{"pr2392", "fl3795", "fnl4461"})
+	tbl := &TextTable{
+		Title:  "Table 2: baselines vs DistCLK (times in CPU seconds; DistCLK time = per-node x nodes)",
+		Header: []string{"instance", "solver", "distance", "time", "DistCLK-to-match"},
+	}
+	for _, s := range specs {
+		in := b.Instance(s)
+		eight, _ := b.DistRuns(s, b.Opt.Nodes, b.Opt.DistBudget(), clk.KickRandomWalk)
+		deadline := time.Now().Add(b.Opt.CLKBudget)
+
+		type baseRes struct {
+			name string
+			len  int64
+			dur  time.Duration
+		}
+		var rows []baseRes
+		lr := b.runLKH(in, deadline)
+		rows = append(rows, baseRes{"LKH-style", lr.len, lr.dur})
+		mlStart := time.Now()
+		ml := b.runMultilevel(in)
+		rows = append(rows, baseRes{"ML-CLK", ml, time.Since(mlStart)})
+		tmStart := time.Now()
+		tm := b.runMerge(in)
+		rows = append(rows, baseRes{"TM-CLK", tm, time.Since(tmStart)})
+
+		ref := reference(eight)
+		if ref <= 0 {
+			continue
+		}
+		for _, r := range rows {
+			if r.len > 0 && r.len < ref {
+				ref = r.len
+			}
+		}
+		for _, r := range rows {
+			match := "-"
+			if t, n := MeanTimeToReach(eight, r.len); n > 0 {
+				match = fmtSecs(time.Duration(float64(t) * float64(b.Opt.Nodes)))
+			}
+			tbl.AddRow(s.Paper, r.name, fmtGap(float64(r.len), ref), fmtSecs(r.dur), match)
+		}
+		tbl.AddRow(s.Paper, "DistCLK(8)", fmtGap(MeanFinal(eight), ref),
+			fmtSecs(time.Duration(float64(b.Opt.DistBudget())*float64(b.Opt.Nodes))), "")
+	}
+	tbl.Note("distance = gap over the best tour any solver found for the instance")
+	return tbl.Write(w)
+}
+
+// Table3 reproduces the success-count comparison: how many runs reach the
+// reference tour per kicking strategy, CLK (budget T) vs DistCLK (T/10 per
+// node on 8 nodes).
+func (b *Bench) Table3(w io.Writer) error {
+	specs := b.table3Specs()
+	tbl := &TextTable{
+		Title: fmt.Sprintf("Table 3: runs (of %d) reaching the reference tour; CLK budget %v, DistCLK %v/node x %d",
+			b.Opt.Runs, b.Opt.CLKBudget, b.Opt.DistBudget(), b.Opt.Nodes),
+		Header: []string{"instance",
+			"rnd CLK", "rnd Dist", "geo CLK", "geo Dist",
+			"close CLK", "close Dist", "walk CLK", "walk Dist"},
+	}
+	for _, s := range specs {
+		groups := make(map[clk.KickStrategy][2][]Series)
+		var all [][]Series
+		for _, kick := range clk.AllKickStrategies {
+			cr := b.CLKRuns(s, kick)
+			dr, _ := b.DistRuns(s, b.Opt.Nodes, b.Opt.DistBudget(), kick)
+			groups[kick] = [2][]Series{cr, dr}
+			all = append(all, cr, dr)
+		}
+		ref := reference(all...)
+		count := func(runs []Series) string {
+			n := 0
+			for _, r := range runs {
+				if r.Final == ref {
+					n++
+				}
+			}
+			return fmt.Sprintf("%d/%d", n, len(runs))
+		}
+		row := []interface{}{s.Paper}
+		for _, kick := range clk.AllKickStrategies {
+			g := groups[kick]
+			row = append(row, count(g[0]), count(g[1]))
+		}
+		tbl.AddRow(row...)
+	}
+	tbl.Note("reference = best tour over all runs of the instance (optima of synthetic stand-ins are unknown)")
+	return tbl.Write(w)
+}
+
+// Table4 reproduces CLK mean tour quality per kicking strategy at an early
+// checkpoint (budget/100) and at the time limit, as distance to the HK
+// lower bound.
+func (b *Bench) Table4(w io.Writer) error {
+	specs := b.table3Specs()
+	early := b.Opt.CLKBudget / 100
+	tbl := &TextTable{
+		Title: fmt.Sprintf("Table 4: ABCC-CLK mean distance to HK bound after %v and %v", early, b.Opt.CLKBudget),
+		Header: []string{"instance",
+			"rnd early", "rnd late", "geo early", "geo late",
+			"close early", "close late", "walk early", "walk late"},
+	}
+	for _, s := range specs {
+		hk := b.HKBound(s)
+		row := []interface{}{s.Paper}
+		for _, kick := range clk.AllKickStrategies {
+			runs := b.CLKRuns(s, kick)
+			row = append(row, fmtGap(MeanAt(runs, early), hk), fmtGap(MeanFinal(runs), hk))
+		}
+		tbl.AddRow(row...)
+	}
+	tbl.Note("OPT* marks averages within 0.0005%% of the HK bound (bound met)")
+	return tbl.Write(w)
+}
+
+// Table5 is Table4's distributed counterpart: DistCLK(8) quality at
+// budget/100 and at the per-node time limit (per-node CPU axis).
+func (b *Bench) Table5(w io.Writer) error {
+	specs := b.table3Specs()
+	perNode := b.Opt.DistBudget()
+	early := perNode / 100
+	tbl := &TextTable{
+		Title: fmt.Sprintf("Table 5: DistCLK(%d) mean distance to HK bound after %v and %v per node",
+			b.Opt.Nodes, early, perNode),
+		Header: []string{"instance",
+			"rnd early", "rnd late", "geo early", "geo late",
+			"close early", "close late", "walk early", "walk late"},
+	}
+	for _, s := range specs {
+		hk := b.HKBound(s)
+		row := []interface{}{s.Paper}
+		for _, kick := range clk.AllKickStrategies {
+			runs, _ := b.DistRuns(s, b.Opt.Nodes, perNode, kick)
+			row = append(row, fmtGap(MeanAt(runs, early), hk), fmtGap(MeanFinal(runs), hk))
+		}
+		tbl.AddRow(row...)
+	}
+	tbl.Note("compare against Table 4: the distributed variant reaches CLK's final quality with a tenth of the per-node time")
+	return tbl.Write(w)
+}
+
+// Figure2 regenerates the convergence plots: (a,b) CLK tour length vs CPU
+// time for the four kicking strategies; (c,d) DistCLK(8) vs plain CLK with
+// the Random-walk kick. Traces go to CSV when OutDir is set; a checkpoint
+// table is printed either way.
+func (b *Bench) Figure2(w io.Writer) error {
+	specs := b.instancesFor([]string{"fl1577", "sw24978"})
+	for _, s := range specs {
+		hk := b.HKBound(s)
+		var all []Series
+
+		tbl := &TextTable{
+			Title:  fmt.Sprintf("Figure 2 (%s): mean distance to HK bound over CPU time", s.Paper),
+			Header: []string{"time", "random", "geometric", "close", "random-walk", "DistCLK(8)"},
+		}
+		checkpoints := Checkpoints(b.Opt.CLKBudget, 6)
+		distRuns, _ := b.DistRuns(s, b.Opt.Nodes, b.Opt.DistBudget(), clk.KickRandomWalk)
+		kickRuns := map[clk.KickStrategy][]Series{}
+		for _, kick := range clk.AllKickStrategies {
+			kickRuns[kick] = b.CLKRuns(s, kick)
+			for i, r := range kickRuns[kick] {
+				r.Label = fmt.Sprintf("%s/CLK-%s/run%d", s.Paper, kick, i)
+				all = append(all, r)
+			}
+		}
+		for i, r := range distRuns {
+			r.Label = fmt.Sprintf("%s/DistCLK8/run%d", s.Paper, i)
+			all = append(all, r)
+		}
+		for _, cp := range checkpoints {
+			row := []interface{}{fmtSecs(cp)}
+			for _, kick := range clk.AllKickStrategies {
+				row = append(row, fmtGap(MeanAt(kickRuns[kick], cp), hk))
+			}
+			row = append(row, fmtGap(MeanAt(distRuns, cp), hk))
+			tbl.AddRow(row...)
+		}
+		tbl.Note("DistCLK time axis is per-node CPU; its budget ends at %v", b.Opt.DistBudget())
+		if err := tbl.Write(w); err != nil {
+			return err
+		}
+		if err := b.writeCSV(fmt.Sprintf("figure2_%s.csv", s.Paper), all); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Figure3 regenerates the parallelization plots: DistCLK with 8 nodes vs 1
+// node vs plain CLK on the fl3795 and fi10639 stand-ins.
+func (b *Bench) Figure3(w io.Writer) error {
+	specs := b.instancesFor([]string{"fl3795", "fi10639"})
+	for _, s := range specs {
+		hk := b.HKBound(s)
+		clkRuns := b.CLKRuns(s, clk.KickRandomWalk)
+		one, _ := b.DistRuns(s, 1, b.Opt.CLKBudget, clk.KickRandomWalk)
+		eight, _ := b.DistRuns(s, b.Opt.Nodes, b.Opt.CLKBudget/time.Duration(b.Opt.Nodes), clk.KickRandomWalk)
+
+		tbl := &TextTable{
+			Title:  fmt.Sprintf("Figure 3 (%s): mean distance to HK bound over per-node CPU time", s.Paper),
+			Header: []string{"time", "ABCC-CLK", "DistCLK(1)", fmt.Sprintf("DistCLK(%d)", b.Opt.Nodes)},
+		}
+		for _, cp := range Checkpoints(b.Opt.CLKBudget, 6) {
+			tbl.AddRow(fmtSecs(cp),
+				fmtGap(MeanAt(clkRuns, cp), hk),
+				fmtGap(MeanAt(one, cp), hk),
+				fmtGap(MeanAt(eight, cp), hk))
+		}
+		tbl.Note("all configurations receive the same total CPU; the 8-node curve ends at %v per node",
+			b.Opt.CLKBudget/time.Duration(b.Opt.Nodes))
+		if err := tbl.Write(w); err != nil {
+			return err
+		}
+		var all []Series
+		label := func(name string, runs []Series) {
+			for i, r := range runs {
+				r.Label = fmt.Sprintf("%s/%s/run%d", s.Paper, name, i)
+				all = append(all, r)
+			}
+		}
+		label("CLK", clkRuns)
+		label("Dist1", one)
+		label("Dist8", eight)
+		if err := b.writeCSV(fmt.Sprintf("figure3_%s.csv", s.Paper), all); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Messages reproduces the §4 communication analysis: broadcasts per run,
+// messages per node, and the early-phase concentration of traffic.
+func (b *Bench) Messages(w io.Writer) error {
+	s, err := b.Opt.SpecByName("sw24978")
+	if err != nil {
+		return err
+	}
+	_, results := b.DistRuns(s, b.Opt.Nodes, b.Opt.DistBudget(), clk.KickRandomWalk)
+	tbl := &TextTable{
+		Title:  fmt.Sprintf("Messages (%s, %d nodes): broadcast statistics", s.Paper, b.Opt.Nodes),
+		Header: []string{"run", "broadcasts", "per node", "in first 20% of time", "first 10 sent by"},
+	}
+	var totalBroadcasts int64
+	for i, res := range results {
+		ledger := res.Ledger
+		early := 0
+		cutoff := time.Duration(float64(res.Elapsed) * 0.2)
+		for _, rec := range ledger {
+			if rec.At <= cutoff {
+				early++
+			}
+		}
+		frac := "-"
+		if len(ledger) > 0 {
+			frac = fmt.Sprintf("%.0f%%", float64(early)/float64(len(ledger))*100)
+		}
+		// The paper: "the first 10 messages of a run were sent by nodes
+		// that had consumed less than 1116 CPU seconds" — report the time
+		// by which the 10th broadcast happened, as a fraction of the run.
+		tenth := "-"
+		if len(ledger) >= 10 {
+			tenth = fmt.Sprintf("%.0f%% of run", float64(ledger[9].At)/float64(res.Elapsed)*100)
+		}
+		tbl.AddRow(i, len(ledger), fmt.Sprintf("%.1f", float64(len(ledger))/float64(b.Opt.Nodes)), frac, tenth)
+		totalBroadcasts += int64(len(ledger))
+	}
+	tbl.Note("average %.1f broadcasts per run; the paper reports 84.9 on sw24978 with most sent early",
+		float64(totalBroadcasts)/float64(len(results)))
+	return tbl.Write(w)
+}
+
+// Variator reproduces the §4.2.1 analysis: the NumPerturbations escalation
+// and restart timeline of a distributed run. The paper narrates fi10639
+// runs; the drilling stand-in is used here because it produces the long
+// stagnation phases that engage the escalation at compressed time scales.
+func (b *Bench) Variator(w io.Writer) error {
+	s, err := b.Opt.SpecByName("fl3795")
+	if err != nil {
+		return err
+	}
+	_, results := b.DistRuns(s, b.Opt.Nodes, b.Opt.DistBudget(), clk.KickRandomWalk)
+	tbl := &TextTable{
+		Title:  fmt.Sprintf("Variator strength (%s): per-run event summary", s.Paper),
+		Header: []string{"run", "improvements", "max perturb level", "level-ups", "restarts"},
+	}
+	for i, res := range results {
+		improves, levelUps, restarts := 0, 0, 0
+		maxLevel := int64(1)
+		for _, events := range res.Events {
+			for _, e := range events {
+				switch {
+				case e.Kind.String() == "improve-local" || e.Kind.String() == "improve-received":
+					improves++
+				case e.Kind.String() == "perturb-level":
+					if e.Value > 1 {
+						levelUps++
+					}
+					if e.Value > maxLevel {
+						maxLevel = e.Value
+					}
+				case e.Kind.String() == "restart":
+					restarts++
+				}
+			}
+		}
+		tbl.AddRow(i, improves, maxLevel, levelUps, restarts)
+	}
+	cv, cr := b.Opt.CV, b.Opt.CR
+	if cv == 0 {
+		cv = 64
+	}
+	if cr == 0 {
+		cr = 256
+	}
+	tbl.Note("levels follow NumPerturbations = NumNoImprovements/%d + 1; restart when the counter exceeds %d", cv, cr)
+	return tbl.Write(w)
+}
+
+// instancesFor resolves a list of paper names against the testbed.
+func (b *Bench) instancesFor(names []string) []Spec {
+	var out []Spec
+	for _, n := range names {
+		if s, err := b.Opt.SpecByName(n); err == nil {
+			out = append(out, s)
+		}
+	}
+	if b.Opt.MaxInstances > 0 && len(out) > b.Opt.MaxInstances {
+		out = out[:b.Opt.MaxInstances]
+	}
+	return out
+}
+
+// table3Specs: the paper's Table 3 covers the small instances (<= fnl4461).
+func (b *Bench) table3Specs() []Spec {
+	names := []string{"C1k.1", "E1k.1", "fl1577", "pr2392", "pcb3038", "fl3795", "fnl4461"}
+	return b.instancesFor(names)
+}
+
+func (b *Bench) writeCSV(name string, series []Series) error {
+	if b.Opt.OutDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(b.Opt.OutDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(b.Opt.OutDir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteCSV(f, series)
+}
+
+type lkhRow struct {
+	len int64
+	dur time.Duration
+}
+
+func (b *Bench) runLKH(in *tsp.Instance, deadline time.Time) lkhRow {
+	res := lkhSolve(in, deadline, b.Opt.Seed)
+	return lkhRow{res.Length, res.Elapsed}
+}

@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"distclk/internal/clk"
+	"distclk/internal/core"
+	"distclk/internal/dist"
+	"distclk/internal/heldkarp"
+	"distclk/internal/topology"
+	"distclk/internal/tsp"
+)
+
+// Spec names one testbed instance: a paper instance name, the synthetic
+// family standing in for it, and the (possibly scaled-down) size.
+type Spec struct {
+	Paper  string
+	Family tsp.Family
+	N      int
+}
+
+// Options control experiment scale so the same code serves sub-minute smoke
+// benchmarks and long paper-shaped runs.
+type Options struct {
+	// Runs per configuration (paper: 10).
+	Runs int
+	// CLKBudget is the wall/CPU budget per plain-CLK run; the distributed
+	// algorithm gets CLKBudget/10 of CPU per node, the paper's ratio.
+	CLKBudget time.Duration
+	// Nodes is the cluster size (paper: 8).
+	Nodes int
+	// Seed fixes instance geometry and run randomness.
+	Seed int64
+	// SizeScale divides the paper's instance sizes (1 = full size).
+	SizeScale int
+	// HKIters bounds Held-Karp ascent iterations for quality denominators.
+	HKIters int
+	// MaxInstances truncates each experiment's instance list (0 = all),
+	// used by smoke benchmarks.
+	MaxInstances int
+	// OutDir, when set, receives CSV trace files for the figures.
+	OutDir string
+	// CV and CR are the EA's perturbation-strength divisor and restart
+	// threshold. The paper's c_v=64/c_r=256 assume hundreds of EA
+	// iterations per run; scaled-budget runs compress the time axis, so
+	// quick mode scales these down proportionally (see EXPERIMENTS.md).
+	CV, CR int
+	// KicksPerCall bounds the embedded CLK run per EA iteration.
+	KicksPerCall int64
+}
+
+// QuickOptions is the default sub-minute-per-experiment configuration.
+func QuickOptions() Options {
+	return Options{
+		Runs:         2,
+		CLKBudget:    4 * time.Second,
+		Nodes:        8,
+		Seed:         1,
+		SizeScale:    8,
+		HKIters:      60,
+		CV:           4,
+		CR:           16,
+		KicksPerCall: 10,
+	}
+}
+
+// PaperOptions approaches the paper's setup (still with reduced budgets:
+// the paper burned 10^4-10^5 CPU seconds per run).
+func PaperOptions() Options {
+	return Options{
+		Runs:      10,
+		CLKBudget: 60 * time.Second,
+		Nodes:     8,
+		Seed:      1,
+		SizeScale: 1,
+		HKIters:   100,
+		CV:        64,
+		CR:        256,
+	}
+}
+
+// DistBudget is the per-node CPU budget for the distributed algorithm:
+// one tenth of the plain CLK budget, as in the paper (§3.1).
+func (o Options) DistBudget() time.Duration { return o.CLKBudget / 10 }
+
+// paperTestbed lists the paper's instances in evaluation order.
+var paperTestbed = []Spec{
+	{"C1k.1", tsp.FamilyClustered, 1000},
+	{"E1k.1", tsp.FamilyUniform, 1000},
+	{"fl1577", tsp.FamilyDrill, 1577},
+	{"pr2392", tsp.FamilyGrid, 2392},
+	{"pcb3038", tsp.FamilyGrid, 3038},
+	{"fl3795", tsp.FamilyDrill, 3795},
+	{"fnl4461", tsp.FamilyGrid, 4461},
+	{"fi10639", tsp.FamilyNational, 10639},
+	{"usa13509", tsp.FamilyNational, 13509},
+	{"sw24978", tsp.FamilyNational, 24978},
+	{"pla33810", tsp.FamilyDrill, 33810},
+	{"pla85900", tsp.FamilyDrill, 85900},
+}
+
+// Testbed returns instance specs scaled by o.SizeScale, keeping a floor of
+// 120 cities so local search still has structure to exploit.
+func (o Options) Testbed() []Spec {
+	scale := o.SizeScale
+	if scale < 1 {
+		scale = 1
+	}
+	out := make([]Spec, len(paperTestbed))
+	for i, s := range paperTestbed {
+		n := s.N / scale
+		if n < 120 {
+			n = 120
+		}
+		out[i] = Spec{Paper: s.Paper, Family: s.Family, N: n}
+	}
+	return out
+}
+
+// SpecByName finds a testbed spec by paper name.
+func (o Options) SpecByName(name string) (Spec, error) {
+	for _, s := range o.Testbed() {
+		if s.Paper == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("bench: unknown testbed instance %q", name)
+}
+
+// Bench owns instantiated testbed instances and cached HK bounds so
+// experiments sharing an instance do not recompute them.
+type Bench struct {
+	Opt       Options
+	instances map[string]*tsp.Instance
+	hk        map[string]int64
+
+	runCache     map[runKey][]Series
+	clusterCache map[runKey][]dist.ClusterResult
+}
+
+// New prepares a harness.
+func New(opt Options) *Bench {
+	if opt.Runs <= 0 {
+		opt.Runs = 2
+	}
+	if opt.Nodes <= 0 {
+		opt.Nodes = 8
+	}
+	return &Bench{
+		Opt:       opt,
+		instances: map[string]*tsp.Instance{},
+		hk:        map[string]int64{},
+	}
+}
+
+// Instance materializes (and caches) a testbed instance.
+func (b *Bench) Instance(s Spec) *tsp.Instance {
+	key := fmt.Sprintf("%s/%d", s.Paper, s.N)
+	if in, ok := b.instances[key]; ok {
+		return in
+	}
+	in := tsp.Generate(s.Family, s.N, b.Opt.Seed)
+	in.Name = s.Paper + "-standin"
+	b.instances[key] = in
+	return in
+}
+
+// HKBound computes (and caches) the Held-Karp lower bound for a spec. For
+// very large instances the O(n^2)-per-iteration ascent is trimmed.
+func (b *Bench) HKBound(s Spec) int64 {
+	key := fmt.Sprintf("%s/%d", s.Paper, s.N)
+	if v, ok := b.hk[key]; ok {
+		return v
+	}
+	in := b.Instance(s)
+	iters := b.Opt.HKIters
+	if in.N() > 4000 {
+		iters = iters / 4
+		if iters < 10 {
+			iters = 10
+		}
+	}
+	res := heldkarp.LowerBound(in, heldkarp.Options{Iterations: iters})
+	b.hk[key] = res.Bound
+	return res.Bound
+}
+
+// RunCLK executes one plain Chained LK run under the budget, recording a
+// quality trace. target (0 = none) stops early, mirroring the paper's
+// known-optimum termination.
+func (b *Bench) RunCLK(in *tsp.Instance, kick clk.KickStrategy, budget time.Duration, target int64, seed int64) Series {
+	p := clk.DefaultParams()
+	p.Kick = kick
+	start := time.Now()
+	s := clk.New(in, p, seed)
+	series := Series{Label: fmt.Sprintf("CLK/%s", kick)}
+	series.Points = append(series.Points, Point{T: time.Since(start), Len: s.BestLength()})
+	s.OnImprove = func(length int64, kicks int64) {
+		series.Points = append(series.Points, Point{T: time.Since(start), Len: length})
+	}
+	res := s.Run(clk.Budget{Deadline: start.Add(budget), Target: target})
+	series.Final = res.Length
+	series.Points = append(series.Points, Point{T: time.Since(start), Len: res.Length})
+	return series
+}
+
+// ClusterCPUFactor converts wall time of an in-process cluster run into
+// approximate per-node CPU time: nodes time-share min(nodes, GOMAXPROCS)
+// cores, so each receives procs/nodes of the wall clock.
+func ClusterCPUFactor(nodes int) float64 {
+	procs := runtime.GOMAXPROCS(0)
+	if procs > nodes {
+		procs = nodes
+	}
+	return float64(procs) / float64(nodes)
+}
+
+// RunDist executes one distributed run with the given node count and
+// per-node CPU budget. The wall-clock deadline is stretched by the inverse
+// CPU factor so every node receives the intended CPU share even when nodes
+// time-share cores; the returned trace is expressed in per-node CPU time,
+// directly comparable with plain CLK traces and with the paper's
+// "CPU time per node" axes.
+func (b *Bench) RunDist(in *tsp.Instance, nodes int, perNodeCPU time.Duration, kick clk.KickStrategy, target int64, seed int64) (dist.ClusterResult, Series) {
+	factor := ClusterCPUFactor(nodes)
+	wall := time.Duration(float64(perNodeCPU) / factor)
+	ea := core.DefaultConfig()
+	ea.CLK.Kick = kick
+	if b.Opt.CV > 0 {
+		ea.CV = b.Opt.CV
+	}
+	if b.Opt.CR > 0 {
+		ea.CR = b.Opt.CR
+	}
+	if b.Opt.KicksPerCall > 0 {
+		ea.KicksPerCall = b.Opt.KicksPerCall
+	}
+	res := dist.RunCluster(in, dist.ClusterConfig{
+		Nodes: nodes,
+		Topo:  topology.Hypercube,
+		EA:    ea,
+		Budget: core.Budget{
+			Deadline: time.Now().Add(wall),
+			Target:   target,
+		},
+		Seed: seed,
+	})
+	series := Series{Label: fmt.Sprintf("DistCLK/%d", nodes), Final: res.BestLength}
+	// The cluster trace is global (best across nodes improves over time as
+	// nodes improve locally); keep the running minimum.
+	best := int64(1 << 62)
+	for _, tp := range res.Trace {
+		if tp.Length < best {
+			best = tp.Length
+			series.Points = append(series.Points, Point{T: tp.At, Len: tp.Length})
+		}
+	}
+	series.Points = append(series.Points, Point{T: res.Elapsed, Len: res.BestLength})
+	return res, series.Scale(factor)
+}

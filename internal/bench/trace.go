@@ -1,0 +1,184 @@
+// Package bench is the experiment harness: it re-runs every table and
+// figure of the paper's evaluation on the synthetic testbed, records
+// quality-versus-time traces, and renders paper-style tables. Absolute
+// numbers differ from the paper (different hardware, scaled budgets,
+// synthetic instances); the reproduction targets are the *shapes*: who
+// wins, by what factor, and where crossovers fall. EXPERIMENTS.md records
+// paper-versus-measured for every experiment.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+)
+
+// Point is one observation of a run's incumbent tour length.
+type Point struct {
+	T   time.Duration
+	Len int64
+}
+
+// Series is a non-increasing quality trace of one run (step function: the
+// incumbent between points is the earlier point's value).
+type Series struct {
+	Label  string
+	Points []Point
+	// Final is the length at the end of the run (trailing value).
+	Final int64
+}
+
+// At evaluates the step function at time t; before the first point it
+// returns the first point's value (the initial tour), and 0 for an empty
+// series.
+func (s Series) At(t time.Duration) int64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	cur := s.Points[0].Len
+	for _, p := range s.Points {
+		if p.T > t {
+			break
+		}
+		cur = p.Len
+	}
+	return cur
+}
+
+// TimeToReach returns the first time the trace is <= target, or ok=false.
+func (s Series) TimeToReach(target int64) (time.Duration, bool) {
+	for _, p := range s.Points {
+		if p.Len <= target {
+			return p.T, true
+		}
+	}
+	return 0, false
+}
+
+// Scale returns a copy with all timestamps multiplied by f — used to
+// convert wall-clock traces of time-shared cluster runs into per-node CPU
+// time (see ClusterCPUFactor).
+func (s Series) Scale(f float64) Series {
+	out := Series{Label: s.Label, Final: s.Final}
+	out.Points = make([]Point, len(s.Points))
+	for i, p := range s.Points {
+		out.Points[i] = Point{T: time.Duration(float64(p.T) * f), Len: p.Len}
+	}
+	return out
+}
+
+// MeanAt averages several runs' traces at time t, ignoring empty series.
+func MeanAt(runs []Series, t time.Duration) float64 {
+	var sum float64
+	var n int
+	for _, s := range runs {
+		if v := s.At(t); v > 0 {
+			sum += float64(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MeanFinal averages final lengths.
+func MeanFinal(runs []Series) float64 {
+	var sum float64
+	var n int
+	for _, s := range runs {
+		if s.Final > 0 {
+			sum += float64(s.Final)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// BestFinal returns the minimum final length across runs (0 if none).
+func BestFinal(runs []Series) int64 {
+	var best int64
+	for _, s := range runs {
+		if s.Final > 0 && (best == 0 || s.Final < best) {
+			best = s.Final
+		}
+	}
+	return best
+}
+
+// MeanTimeToReach averages the time to reach target over the runs that do
+// reach it; reached reports how many did.
+func MeanTimeToReach(runs []Series, target int64) (mean time.Duration, reached int) {
+	var sum time.Duration
+	for _, s := range runs {
+		if t, ok := s.TimeToReach(target); ok {
+			sum += t
+			reached++
+		}
+	}
+	if reached == 0 {
+		return 0, 0
+	}
+	return sum / time.Duration(reached), reached
+}
+
+// MedianTimeToReach is the median over reaching runs (0 if none reach it).
+func MedianTimeToReach(runs []Series, target int64) (time.Duration, int) {
+	var ts []time.Duration
+	for _, s := range runs {
+		if t, ok := s.TimeToReach(target); ok {
+			ts = append(ts, t)
+		}
+	}
+	if len(ts) == 0 {
+		return 0, 0
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	return ts[len(ts)/2], len(ts)
+}
+
+// GapPercent is the relative excess of length over the reference bound.
+func GapPercent(length int64, ref int64) float64 {
+	if ref <= 0 {
+		return math.NaN()
+	}
+	return float64(length-ref) / float64(ref) * 100
+}
+
+// WriteCSV dumps series as rows "label,seconds,length" for plotting.
+func WriteCSV(w io.Writer, series []Series) error {
+	if _, err := fmt.Fprintln(w, "label,seconds,length"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%s,%.3f,%d\n", s.Label, p.T.Seconds(), p.Len); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Checkpoints returns log-spaced sampling times in (0, max], used to print
+// compact figure summaries.
+func Checkpoints(max time.Duration, count int) []time.Duration {
+	if count < 2 {
+		return []time.Duration{max}
+	}
+	out := make([]time.Duration, count)
+	lo := math.Log(float64(max) / 64)
+	hi := math.Log(float64(max))
+	for i := range out {
+		f := lo + (hi-lo)*float64(i)/float64(count-1)
+		out[i] = time.Duration(math.Exp(f))
+	}
+	out[count-1] = max
+	return out
+}

@@ -1,0 +1,54 @@
+// Package cli holds shared helpers for the cmd/ binaries: instance
+// resolution from the common -tsp/-standin/-family flag triple and tour
+// output.
+package cli
+
+import (
+	"fmt"
+	"os"
+
+	"distclk/internal/tsp"
+)
+
+// LoadInstance resolves the instance source flags shared by cmd/clk and
+// cmd/distclk: a TSPLIB file path, a paper-instance stand-in name, or a
+// generated family (with size n). Exactly one source must be given.
+func LoadInstance(path, standin, family string, n int, seed int64) (*tsp.Instance, error) {
+	given := 0
+	for _, s := range []string{path, standin, family} {
+		if s != "" {
+			given++
+		}
+	}
+	if given == 0 {
+		return nil, fmt.Errorf("one of -tsp, -standin, -family is required")
+	}
+	if given > 1 {
+		return nil, fmt.Errorf("only one of -tsp, -standin, -family may be given")
+	}
+	switch {
+	case path != "":
+		return tsp.LoadTSPLIB(path)
+	case standin != "":
+		return tsp.StandIn(standin, seed)
+	default:
+		f, err := tsp.ParseFamily(family)
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("-n must be positive, got %d", n)
+		}
+		return tsp.Generate(f, n, seed), nil
+	}
+}
+
+// WriteTour writes the tour to path in TSPLIB .tour format.
+func WriteTour(path, name string, t tsp.Tour) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tsp.WriteTourFile(f, name, t)
+}

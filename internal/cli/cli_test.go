@@ -1,0 +1,76 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"distclk/internal/tsp"
+)
+
+func TestLoadInstanceSources(t *testing.T) {
+	// Family.
+	in, err := LoadInstance("", "", "uniform", 30, 1)
+	if err != nil || in.N() != 30 {
+		t.Fatalf("family: %v %v", in, err)
+	}
+	// Stand-in.
+	in, err = LoadInstance("", "fl1577", "", 0, 1)
+	if err != nil || in.N() != 1577 {
+		t.Fatalf("standin: %v", err)
+	}
+	// File.
+	path := filepath.Join(t.TempDir(), "x.tsp")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tsp.WriteTSPLIB(f, tsp.Generate(tsp.FamilyGrid, 20, 2)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	in, err = LoadInstance(path, "", "", 0, 1)
+	if err != nil || in.N() != 20 {
+		t.Fatalf("file: %v", err)
+	}
+}
+
+func TestLoadInstanceErrors(t *testing.T) {
+	if _, err := LoadInstance("", "", "", 0, 1); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := LoadInstance("a.tsp", "fl1577", "", 0, 1); err == nil {
+		t.Error("two sources accepted")
+	}
+	if _, err := LoadInstance("", "", "plasma", 10, 1); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if _, err := LoadInstance("", "", "uniform", 0, 1); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := LoadInstance("/nonexistent/x.tsp", "", "", 0, 1); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestWriteTour(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.tour")
+	tour := tsp.Tour{2, 0, 1}
+	if err := WriteTour(path, "x", tour); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := tsp.ReadTourFile(f, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tour {
+		if got[i] != tour[i] {
+			t.Fatalf("round trip %v != %v", got, tour)
+		}
+	}
+}

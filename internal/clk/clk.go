@@ -1,0 +1,277 @@
+package clk
+
+import (
+	"math/rand"
+	"time"
+
+	"distclk/internal/construct"
+	"distclk/internal/lk"
+	"distclk/internal/neighbor"
+	"distclk/internal/tsp"
+)
+
+// Params configures a Chained Lin-Kernighan solver.
+type Params struct {
+	// Kick selects the double-bridge city selection strategy. The paper's
+	// (and linkern's) default is Random-walk.
+	Kick KickStrategy
+	// GeomK is the neighbourhood size for the Geometric strategy.
+	GeomK int
+	// CloseBeta is the subset fraction beta for the Close strategy.
+	CloseBeta float64
+	// WalkLen is the number of steps per random walk for Random-walk.
+	WalkLen int
+	// LK tunes the embedded Lin-Kernighan search.
+	LK lk.Params
+	// NeighborK is the candidate list size (ignored when Neighbors set).
+	NeighborK int
+	// Neighbors overrides the candidate lists (e.g. quadrant or alpha).
+	Neighbors *neighbor.Lists
+	// Construct picks the initial tour heuristic (default Quick-Borůvka).
+	Construct construct.Method
+}
+
+// DefaultParams mirrors linkern's defaults where the paper relies on them.
+func DefaultParams() Params {
+	return Params{
+		Kick:      KickRandomWalk,
+		GeomK:     16,
+		CloseBeta: 0.10,
+		WalkLen:   30,
+		LK:        lk.DefaultParams(),
+		NeighborK: 10,
+		Construct: construct.QuickBoruvka,
+	}
+}
+
+// Budget bounds a Run. Zero values disable the respective bound.
+type Budget struct {
+	// MaxKicks stops after this many kicks.
+	MaxKicks int64
+	// Deadline stops when the wall clock passes it.
+	Deadline time.Time
+	// Target stops as soon as the incumbent is <= Target (e.g. a known
+	// optimum, the paper's extra termination criterion).
+	Target int64
+	// Stop, when non-nil, is polled between kicks for external shutdown.
+	Stop func() bool
+}
+
+func (b Budget) expired(now time.Time, kicks int64, best int64) bool {
+	if b.MaxKicks > 0 && kicks >= b.MaxKicks {
+		return true
+	}
+	if !b.Deadline.IsZero() && now.After(b.Deadline) {
+		return true
+	}
+	if b.Target > 0 && best <= b.Target {
+		return true
+	}
+	if b.Stop != nil && b.Stop() {
+		return true
+	}
+	return false
+}
+
+// Result reports a Run's outcome.
+type Result struct {
+	Tour     tsp.Tour
+	Length   int64
+	Kicks    int64
+	Improves int64
+	Elapsed  time.Duration
+}
+
+// Solver is a Chained Lin-Kernighan engine over one instance. It keeps the
+// incumbent tour between Run calls, so the distributed EA can kick, run,
+// replace, and resume. Not safe for concurrent use.
+type Solver struct {
+	Inst   *tsp.Instance
+	Nbr    *neighbor.Lists
+	params Params
+	rng    *rand.Rand
+
+	opt     *lk.Optimizer // working tour
+	best    *lk.ArrayTour // incumbent snapshot
+	bestLen int64
+
+	kicker kicker
+
+	// OnImprove, when set, observes every new incumbent (for traces).
+	OnImprove func(length int64, kicks int64)
+
+	kicks int64
+}
+
+// normalize fills zero-valued fields with defaults so callers can set only
+// what they care about.
+func (p Params) normalize() Params {
+	def := DefaultParams()
+	if p.GeomK == 0 {
+		p.GeomK = def.GeomK
+	}
+	if p.CloseBeta == 0 {
+		p.CloseBeta = def.CloseBeta
+	}
+	if p.WalkLen == 0 {
+		p.WalkLen = def.WalkLen
+	}
+	if p.LK.MaxDepth == 0 {
+		p.LK = def.LK
+	}
+	if p.NeighborK == 0 {
+		p.NeighborK = def.NeighborK
+	}
+	return p
+}
+
+// New builds a solver. It constructs candidate lists (unless provided), the
+// initial tour, and runs a full LK pass so Best starts at a local optimum.
+func New(inst *tsp.Instance, p Params, seed int64) *Solver {
+	p = p.normalize()
+	nbr := p.Neighbors
+	if nbr == nil {
+		nbr = neighbor.Build(inst, p.NeighborK)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := &Solver{
+		Inst:   inst,
+		Nbr:    nbr,
+		params: p,
+		rng:    rng,
+	}
+	s.kicker = kicker{
+		strategy: p.Kick,
+		nbr:      nbr,
+		rng:      rng,
+		geomK:    p.GeomK,
+		beta:     p.CloseBeta,
+		walkLen:  p.WalkLen,
+		dist:     inst.DistFunc(),
+	}
+	initial := construct.Build(p.Construct, inst, nbr, rng)
+	s.opt = lk.NewOptimizer(inst, nbr, initial, p.LK)
+	s.opt.OptimizeAll(nil)
+	s.best = lk.NewArrayTour(s.opt.Tour.Tour())
+	s.bestLen = s.opt.Length()
+	return s
+}
+
+// Best returns the incumbent tour (copied) and its length.
+func (s *Solver) Best() (tsp.Tour, int64) {
+	return s.best.Tour(), s.bestLen
+}
+
+// BestLength returns the incumbent length.
+func (s *Solver) BestLength() int64 { return s.bestLen }
+
+// Kicks returns the cumulative number of kicks applied.
+func (s *Solver) Kicks() int64 { return s.kicks }
+
+// SetTour replaces the incumbent with the given tour (not re-optimized).
+func (s *Solver) SetTour(t tsp.Tour) {
+	s.best.SetTour(t)
+	s.bestLen = t.Length(s.Inst)
+	s.opt.SetTour(t)
+}
+
+// Reconstruct discards the incumbent, builds a fresh initial tour with the
+// given method, LK-optimizes it, and installs it as the new incumbent. The
+// distributed EA's restart rule (NumNoImprovements > c_r) uses this.
+func (s *Solver) Reconstruct(m construct.Method) int64 {
+	initial := construct.Build(m, s.Inst, s.Nbr, s.rng)
+	s.opt.SetTour(initial)
+	s.opt.OptimizeAll(nil)
+	s.best.CopyFrom(s.opt.Tour)
+	s.bestLen = s.opt.Length()
+	return s.bestLen
+}
+
+// OptimizeCurrent runs a full LK pass on the incumbent (used after an
+// externally supplied tour) and returns the new length.
+func (s *Solver) OptimizeCurrent() int64 {
+	s.opt.OptimizeAll(nil)
+	if s.opt.Length() < s.bestLen {
+		s.best.CopyFrom(s.opt.Tour)
+		s.bestLen = s.opt.Length()
+	}
+	return s.bestLen
+}
+
+// KickOnce perturbs the working tour with one double-bridge (per strategy)
+// and locally re-optimizes. It accepts the result as the new incumbent iff
+// it is no longer than the incumbent (linkern accepts ties to drift across
+// plateaus); otherwise the working tour reverts to the incumbent.
+// It reports whether the incumbent strictly improved.
+func (s *Solver) KickOnce() bool {
+	delta, touched := DoubleBridge(s.opt.Tour, s.kicker.selectCities(s.Inst.N()), s.kicker.dist)
+	s.opt.SetLength(s.bestLen + delta)
+	s.opt.QueueCities(touched[:])
+	s.opt.Optimize(nil)
+	s.kicks++
+	if s.opt.Length() <= s.bestLen {
+		improved := s.opt.Length() < s.bestLen
+		s.bestLen = s.opt.Length()
+		s.best.CopyFrom(s.opt.Tour)
+		return improved
+	}
+	// Revert the working tour to the incumbent.
+	s.opt.Tour.CopyFrom(s.best)
+	s.opt.SetLength(s.bestLen)
+	return false
+}
+
+// Run chains kicks until the budget expires and returns the incumbent.
+func (s *Solver) Run(b Budget) Result {
+	start := time.Now()
+	startKicks := s.kicks
+	var improves int64
+	for !b.expired(time.Now(), s.kicks-startKicks, s.bestLen) {
+		if s.KickOnce() {
+			improves++
+			if s.OnImprove != nil {
+				s.OnImprove(s.bestLen, s.kicks)
+			}
+		}
+	}
+	tour, l := s.Best()
+	return Result{
+		Tour:     tour,
+		Length:   l,
+		Kicks:    s.kicks - startKicks,
+		Improves: improves,
+		Elapsed:  time.Since(start),
+	}
+}
+
+// Perturb applies `count` double-bridge moves to the incumbent *without*
+// re-optimizing or acceptance, placing the perturbed tour in the working
+// state with kick endpoints queued. The distributed EA uses this as its
+// variable-strength VARIATETOUR step; the caller then runs Run/Optimize.
+func (s *Solver) Perturb(count int) {
+	s.opt.Tour.CopyFrom(s.best)
+	length := s.bestLen
+	for i := 0; i < count; i++ {
+		delta, touched := DoubleBridge(s.opt.Tour, s.kicker.selectCities(s.Inst.N()), s.kicker.dist)
+		length += delta
+		s.opt.QueueCities(touched[:])
+	}
+	s.opt.SetLength(length)
+}
+
+// RunPerturbed re-optimizes the (already perturbed) working tour with LK,
+// then chains kicks under the budget. Unlike Run, the first acceptance
+// comparison is against the perturbed tour's optimum, so a worse-than-
+// incumbent result can still be adopted — the EA decides what to keep.
+// It returns the best tour reached from the perturbed start.
+func (s *Solver) RunPerturbed(b Budget) Result {
+	start := time.Now()
+	s.opt.Optimize(nil)
+	// Adopt the re-optimized perturbed tour as the chain incumbent even if
+	// worse than the previous one: the EA's SELECTBESTTOUR owns acceptance.
+	s.bestLen = s.opt.Length()
+	s.best.CopyFrom(s.opt.Tour)
+	res := s.Run(b)
+	res.Elapsed = time.Since(start)
+	return res
+}

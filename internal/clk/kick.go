@@ -1,0 +1,277 @@
+// Package clk implements Chained Lin-Kernighan: Lin-Kernighan local search
+// restarted from double-bridge perturbations ("kicks") of the incumbent
+// tour, with the four kicking strategies of Applegate, Cook & Rohe
+// (Random, Geometric, Close, Random-walk) and accept-if-not-worse chaining.
+package clk
+
+import (
+	"fmt"
+	"math/rand"
+
+	"distclk/internal/lk"
+	"distclk/internal/neighbor"
+	"distclk/internal/tsp"
+)
+
+// KickStrategy selects how the four double-bridge cities are chosen.
+type KickStrategy int
+
+const (
+	// KickRandom picks the four cities uniformly at random.
+	KickRandom KickStrategy = iota
+	// KickGeometric picks a random city v and the other three from v's k
+	// nearest neighbours, giving a spatially local kick.
+	KickGeometric
+	// KickClose samples a subset of size beta*n, then picks the other
+	// three cities from the six subset members nearest to v.
+	KickClose
+	// KickRandomWalk starts three independent random walks on the
+	// neighbour graph from v; the walk endpoints are the other cities.
+	KickRandomWalk
+)
+
+// String names the strategy as in the paper.
+func (k KickStrategy) String() string {
+	switch k {
+	case KickRandom:
+		return "random"
+	case KickGeometric:
+		return "geometric"
+	case KickClose:
+		return "close"
+	case KickRandomWalk:
+		return "random-walk"
+	}
+	return "unknown"
+}
+
+// AllKickStrategies lists the four strategies in paper order.
+var AllKickStrategies = []KickStrategy{KickRandom, KickGeometric, KickClose, KickRandomWalk}
+
+// ParseKick maps a strategy name to its constant.
+func ParseKick(s string) (KickStrategy, error) {
+	for _, k := range AllKickStrategies {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("clk: unknown kick strategy %q", s)
+}
+
+// kicker selects double-bridge cities and applies the move.
+type kicker struct {
+	strategy KickStrategy
+	nbr      *neighbor.Lists
+	rng      *rand.Rand
+	geomK    int
+	beta     float64
+	walkLen  int
+	dist     func(i, j int32) int64
+
+	subset []int32 // scratch for Close
+}
+
+// selectCities returns four distinct cities per the strategy.
+func (k *kicker) selectCities(n int) [4]int32 {
+	var cs [4]int32
+	switch k.strategy {
+	case KickRandom:
+		k.distinctRandom(n, cs[:])
+	case KickGeometric:
+		v := int32(k.rng.Intn(n))
+		cs[0] = v
+		kk := k.geomK
+		if kk > k.nbr.K() {
+			kk = k.nbr.K()
+		}
+		cand := k.nbr.Of(v)[:kk]
+		k.pickDistinct(cand, cs[:], n)
+	case KickClose:
+		v := int32(k.rng.Intn(n))
+		cs[0] = v
+		size := int(k.beta * float64(n))
+		if size < 8 {
+			size = 8
+		}
+		if size > n-1 {
+			size = n - 1
+		}
+		k.subset = k.subset[:0]
+		for len(k.subset) < size {
+			c := int32(k.rng.Intn(n))
+			if c != v {
+				k.subset = append(k.subset, c)
+			}
+		}
+		// Six subset members nearest to v.
+		six := nearestSix(k.subset, v, k.dist)
+		k.pickDistinct(six, cs[:], n)
+	case KickRandomWalk:
+		v := int32(k.rng.Intn(n))
+		cs[0] = v
+		for i := 1; i < 4; i++ {
+			e := k.walk(v)
+			// Ensure distinctness; fall back to random cities.
+			for tries := 0; contains(cs[:i], e) || e == v; tries++ {
+				if tries > 8 {
+					e = int32(k.rng.Intn(n))
+					continue
+				}
+				e = k.walk(v)
+			}
+			cs[i] = e
+		}
+	}
+	return cs
+}
+
+// distinctRandom fills out with distinct random cities.
+func (k *kicker) distinctRandom(n int, out []int32) {
+	for i := range out {
+		for {
+			c := int32(k.rng.Intn(n))
+			if !contains(out[:i], c) {
+				out[i] = c
+				break
+			}
+		}
+	}
+}
+
+// pickDistinct fills out[1:] with distinct members of cand not equal to
+// out[0], topping up with random cities if cand is too small.
+func (k *kicker) pickDistinct(cand []int32, out []int32, n int) {
+	idx := k.rng.Perm(len(cand))
+	j := 0
+	for i := 1; i < len(out); i++ {
+		out[i] = -1
+		for ; j < len(idx); j++ {
+			c := cand[idx[j]]
+			if c != out[0] && !contains(out[1:i], c) {
+				out[i] = c
+				j++
+				break
+			}
+		}
+		if out[i] < 0 {
+			for {
+				c := int32(k.rng.Intn(n))
+				if !contains(out[:i], c) {
+					out[i] = c
+					break
+				}
+			}
+		}
+	}
+}
+
+func (k *kicker) walk(from int32) int32 {
+	c := from
+	for i := 0; i < k.walkLen; i++ {
+		nb := k.nbr.Of(c)
+		c = nb[k.rng.Intn(len(nb))]
+	}
+	return c
+}
+
+func contains(s []int32, v int32) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func nearestSix(subset []int32, v int32, dist func(i, j int32) int64) []int32 {
+	type cd struct {
+		c int32
+		d int64
+	}
+	best := make([]cd, 0, 7)
+	for _, c := range subset {
+		if c == v {
+			continue
+		}
+		d := dist(v, c)
+		pos := len(best)
+		for pos > 0 && best[pos-1].d > d {
+			pos--
+		}
+		if pos < 6 {
+			best = append(best, cd{})
+			copy(best[pos+1:], best[pos:])
+			best[pos] = cd{c, d}
+			if len(best) > 6 {
+				best = best[:6]
+			}
+		}
+	}
+	out := make([]int32, len(best))
+	for i, b := range best {
+		out[i] = b.c
+	}
+	return out
+}
+
+// DoubleBridge applies the Martin–Otto–Felten double-bridge move defined by
+// the four given cities to the array tour: with cut positions q1<q2<q3<q4
+// (the cities' tour positions), the segments A|B|C|D (each starting just
+// after a cut) are reordered A·D·C·B, all kept forward. Exactly four edges
+// are exchanged and no segment is reversed. It returns the length delta
+// (new minus old) and the eight endpoint cities of the changed edges.
+func DoubleBridge(t *lk.ArrayTour, cities [4]int32, dist func(i, j int32) int64) (int64, [8]int32) {
+	n := int32(t.N())
+	var q [4]int32
+	for i, c := range cities {
+		q[i] = t.Pos(c)
+	}
+	// Sort the four positions.
+	for i := 1; i < 4; i++ {
+		for j := i; j > 0 && q[j-1] > q[j]; j-- {
+			q[j-1], q[j] = q[j], q[j-1]
+		}
+	}
+	next := func(p int32) int32 {
+		p++
+		if p == n {
+			p = 0
+		}
+		return p
+	}
+	o := func(p int32) int32 { return t.At(p) }
+	// Old boundary edges (q_i, q_i+1); new boundaries per A·D·C·B.
+	removed := dist(o(q[0]), o(next(q[0]))) +
+		dist(o(q[1]), o(next(q[1]))) +
+		dist(o(q[2]), o(next(q[2]))) +
+		dist(o(q[3]), o(next(q[3])))
+	added := dist(o(q[0]), o(next(q[2]))) + // end A -> start D
+		dist(o(q[3]), o(next(q[1]))) + // end D -> start C
+		dist(o(q[2]), o(next(q[0]))) + // end C -> start B
+		dist(o(q[1]), o(next(q[3]))) // end B -> start A
+
+	touched := [8]int32{
+		o(q[0]), o(next(q[0])),
+		o(q[1]), o(next(q[1])),
+		o(q[2]), o(next(q[2])),
+		o(q[3]), o(next(q[3])),
+	}
+
+	// Rebuild the order: A = (q4..q1], D = (q3..q4], C = (q2..q3],
+	// B = (q1..q2], emitted as A D C B.
+	newOrder := make([]int32, 0, n)
+	appendSeg := func(from, to int32) { // cities at positions (from..to] cyclic
+		for p := next(from); ; p = next(p) {
+			newOrder = append(newOrder, o(p))
+			if p == to {
+				break
+			}
+		}
+	}
+	appendSeg(q[3], q[0]) // A
+	appendSeg(q[2], q[3]) // D
+	appendSeg(q[1], q[2]) // C
+	appendSeg(q[0], q[1]) // B
+	t.SetTour(tsp.Tour(newOrder))
+	return added - removed, touched
+}

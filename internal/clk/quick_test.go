@@ -1,0 +1,104 @@
+package clk
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"distclk/internal/lk"
+	"distclk/internal/tsp"
+)
+
+// TestDoubleBridgePropertyValidPermutation: any four distinct cities yield
+// a valid tour with a correct delta.
+func TestDoubleBridgePropertyValidPermutation(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 64, 3)
+	dist := in.DistFunc()
+	f := func(seed int64, raw [4]uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		perm := tsp.IdentityTour(64)
+		rng.Shuffle(64, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		var cities [4]int32
+		used := map[int32]bool{}
+		for i, r := range raw {
+			c := int32(r) % 64
+			for used[c] {
+				c = (c + 1) % 64
+			}
+			used[c] = true
+			cities[i] = c
+		}
+		at := lk.NewArrayTour(perm)
+		before := perm.Length(in)
+		delta, touched := DoubleBridge(at, cities, dist)
+		out := at.Tour()
+		if out.Validate(64) != nil {
+			return false
+		}
+		if out.Length(in) != before+delta {
+			return false
+		}
+		// Touched cities must include all four cut cities.
+		for _, c := range cities {
+			found := false
+			for _, tc := range touched {
+				if tc == c {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDoubleBridgeIsInvolutionClass: applying the move never changes the
+// multiset of cities (trivially) and never produces the identical cycle
+// when the four cut positions are pairwise non-adjacent.
+func TestDoubleBridgeChangesCycle(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 32, 5)
+	dist := in.DistFunc()
+	perm := tsp.IdentityTour(32)
+	at := lk.NewArrayTour(perm)
+	DoubleBridge(at, [4]int32{3, 11, 19, 27}, dist)
+	if at.Tour().SameCycle(perm) {
+		t.Fatal("double bridge left the cycle unchanged")
+	}
+}
+
+// TestPerturbDeltaConsistency: Perturb's internal length bookkeeping must
+// match a recomputation for any perturbation count.
+func TestPerturbDeltaConsistency(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 120, 7)
+	s := New(in, DefaultParams(), 3)
+	for count := 1; count <= 6; count++ {
+		s.Perturb(count)
+		got := s.opt.Tour.Tour().Length(in)
+		if got != s.opt.Length() {
+			t.Fatalf("count %d: cached %d, actual %d", count, s.opt.Length(), got)
+		}
+	}
+}
+
+// TestKickOnceKeepsWorkingTourInSync: after any accept/revert decision the
+// working tour equals the incumbent.
+func TestKickOnceKeepsWorkingTourInSync(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyClustered, 150, 9)
+	s := New(in, DefaultParams(), 5)
+	for i := 0; i < 30; i++ {
+		s.KickOnce()
+		wt := s.opt.Tour.Tour()
+		bt, bl := s.Best()
+		if wt.Length(in) != bl {
+			t.Fatalf("kick %d: working tour %d, incumbent %d", i, wt.Length(in), bl)
+		}
+		if !wt.SameCycle(bt) {
+			t.Fatalf("kick %d: working tour is not the incumbent cycle", i)
+		}
+	}
+}

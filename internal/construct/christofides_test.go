@@ -1,0 +1,65 @@
+package construct
+
+import (
+	"math/rand"
+	"testing"
+
+	"distclk/internal/exact"
+	"distclk/internal/neighbor"
+	"distclk/internal/tsp"
+)
+
+func TestChristofidesValid(t *testing.T) {
+	for _, n := range []int{3, 10, 77, 400} {
+		in := tsp.Generate(tsp.FamilyUniform, n, int64(n))
+		tour := Build(Christofides, in, nil, nil)
+		if err := tour.Validate(n); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestChristofidesQuality(t *testing.T) {
+	// Greedy-matching Christofides should clearly beat space-filling and
+	// random, and land in the same league as greedy edge insertion.
+	in := tsp.Generate(tsp.FamilyUniform, 600, 3)
+	nbr := neighbor.Build(in, 10)
+	rng := rand.New(rand.NewSource(5))
+	chr := Build(Christofides, in, nil, nil).Length(in)
+	sf := Build(SpaceFilling, in, nil, nil).Length(in)
+	gr := Build(Greedy, in, nbr, rng).Length(in)
+	if chr >= sf {
+		t.Errorf("christofides %d not better than space-filling %d", chr, sf)
+	}
+	if float64(chr) > float64(gr)*1.15 {
+		t.Errorf("christofides %d far worse than greedy %d", chr, gr)
+	}
+}
+
+func TestChristofidesWithinApproximationBand(t *testing.T) {
+	// True Christofides guarantees 1.5x optimum; the greedy-matching
+	// variant loses the proof but should stay well under 1.6x on small
+	// instances where we can compute the optimum.
+	for seed := int64(1); seed <= 6; seed++ {
+		in := tsp.Generate(tsp.FamilyUniform, 12, seed)
+		_, opt, err := exact.HeldKarp(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Build(Christofides, in, nil, nil).Length(in)
+		if float64(got) > 1.6*float64(opt) {
+			t.Errorf("seed %d: christofides %d vs optimum %d (ratio %.2f)",
+				seed, got, opt, float64(got)/float64(opt))
+		}
+	}
+}
+
+func TestChristofidesClusteredAndDrill(t *testing.T) {
+	for _, fam := range []tsp.Family{tsp.FamilyClustered, tsp.FamilyDrill} {
+		in := tsp.Generate(fam, 300, 9)
+		tour := Build(Christofides, in, nil, nil)
+		if err := tour.Validate(300); err != nil {
+			t.Fatalf("%v: %v", fam, err)
+		}
+	}
+}

@@ -1,0 +1,377 @@
+// Package construct provides tour construction heuristics: Quick-Borůvka
+// (the constructor used by Concorde's linkern and by the paper), greedy edge
+// matching, nearest neighbour, space-filling curve, and random tours.
+package construct
+
+import (
+	"math/rand"
+	"sort"
+
+	"distclk/internal/geom"
+	"distclk/internal/neighbor"
+	"distclk/internal/tsp"
+)
+
+// Method selects a construction heuristic.
+type Method int
+
+const (
+	// QuickBoruvka is the matching-pass constructor from Applegate et al.
+	QuickBoruvka Method = iota
+	// Greedy inserts candidate edges globally by increasing weight.
+	Greedy
+	// NearestNeighbor grows the tour by repeatedly visiting the nearest
+	// unvisited city.
+	NearestNeighbor
+	// SpaceFilling orders cities along a Hilbert curve.
+	SpaceFilling
+	// Random returns a uniformly random permutation.
+	Random
+	// Christofides is MST + greedy odd-vertex matching + Euler shortcut,
+	// the constructor the paper's §2.1 compares Quick-Borůvka against
+	// (there seeded with Held-Karp weights; see christofides.go).
+	Christofides
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case QuickBoruvka:
+		return "quick-boruvka"
+	case Greedy:
+		return "greedy"
+	case NearestNeighbor:
+		return "nearest-neighbor"
+	case SpaceFilling:
+		return "space-filling"
+	case Random:
+		return "random"
+	case Christofides:
+		return "christofides"
+	}
+	return "unknown"
+}
+
+// Build constructs a tour with the selected method. nbr supplies candidate
+// edges for QuickBoruvka and Greedy (it may be nil, in which case lists with
+// k=8 are built internally). rng drives tie-breaking and Random.
+func Build(m Method, in *tsp.Instance, nbr *neighbor.Lists, rng *rand.Rand) tsp.Tour {
+	switch m {
+	case QuickBoruvka:
+		return quickBoruvka(in, need(in, nbr))
+	case Greedy:
+		return greedy(in, need(in, nbr))
+	case NearestNeighbor:
+		start := int32(0)
+		if rng != nil {
+			start = int32(rng.Intn(in.N()))
+		}
+		return nearestNeighbor(in, start)
+	case SpaceFilling:
+		return spaceFilling(in)
+	case Random:
+		return randomTour(in.N(), rng)
+	case Christofides:
+		return christofides(in)
+	}
+	panic("construct: unknown method")
+}
+
+func need(in *tsp.Instance, nbr *neighbor.Lists) *neighbor.Lists {
+	if nbr != nil {
+		return nbr
+	}
+	return neighbor.Build(in, 8)
+}
+
+// fragmentSet tracks a partial 2-matching: per-city degree, the two tour
+// neighbours chosen so far, and a union-find over path fragments.
+type fragmentSet struct {
+	deg    []uint8
+	adj    [][2]int32
+	parent []int32
+}
+
+func newFragmentSet(n int) *fragmentSet {
+	f := &fragmentSet{
+		deg:    make([]uint8, n),
+		adj:    make([][2]int32, n),
+		parent: make([]int32, n),
+	}
+	for i := range f.parent {
+		f.parent[i] = int32(i)
+		f.adj[i] = [2]int32{-1, -1}
+	}
+	return f
+}
+
+func (f *fragmentSet) find(x int32) int32 {
+	for f.parent[x] != x {
+		f.parent[x] = f.parent[f.parent[x]]
+		x = f.parent[x]
+	}
+	return x
+}
+
+// canAdd reports whether edge (a,b) keeps the structure a set of paths.
+func (f *fragmentSet) canAdd(a, b int32) bool {
+	return a != b && f.deg[a] < 2 && f.deg[b] < 2 && f.find(a) != f.find(b)
+}
+
+func (f *fragmentSet) add(a, b int32) {
+	f.adj[a][f.deg[a]] = b
+	f.adj[b][f.deg[b]] = a
+	f.deg[a]++
+	f.deg[b]++
+	f.parent[f.find(a)] = f.find(b)
+}
+
+// close stitches remaining path fragments (and isolated cities) into a
+// single cycle, connecting nearest endpoints greedily, then emits the tour.
+func (f *fragmentSet) close(in *tsp.Instance) tsp.Tour {
+	n := len(f.deg)
+	dist := in.DistFunc()
+	// Endpoints are cities with degree < 2 (degree-0 cities count twice,
+	// conceptually a path of one vertex).
+	for {
+		var ends []int32
+		for c := int32(0); c < int32(n); c++ {
+			if f.deg[c] < 2 {
+				ends = append(ends, c)
+			}
+		}
+		if len(ends) == 0 {
+			break
+		}
+		if len(ends) == 2 && f.find(ends[0]) == f.find(ends[1]) {
+			// Single open path: close the cycle.
+			f.adj[ends[0]][f.deg[ends[0]]] = ends[1]
+			f.adj[ends[1]][f.deg[ends[1]]] = ends[0]
+			f.deg[ends[0]]++
+			f.deg[ends[1]]++
+			break
+		}
+		// Connect the first endpoint to the nearest endpoint of a
+		// different fragment.
+		a := ends[0]
+		var best int32 = -1
+		var bestD int64
+		for _, b := range ends[1:] {
+			if !f.canAdd(a, b) {
+				continue
+			}
+			d := dist(a, b)
+			if best < 0 || d < bestD {
+				best, bestD = b, d
+			}
+		}
+		if best < 0 {
+			// a's fragment is the only one left but has >2 endpoints —
+			// impossible for paths; guard anyway.
+			break
+		}
+		f.add(a, best)
+	}
+	// Walk the adjacency into a tour.
+	tour := make(tsp.Tour, 0, n)
+	visited := make([]bool, n)
+	cur, prev := int32(0), int32(-1)
+	for len(tour) < n {
+		tour = append(tour, cur)
+		visited[cur] = true
+		next := f.adj[cur][0]
+		if next == prev || next < 0 || visited[next] {
+			next = f.adj[cur][1]
+		}
+		if next < 0 || visited[next] {
+			// Disconnected guard: jump to any unvisited city.
+			next = -1
+			for c := int32(0); c < int32(n); c++ {
+				if !visited[c] {
+					next = c
+					break
+				}
+			}
+			if next < 0 {
+				break
+			}
+		}
+		prev, cur = cur, next
+	}
+	return tour
+}
+
+// quickBoruvka implements the constructor from Applegate, Cook & Rohe:
+// process cities in coordinate-sorted order; for each city with fewer than
+// two incident tour edges, add its cheapest valid candidate edge. At most
+// two passes are needed; leftovers are stitched.
+func quickBoruvka(in *tsp.Instance, nbr *neighbor.Lists) tsp.Tour {
+	n := in.N()
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	if !in.Explicit() {
+		pts := in.Pts
+		sort.Slice(order, func(i, j int) bool {
+			a, b := pts[order[i]], pts[order[j]]
+			if a.X != b.X {
+				return a.X < b.X
+			}
+			if a.Y != b.Y {
+				return a.Y < b.Y
+			}
+			return order[i] < order[j]
+		})
+	}
+	f := newFragmentSet(n)
+	dist := in.DistFunc()
+	for pass := 0; pass < 2; pass++ {
+		for _, c := range order {
+			for f.deg[c] < 2 {
+				var best int32 = -1
+				var bestD int64
+				for _, o := range nbr.Of(c) {
+					if !f.canAdd(c, o) {
+						continue
+					}
+					d := dist(c, o)
+					if best < 0 || d < bestD {
+						best, bestD = o, d
+					}
+				}
+				if best < 0 {
+					break
+				}
+				f.add(c, best)
+			}
+		}
+	}
+	return f.close(in)
+}
+
+// greedy sorts all candidate edges by weight and adds each edge that keeps
+// the structure a set of paths.
+func greedy(in *tsp.Instance, nbr *neighbor.Lists) tsp.Tour {
+	n := in.N()
+	dist := in.DistFunc()
+	type edge struct {
+		d    int64
+		a, b int32
+	}
+	edges := make([]edge, 0, n*nbr.K()/2)
+	for c := int32(0); c < int32(n); c++ {
+		for _, o := range nbr.Of(c) {
+			if c < o {
+				edges = append(edges, edge{dist(c, o), c, o})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].d != edges[j].d {
+			return edges[i].d < edges[j].d
+		}
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+	f := newFragmentSet(n)
+	for _, e := range edges {
+		if f.canAdd(e.a, e.b) {
+			f.add(e.a, e.b)
+		}
+	}
+	return f.close(in)
+}
+
+func nearestNeighbor(in *tsp.Instance, start int32) tsp.Tour {
+	n := in.N()
+	if in.Explicit() {
+		return nearestNeighborBrute(in, start)
+	}
+	tree := geom.NewKDTree(in.Pts)
+	visited := make([]bool, n)
+	tour := make(tsp.Tour, 0, n)
+	cur := start
+	visited[cur] = true
+	tour = append(tour, cur)
+	for len(tour) < n {
+		next := int32(-1)
+		for k := 8; ; k *= 2 {
+			if k > n-1 {
+				k = n - 1
+			}
+			for _, c := range tree.KNearest(in.Pts[cur], k, int(cur)) {
+				if !visited[c] {
+					next = c
+					break
+				}
+			}
+			if next >= 0 || k == n-1 {
+				break
+			}
+		}
+		if next < 0 {
+			break
+		}
+		visited[next] = true
+		tour = append(tour, next)
+		cur = next
+	}
+	return tour
+}
+
+func nearestNeighborBrute(in *tsp.Instance, start int32) tsp.Tour {
+	n := in.N()
+	dist := in.DistFunc()
+	visited := make([]bool, n)
+	tour := make(tsp.Tour, 0, n)
+	cur := start
+	visited[cur] = true
+	tour = append(tour, cur)
+	for len(tour) < n {
+		next, bestD := int32(-1), int64(0)
+		for c := int32(0); c < int32(n); c++ {
+			if visited[c] {
+				continue
+			}
+			d := dist(cur, c)
+			if next < 0 || d < bestD {
+				next, bestD = c, d
+			}
+		}
+		if next < 0 {
+			break
+		}
+		visited[next] = true
+		tour = append(tour, next)
+		cur = next
+	}
+	return tour
+}
+
+func spaceFilling(in *tsp.Instance) tsp.Tour {
+	n := in.N()
+	tour := tsp.IdentityTour(n)
+	if in.Explicit() {
+		return tour
+	}
+	keys := geom.HilbertKeys(in.Pts)
+	sort.Slice(tour, func(i, j int) bool {
+		if keys[tour[i]] != keys[tour[j]] {
+			return keys[tour[i]] < keys[tour[j]]
+		}
+		return tour[i] < tour[j]
+	})
+	return tour
+}
+
+func randomTour(n int, rng *rand.Rand) tsp.Tour {
+	tour := tsp.IdentityTour(n)
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	rng.Shuffle(n, func(i, j int) { tour[i], tour[j] = tour[j], tour[i] })
+	return tour
+}

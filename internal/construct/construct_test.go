@@ -1,0 +1,118 @@
+package construct
+
+import (
+	"math/rand"
+	"testing"
+
+	"distclk/internal/neighbor"
+	"distclk/internal/tsp"
+)
+
+var allMethods = []Method{QuickBoruvka, Greedy, NearestNeighbor, SpaceFilling, Random}
+
+func TestAllMethodsProduceValidTours(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, fam := range []tsp.Family{tsp.FamilyUniform, tsp.FamilyClustered, tsp.FamilyDrill} {
+		for _, n := range []int{5, 37, 200} {
+			in := tsp.Generate(fam, n, int64(n))
+			nbr := neighbor.Build(in, 8)
+			for _, m := range allMethods {
+				tour := Build(m, in, nbr, rng)
+				if err := tour.Validate(n); err != nil {
+					t.Fatalf("%v on %v n=%d: %v", m, fam, n, err)
+				}
+			}
+		}
+	}
+}
+
+func TestConstructionQualityOrdering(t *testing.T) {
+	// Sanity: every heuristic beats random by a wide margin; greedy and
+	// quick-Borůvka beat space-filling.
+	in := tsp.Generate(tsp.FamilyUniform, 600, 3)
+	nbr := neighbor.Build(in, 10)
+	rng := rand.New(rand.NewSource(5))
+	lengths := map[Method]int64{}
+	for _, m := range allMethods {
+		lengths[m] = Build(m, in, nbr, rng).Length(in)
+	}
+	for _, m := range []Method{QuickBoruvka, Greedy, NearestNeighbor, SpaceFilling} {
+		if lengths[m]*2 > lengths[Random] {
+			t.Errorf("%v (%d) not far below random (%d)", m, lengths[m], lengths[Random])
+		}
+	}
+	for _, m := range []Method{QuickBoruvka, Greedy} {
+		if lengths[m] > lengths[SpaceFilling] {
+			t.Errorf("%v (%d) worse than space-filling (%d)", m, lengths[m], lengths[SpaceFilling])
+		}
+	}
+}
+
+func TestQuickBoruvkaDeterministic(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyGrid, 300, 7)
+	nbr := neighbor.Build(in, 8)
+	a := Build(QuickBoruvka, in, nbr, nil)
+	b := Build(QuickBoruvka, in, nbr, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("quick-Borůvka not deterministic")
+		}
+	}
+}
+
+func TestExplicitInstanceConstruction(t *testing.T) {
+	m := []int64{
+		0, 1, 9, 9,
+		1, 0, 1, 9,
+		9, 1, 0, 1,
+		9, 9, 1, 0,
+	}
+	in, err := tsp.NewExplicit("p4", 4, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbr := neighbor.Build(in, 3)
+	for _, meth := range allMethods {
+		tour := Build(meth, in, nbr, rand.New(rand.NewSource(1)))
+		if err := tour.Validate(4); err != nil {
+			t.Fatalf("%v: %v", meth, err)
+		}
+	}
+	// Greedy should find the path-like optimum 0-1-2-3 (length 1+1+1+9=12).
+	g := Build(Greedy, in, nbr, nil)
+	if got := g.Length(in); got != 12 {
+		t.Errorf("greedy on path metric: %d, want 12", got)
+	}
+}
+
+func TestNearestNeighborStartsAtRandomCity(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 100, 9)
+	seen := map[int32]bool{}
+	for s := int64(0); s < 10; s++ {
+		tour := Build(NearestNeighbor, in, nil, rand.New(rand.NewSource(s)))
+		seen[tour[0]] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("NN start city not randomized: %d distinct starts", len(seen))
+	}
+}
+
+func TestMethodStrings(t *testing.T) {
+	for _, m := range allMethods {
+		if m.String() == "unknown" {
+			t.Errorf("method %d unnamed", m)
+		}
+	}
+}
+
+func TestFragmentSetStitchesDegenerate(t *testing.T) {
+	// Tiny instances exercise the fragment-closing fallbacks.
+	for n := 3; n <= 6; n++ {
+		in := tsp.Generate(tsp.FamilyUniform, n, int64(n))
+		nbr := neighbor.Build(in, 2)
+		tour := Build(QuickBoruvka, in, nbr, nil)
+		if err := tour.Validate(n); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}

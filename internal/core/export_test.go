@@ -1,0 +1,21 @@
+package core
+
+// Test-only accessors for the EA's internal perturbation state.
+
+// ForceNoImprove sets the stagnation counter (testing the variator rule).
+func (n *Node) ForceNoImprove(v int) { n.noImprove = v }
+
+// NoImprove reads the stagnation counter.
+func (n *Node) NoImprove() int { return n.noImprove }
+
+// Perturbate exposes the PERTURBATE step.
+func (n *Node) Perturbate() { n.perturbate() }
+
+// PerturbLevel reads the current NumPerturbations level.
+func (n *Node) PerturbLevel() int { return n.perturbLevel }
+
+// SeedBest installs a best tour directly (bypassing the run loop).
+func (n *Node) SeedBest() {
+	n.sBest, n.sBestLen = n.solver.Best()
+	n.perturbLevel = 1
+}

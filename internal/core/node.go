@@ -1,0 +1,355 @@
+// Package core implements the paper's primary contribution: the distributed
+// evolutionary algorithm of Fischer & Merz (Figure 1) that embeds Chained
+// Lin-Kernighan on every node, perturbs the incumbent with a
+// variable-strength double-bridge move, exchanges improved tours with
+// neighbouring nodes, and restarts from a fresh tour after prolonged
+// stagnation. The package is transport-agnostic: networking is behind the
+// Comm interface, implemented by internal/dist.
+package core
+
+import (
+	"time"
+
+	"distclk/internal/clk"
+	"distclk/internal/construct"
+	"distclk/internal/tsp"
+)
+
+// Config carries the EA parameters. The paper's experiments use CV=64 and
+// CR=256 with unlimited CLK calls under a per-node time bound.
+type Config struct {
+	// CV divides the no-improvement counter to yield the perturbation
+	// strength: NumPerturbations = NumNoImprovements/CV + 1.
+	CV int
+	// CR is the restart threshold: when NumNoImprovements exceeds it, the
+	// incumbent is discarded and a fresh initial tour is constructed.
+	CR int
+	// KicksPerCall bounds the embedded CLK run in each EA iteration
+	// (<= 0 selects max(20, n/10), scaling work with instance size).
+	KicksPerCall int64
+	// CLK configures the underlying Chained Lin-Kernighan solver.
+	CLK clk.Params
+	// RestartConstruct picks the construction heuristic for restarts
+	// (default NearestNeighbor from a random city, for diversity —
+	// Quick-Borůvka is deterministic and would always restart identically).
+	RestartConstruct construct.Method
+	// DisablePerturbation turns PERTURBATE into the identity, for the
+	// paper's "running without DBMs" ablation (§4.2).
+	DisablePerturbation bool
+}
+
+// DefaultConfig returns the paper's parameter setting.
+func DefaultConfig() Config {
+	return Config{
+		CV:               64,
+		CR:               256,
+		CLK:              clk.DefaultParams(),
+		RestartConstruct: construct.NearestNeighbor,
+	}
+}
+
+// Incoming is a tour received from a neighbouring node.
+type Incoming struct {
+	From   int
+	Tour   tsp.Tour
+	Length int64
+}
+
+// Comm abstracts the node's view of the network. Implementations must be
+// safe for use by the node goroutine while the network delivers concurrently.
+type Comm interface {
+	// Broadcast sends the node's new best tour to all neighbours.
+	Broadcast(t tsp.Tour, length int64)
+	// Drain returns all tours received since the previous call.
+	Drain() []Incoming
+	// AnnounceOptimum notifies the network that the target was reached.
+	AnnounceOptimum(length int64)
+	// Stopped reports whether a remote optimum/shutdown notice arrived.
+	Stopped() bool
+}
+
+// NopComm is the single-node Comm: no neighbours, nothing received. It is
+// the paper's 1-node configuration used to isolate cooperation effects.
+type NopComm struct{}
+
+// Broadcast discards the tour.
+func (NopComm) Broadcast(tsp.Tour, int64) {}
+
+// Drain returns nothing.
+func (NopComm) Drain() []Incoming { return nil }
+
+// AnnounceOptimum does nothing.
+func (NopComm) AnnounceOptimum(int64) {}
+
+// Stopped reports false.
+func (NopComm) Stopped() bool { return false }
+
+// EventKind tags entries of the node's event log (§4.2.1 analysis).
+type EventKind int
+
+const (
+	// EventImproveLocal: the node's own CLK produced the new best tour.
+	EventImproveLocal EventKind = iota
+	// EventImproveReceived: a received tour became the new best.
+	EventImproveReceived
+	// EventPerturbLevel: NumPerturbations changed.
+	EventPerturbLevel
+	// EventRestart: the incumbent was discarded (NumNoImprovements > CR).
+	EventRestart
+	// EventOptimum: the target length was reached locally.
+	EventOptimum
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventImproveLocal:
+		return "improve-local"
+	case EventImproveReceived:
+		return "improve-received"
+	case EventPerturbLevel:
+		return "perturb-level"
+	case EventRestart:
+		return "restart"
+	case EventOptimum:
+		return "optimum"
+	}
+	return "unknown"
+}
+
+// Event is one entry of a node's run log.
+type Event struct {
+	At    time.Duration // since the node's Run started
+	Kind  EventKind
+	Value int64 // new length, or perturbation level
+}
+
+// Stats summarizes a node's run.
+type Stats struct {
+	NodeID     int
+	BestLength int64
+	Iterations int64
+	Broadcasts int64
+	Received   int64
+	Restarts   int64
+	Elapsed    time.Duration
+}
+
+// Node is one EA participant: a CLK solver plus the Figure 1 control loop.
+type Node struct {
+	ID     int
+	cfg    Config
+	solver *clk.Solver
+	comm   Comm
+
+	sBest    tsp.Tour
+	sBestLen int64
+
+	noImprove    int
+	perturbLevel int
+
+	// Events is the run log; OnImprove (optional) observes every new best.
+	Events    []Event
+	OnImprove func(length int64, at time.Duration)
+
+	stats Stats
+	start time.Time
+}
+
+// NewNode builds a node over a fresh CLK solver. seed must differ across
+// nodes so their searches diverge.
+func NewNode(id int, inst *tsp.Instance, cfg Config, comm Comm, seed int64) *Node {
+	if cfg.CV <= 0 {
+		cfg.CV = 64
+	}
+	if cfg.CR <= 0 {
+		cfg.CR = 256
+	}
+	if cfg.KicksPerCall <= 0 {
+		cfg.KicksPerCall = int64(inst.N() / 10)
+		if cfg.KicksPerCall < 20 {
+			cfg.KicksPerCall = 20
+		}
+	}
+	solver := clk.New(inst, cfg.CLK, seed)
+	n := &Node{
+		ID:     id,
+		cfg:    cfg,
+		solver: solver,
+		comm:   comm,
+	}
+	n.stats.NodeID = id
+	return n
+}
+
+// Solver exposes the underlying CLK engine (read-mostly; used by tests and
+// the harness).
+func (n *Node) Solver() *clk.Solver { return n.solver }
+
+// Best returns the node's best tour and length.
+func (n *Node) Best() (tsp.Tour, int64) {
+	if n.sBest == nil {
+		return n.solver.Best()
+	}
+	return n.sBest.Clone(), n.sBestLen
+}
+
+// Budget bounds a node's Run.
+type Budget struct {
+	// Deadline stops the loop when the wall clock passes it.
+	Deadline time.Time
+	// Target stops the loop once the best tour is <= Target and triggers
+	// AnnounceOptimum (the paper's known-optimum termination criterion).
+	Target int64
+	// MaxIterations bounds EA iterations (0 = unlimited).
+	MaxIterations int64
+	// Stop is polled each iteration for external shutdown.
+	Stop func() bool
+}
+
+func (b Budget) done(iter int64, best int64, comm Comm) bool {
+	if !b.Deadline.IsZero() && time.Now().After(b.Deadline) {
+		return true
+	}
+	if b.Target > 0 && best <= b.Target {
+		return true
+	}
+	if b.MaxIterations > 0 && iter >= b.MaxIterations {
+		return true
+	}
+	if b.Stop != nil && b.Stop() {
+		return true
+	}
+	return comm.Stopped()
+}
+
+func (n *Node) log(kind EventKind, value int64) {
+	at := time.Since(n.start)
+	n.Events = append(n.Events, Event{At: at, Kind: kind, Value: value})
+	if kind == EventImproveLocal || kind == EventImproveReceived {
+		if n.OnImprove != nil {
+			n.OnImprove(value, at)
+		}
+	}
+}
+
+// Run executes the Figure 1 loop until the budget expires and returns the
+// node's statistics. It must be called at most once per Node.
+func (n *Node) Run(b Budget) Stats {
+	n.start = time.Now()
+
+	// s_prev := INITIALTOUR; s_best := CHAINEDLINKERNIGHAN(s_prev).
+	// NewNode already constructed + LK-optimized the initial tour; the
+	// initial chained run completes the first line of the pseudocode.
+	n.runCLK(b)
+	n.sBest, n.sBestLen = n.solver.Best()
+	n.log(EventImproveLocal, n.sBestLen)
+	n.comm.Broadcast(n.sBest, n.sBestLen)
+	n.stats.Broadcasts++
+	n.perturbLevel = 1
+
+	sPrevLen := n.sBestLen
+	for !b.done(n.stats.Iterations, n.sBestLen, n.comm) {
+		n.stats.Iterations++
+
+		// s := CHAINEDLINKERNIGHAN(PERTURBATE(s_best))
+		n.perturbate()
+		res := n.runCLK(b)
+		s, sLen := res.Tour, res.Length
+
+		// S_received := ALLRECEIVEDTOURS
+		received := n.comm.Drain()
+		n.stats.Received += int64(len(received))
+
+		// s_best := SELECTBESTTOUR(S_received ∪ {s} ∪ {s_prev})
+		bestLen := sLen
+		bestTour := s
+		fromLocal := true
+		for _, in := range received {
+			if in.Length < bestLen {
+				bestLen = in.Length
+				bestTour = in.Tour
+				fromLocal = false
+			}
+		}
+		if n.sBestLen < bestLen {
+			bestLen = n.sBestLen
+			bestTour = n.sBest
+			fromLocal = false
+		} else if n.sBestLen == bestLen && !fromLocal {
+			// Tie with the previous best: keep it, no broadcast.
+			bestTour = n.sBest
+		}
+
+		if bestLen == sPrevLen {
+			n.noImprove++
+		} else if bestLen < sPrevLen {
+			// Counter resets when a better tour is found or received.
+			n.noImprove = 0
+			n.setPerturbLevel(1)
+			if fromLocal {
+				n.comm.Broadcast(bestTour, bestLen)
+				n.stats.Broadcasts++
+				n.log(EventImproveLocal, bestLen)
+			} else {
+				n.log(EventImproveReceived, bestLen)
+			}
+		} else {
+			// Perturbation made things worse and nothing received beats
+			// s_prev: keep the previous best as incumbent.
+			bestLen = sPrevLen
+			bestTour = n.sBest
+			n.noImprove++
+		}
+
+		n.sBest = bestTour.Clone()
+		n.sBestLen = bestLen
+		sPrevLen = bestLen
+	}
+
+	if b.Target > 0 && n.sBestLen <= b.Target {
+		n.log(EventOptimum, n.sBestLen)
+		n.comm.AnnounceOptimum(n.sBestLen)
+	}
+	n.stats.BestLength = n.sBestLen
+	n.stats.Elapsed = time.Since(n.start)
+	return n.stats
+}
+
+// perturbate implements PERTURBATE(s): either restart from a fresh tour
+// (NumNoImprovements > c_r) or apply NumPerturbations double-bridge moves.
+func (n *Node) perturbate() {
+	if n.noImprove > n.cfg.CR {
+		n.noImprove = 0
+		n.setPerturbLevel(1)
+		n.stats.Restarts++
+		n.log(EventRestart, 0)
+		n.solver.Reconstruct(n.cfg.RestartConstruct)
+		return
+	}
+	n.solver.SetTour(n.sBest)
+	if n.cfg.DisablePerturbation {
+		return
+	}
+	level := n.noImprove/n.cfg.CV + 1
+	n.setPerturbLevel(level)
+	n.solver.Perturb(level)
+}
+
+func (n *Node) setPerturbLevel(level int) {
+	if level != n.perturbLevel {
+		n.perturbLevel = level
+		n.log(EventPerturbLevel, int64(level))
+	}
+}
+
+// runCLK runs the embedded CLK under the per-iteration kick budget, clipped
+// by the global deadline/target.
+func (n *Node) runCLK(b Budget) clk.Result {
+	return n.solver.RunPerturbed(clk.Budget{
+		MaxKicks: n.cfg.KicksPerCall,
+		Deadline: b.Deadline,
+		Target:   b.Target,
+		Stop:     b.Stop,
+	})
+}

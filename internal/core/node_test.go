@@ -1,0 +1,224 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"distclk/internal/exact"
+	"distclk/internal/tsp"
+)
+
+func smallInstance(n int, seed int64) *tsp.Instance {
+	return tsp.Generate(tsp.FamilyUniform, n, seed)
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.CV != 64 {
+		t.Errorf("CV = %d, want 64 (paper §3.1)", cfg.CV)
+	}
+	if cfg.CR != 256 {
+		t.Errorf("CR = %d, want 256 (paper §3.1)", cfg.CR)
+	}
+}
+
+func TestSingleNodeReachesOptimumSmall(t *testing.T) {
+	in := smallInstance(16, 3)
+	_, optLen, err := exact.HeldKarp(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := NewNode(0, in, DefaultConfig(), NopComm{}, 1)
+	stats := node.Run(Budget{
+		Target:        optLen,
+		MaxIterations: 200,
+		Deadline:      time.Now().Add(20 * time.Second),
+	})
+	if stats.BestLength != optLen {
+		t.Fatalf("node reached %d, optimum %d", stats.BestLength, optLen)
+	}
+	tour, l := node.Best()
+	if err := tour.Validate(16); err != nil {
+		t.Fatal(err)
+	}
+	if tour.Length(in) != l {
+		t.Fatalf("best length mismatch: %d vs %d", tour.Length(in), l)
+	}
+	// Optimum event must be logged.
+	found := false
+	for _, e := range node.Events {
+		if e.Kind == EventOptimum {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no EventOptimum logged despite reaching target")
+	}
+}
+
+func TestVariableStrengthFormula(t *testing.T) {
+	// NumPerturbations = NumNoImprovements / c_v + 1 (Figure 1).
+	in := smallInstance(100, 5)
+	cfg := DefaultConfig()
+	cfg.CV = 10
+	cfg.CR = 1000
+	node := NewNode(0, in, cfg, NopComm{}, 2)
+	node.SeedBest()
+	cases := []struct{ noImp, wantLevel int }{
+		{0, 1}, {5, 1}, {9, 1}, {10, 2}, {25, 3}, {99, 10},
+	}
+	for _, tc := range cases {
+		node.ForceNoImprove(tc.noImp)
+		node.Perturbate()
+		if got := node.PerturbLevel(); got != tc.wantLevel {
+			t.Errorf("noImprove=%d: level %d, want %d", tc.noImp, got, tc.wantLevel)
+		}
+	}
+}
+
+func TestRestartAfterCR(t *testing.T) {
+	in := smallInstance(100, 7)
+	cfg := DefaultConfig()
+	cfg.CR = 16
+	node := NewNode(0, in, cfg, NopComm{}, 3)
+	node.SeedBest()
+	node.ForceNoImprove(17) // > CR
+	node.Perturbate()
+	if node.NoImprove() != 0 {
+		t.Errorf("counters not reset after restart: %d", node.NoImprove())
+	}
+	restarted := false
+	for _, e := range node.Events {
+		if e.Kind == EventRestart {
+			restarted = true
+		}
+	}
+	if !restarted {
+		t.Error("restart not logged")
+	}
+	// The solver must hold a valid optimized tour after reconstruction.
+	tour, _ := node.Solver().Best()
+	if err := tour.Validate(100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoRestartAtOrBelowCR(t *testing.T) {
+	in := smallInstance(80, 9)
+	cfg := DefaultConfig()
+	cfg.CR = 16
+	node := NewNode(0, in, cfg, NopComm{}, 4)
+	node.SeedBest()
+	node.ForceNoImprove(16) // == CR: Figure 1 uses strict >
+	node.Perturbate()
+	for _, e := range node.Events {
+		if e.Kind == EventRestart {
+			t.Fatal("restarted at noImprove == CR; pseudocode requires strict >")
+		}
+	}
+	if node.NoImprove() != 16 {
+		t.Errorf("counter clobbered: %d", node.NoImprove())
+	}
+}
+
+// recordingComm captures broadcasts and injects received tours.
+type recordingComm struct {
+	sent    []int64
+	pending []Incoming
+}
+
+func (r *recordingComm) Broadcast(t tsp.Tour, l int64) { r.sent = append(r.sent, l) }
+func (r *recordingComm) Drain() []Incoming {
+	out := r.pending
+	r.pending = nil
+	return out
+}
+func (r *recordingComm) AnnounceOptimum(int64) {}
+func (r *recordingComm) Stopped() bool         { return false }
+
+func TestReceivedBetterTourAdoptedNotRebroadcast(t *testing.T) {
+	in := smallInstance(60, 11)
+	comm := &recordingComm{}
+	cfg := DefaultConfig()
+	cfg.KicksPerCall = 5
+	node := NewNode(0, in, cfg, comm, 5)
+
+	// Build a much better tour with a second, longer-running node.
+	helper := NewNode(1, in, DefaultConfig(), NopComm{}, 6)
+	helperStats := helper.Run(Budget{MaxIterations: 30, Deadline: time.Now().Add(10 * time.Second)})
+	better, betterLen := helper.Best()
+
+	comm.pending = append(comm.pending, Incoming{From: 1, Tour: better, Length: betterLen})
+	node.Run(Budget{MaxIterations: 1, Deadline: time.Now().Add(10 * time.Second)})
+
+	_, got := node.Best()
+	if got > betterLen {
+		t.Fatalf("node best %d did not adopt received tour %d", got, betterLen)
+	}
+	// The received tour must not be re-broadcast (only own CLK results are).
+	for _, l := range comm.sent[1:] { // first send is the initial broadcast
+		if l == betterLen && got == betterLen {
+			t.Fatalf("node re-broadcast a received tour (len %d)", l)
+		}
+	}
+	_ = helperStats
+}
+
+func TestEventsTimeline(t *testing.T) {
+	in := smallInstance(120, 13)
+	node := NewNode(0, in, DefaultConfig(), NopComm{}, 7)
+	node.Run(Budget{MaxIterations: 10, Deadline: time.Now().Add(20 * time.Second)})
+	if len(node.Events) == 0 {
+		t.Fatal("no events logged")
+	}
+	var prev time.Duration
+	for _, e := range node.Events {
+		if e.At < prev {
+			t.Fatalf("events out of order: %v after %v", e.At, prev)
+		}
+		prev = e.At
+	}
+	if node.Events[0].Kind != EventImproveLocal {
+		t.Errorf("first event %v, want initial improve-local", node.Events[0].Kind)
+	}
+}
+
+func TestDisablePerturbationAblation(t *testing.T) {
+	in := smallInstance(80, 15)
+	cfg := DefaultConfig()
+	cfg.DisablePerturbation = true
+	cfg.KicksPerCall = 5
+	node := NewNode(0, in, cfg, NopComm{}, 8)
+	stats := node.Run(Budget{MaxIterations: 5, Deadline: time.Now().Add(10 * time.Second)})
+	if stats.Iterations != 5 {
+		t.Fatalf("ran %d iterations, want 5", stats.Iterations)
+	}
+	tour, _ := node.Best()
+	if err := tour.Validate(80); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBudgetMaxIterations(t *testing.T) {
+	in := smallInstance(60, 17)
+	cfg := DefaultConfig()
+	cfg.KicksPerCall = 3
+	node := NewNode(0, in, cfg, NopComm{}, 9)
+	stats := node.Run(Budget{MaxIterations: 7, Deadline: time.Now().Add(10 * time.Second)})
+	if stats.Iterations != 7 {
+		t.Fatalf("iterations = %d, want 7", stats.Iterations)
+	}
+}
+
+func TestStopFunctionHonored(t *testing.T) {
+	in := smallInstance(60, 19)
+	node := NewNode(0, in, DefaultConfig(), NopComm{}, 10)
+	iter := 0
+	stats := node.Run(Budget{
+		Stop:     func() bool { iter++; return iter > 3 },
+		Deadline: time.Now().Add(10 * time.Second),
+	})
+	if stats.Iterations > 4 {
+		t.Fatalf("stop ignored: %d iterations", stats.Iterations)
+	}
+}

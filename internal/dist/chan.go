@@ -1,0 +1,125 @@
+package dist
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distclk/internal/core"
+	"distclk/internal/topology"
+	"distclk/internal/tsp"
+)
+
+// BroadcastRecord is one entry of the message ledger: a node broadcast its
+// new best tour at the given offset from network start. The paper's §4
+// communication analysis (broadcast counts, early-phase concentration) is
+// computed from this ledger.
+type BroadcastRecord struct {
+	From   int
+	Length int64
+	At     time.Duration
+}
+
+// ChanNetwork is the in-process network: every node is a goroutine and
+// tours travel over buffered channels. It reproduces the paper's
+// communication pattern exactly (asynchronous broadcast to topology
+// neighbours, drain-on-demand) without sockets, so simulations and tests
+// are deterministic in structure and fast.
+type ChanNetwork struct {
+	n       int
+	topo    topology.Kind
+	inboxes []chan core.Incoming
+	stopped atomic.Bool
+
+	mu     sync.Mutex
+	ledger []BroadcastRecord
+	start  time.Time
+	drops  int64
+}
+
+// InboxCapacity is the per-node buffered channel size. The EA drains its
+// inbox every iteration, so even aggressive broadcast rates stay far below
+// this; if a node stalls, excess tours are dropped (stale tours are
+// harmless — newer, better ones follow).
+const InboxCapacity = 1024
+
+// NewChanNetwork creates the network for n nodes on the given topology.
+func NewChanNetwork(n int, topo topology.Kind) *ChanNetwork {
+	nw := &ChanNetwork{
+		n:       n,
+		topo:    topo,
+		inboxes: make([]chan core.Incoming, n),
+		start:   time.Now(),
+	}
+	for i := range nw.inboxes {
+		nw.inboxes[i] = make(chan core.Incoming, InboxCapacity)
+	}
+	return nw
+}
+
+// Comm returns node id's view of the network.
+func (nw *ChanNetwork) Comm(id int) core.Comm {
+	return &chanComm{nw: nw, id: id, neighbors: topology.Neighbors(nw.topo, nw.n, id)}
+}
+
+// Ledger returns a copy of the broadcast ledger.
+func (nw *ChanNetwork) Ledger() []BroadcastRecord {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	out := make([]BroadcastRecord, len(nw.ledger))
+	copy(out, nw.ledger)
+	return out
+}
+
+// Drops reports how many tours were discarded on full inboxes.
+func (nw *ChanNetwork) Drops() int64 {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.drops
+}
+
+type chanComm struct {
+	nw        *ChanNetwork
+	id        int
+	neighbors []int
+}
+
+// Broadcast sends a copy of the tour to every topology neighbour.
+func (c *chanComm) Broadcast(t tsp.Tour, length int64) {
+	c.nw.mu.Lock()
+	c.nw.ledger = append(c.nw.ledger, BroadcastRecord{
+		From:   c.id,
+		Length: length,
+		At:     time.Since(c.nw.start),
+	})
+	c.nw.mu.Unlock()
+	for _, o := range c.neighbors {
+		msg := core.Incoming{From: c.id, Tour: t.Clone(), Length: length}
+		select {
+		case c.nw.inboxes[o] <- msg:
+		default:
+			c.nw.mu.Lock()
+			c.nw.drops++
+			c.nw.mu.Unlock()
+		}
+	}
+}
+
+// Drain empties the node's inbox.
+func (c *chanComm) Drain() []core.Incoming {
+	var out []core.Incoming
+	for {
+		select {
+		case in := <-c.nw.inboxes[c.id]:
+			out = append(out, in)
+		default:
+			return out
+		}
+	}
+}
+
+// AnnounceOptimum stops the whole network (the paper's criterion (2)).
+func (c *chanComm) AnnounceOptimum(int64) { c.nw.stopped.Store(true) }
+
+// Stopped reports whether any node announced the optimum.
+func (c *chanComm) Stopped() bool { return c.nw.stopped.Load() }

@@ -1,0 +1,163 @@
+package dist
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"distclk/internal/core"
+	"distclk/internal/topology"
+	"distclk/internal/tsp"
+)
+
+// TestHeterogeneousNodeLifetimes reproduces the paper's end-of-run
+// degeneration: "due to different running times on the nodes at the end of
+// a simulation more and more nodes might become inactive" — remaining
+// nodes must keep working as their neighbourhood drains.
+func TestHeterogeneousNodeLifetimes(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 150, 31)
+	nw := NewChanNetwork(4, topology.Hypercube)
+
+	var wg sync.WaitGroup
+	results := make([]core.Stats, 4)
+	for i := 0; i < 4; i++ {
+		cfg := core.DefaultConfig()
+		cfg.KicksPerCall = 5
+		node := core.NewNode(i, in, cfg, nw.Comm(i), int64(i+1))
+		// Nodes 0 and 1 stop after 2 iterations; 2 and 3 run 12.
+		iters := int64(2)
+		if i >= 2 {
+			iters = 12
+		}
+		wg.Add(1)
+		go func(idx int, n *core.Node, maxIters int64) {
+			defer wg.Done()
+			results[idx] = n.Run(core.Budget{
+				MaxIterations: maxIters,
+				Deadline:      time.Now().Add(60 * time.Second),
+			})
+		}(i, node, iters)
+	}
+	wg.Wait()
+
+	for i, s := range results {
+		if s.BestLength == 0 {
+			t.Fatalf("node %d produced no result", i)
+		}
+	}
+	if results[2].Iterations != 12 || results[3].Iterations != 12 {
+		t.Fatalf("long-lived nodes cut short: %d, %d iterations",
+			results[2].Iterations, results[3].Iterations)
+	}
+	// Messages to inactive nodes pile up in their inboxes harmlessly (the
+	// paper's nodes simply stop reading); the network must not deadlock.
+	if nw.Drops() > 0 && results[2].BestLength == 0 {
+		t.Fatal("network degraded fatally under churn")
+	}
+}
+
+// TestTCPPeerDeath kills one TCP node mid-run; the survivors must drop the
+// dead peer and keep exchanging.
+func TestTCPPeerDeath(t *testing.T) {
+	const nodes = 3
+	in := tsp.Generate(tsp.FamilyUniform, 40, 33)
+
+	hub, err := NewHub("127.0.0.1:0", nodes, topology.Complete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hub.Serve()
+	defer hub.Close()
+
+	tcpNodes := make([]*TCPNode, nodes)
+	for i := range tcpNodes {
+		n, err := JoinTCP(hub.Addr(), "127.0.0.1:0", in.N())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tcpNodes[i] = n
+	}
+	hub.Wait()
+	waitPeers(t, tcpNodes, nodes-1)
+
+	// Kill node 2.
+	tcpNodes[2].Close()
+
+	// Broadcast from node 0: node 1 receives; the write to the dead peer
+	// eventually errors and removes it without wedging the sender.
+	tour := tsp.IdentityTour(in.N())
+	deadline := time.Now().Add(5 * time.Second)
+	got := false
+	for !got && time.Now().Before(deadline) {
+		tcpNodes[0].Broadcast(tour, 7)
+		time.Sleep(20 * time.Millisecond)
+		if msgs := tcpNodes[1].Drain(); len(msgs) > 0 {
+			got = true
+		}
+	}
+	if !got {
+		t.Fatal("survivor stopped receiving after peer death")
+	}
+	tcpNodes[0].Close()
+	tcpNodes[1].Close()
+}
+
+// TestTCPDuplicateOptimumAnnouncements checks the flood guard: multiple
+// announcements must not loop forever.
+func TestTCPDuplicateOptimumAnnouncements(t *testing.T) {
+	const nodes = 3
+	hub, err := NewHub("127.0.0.1:0", nodes, topology.Complete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hub.Serve()
+	defer hub.Close()
+
+	tcpNodes := make([]*TCPNode, nodes)
+	for i := range tcpNodes {
+		n, err := JoinTCP(hub.Addr(), "127.0.0.1:0", 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		tcpNodes[i] = n
+	}
+	hub.Wait()
+	waitPeers(t, tcpNodes, nodes-1)
+
+	// Two nodes announce simultaneously.
+	tcpNodes[0].AnnounceOptimum(100)
+	tcpNodes[1].AnnounceOptimum(100)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		all := true
+		for _, n := range tcpNodes {
+			if !n.Stopped() {
+				all = false
+			}
+		}
+		if all {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("optimum flood did not converge")
+}
+
+func waitPeers(t *testing.T, ns []*TCPNode, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for _, n := range ns {
+			if n.PeerCount() < want {
+				done = false
+			}
+		}
+		if done {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("peers never connected")
+}

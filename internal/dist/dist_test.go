@@ -1,0 +1,349 @@
+package dist
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"distclk/internal/core"
+	"distclk/internal/exact"
+	"distclk/internal/topology"
+	"distclk/internal/tsp"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := func(typ byte, payload []byte) bool {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, typ, payload); err != nil {
+			return false
+		}
+		gotType, gotPayload, err := readFrame(&buf)
+		if err != nil {
+			return false
+		}
+		return gotType == typ && bytes.Equal(gotPayload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFrameRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{msgTour, 0xff, 0xff, 0xff, 0xff})
+	if _, _, err := readFrame(&buf); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestTourCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(500)
+		tour := tsp.IdentityTour(n)
+		rng.Shuffle(n, func(i, j int) { tour[i], tour[j] = tour[j], tour[i] })
+		from := rng.Intn(64)
+		length := rng.Int63()
+		buf := encodeTour(from, length, tour)
+		gotFrom, gotLen, gotTour, err := decodeTour(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotFrom != from || gotLen != length || len(gotTour) != n {
+			t.Fatalf("header mismatch: %d/%d/%d", gotFrom, gotLen, len(gotTour))
+		}
+		for i := range tour {
+			if tour[i] != gotTour[i] {
+				t.Fatal("tour corrupted in codec")
+			}
+		}
+	}
+}
+
+func TestTourCodecRejectsCorrupt(t *testing.T) {
+	tour := tsp.IdentityTour(10)
+	buf := encodeTour(1, 100, tour)
+	if _, _, _, err := decodeTour(buf[:len(buf)-3]); err == nil {
+		t.Fatal("truncated tour accepted")
+	}
+	if _, _, _, err := decodeTour(buf[:8]); err == nil {
+		t.Fatal("short payload accepted")
+	}
+}
+
+func TestNeighborsCodecRoundTrip(t *testing.T) {
+	buf := encodeNeighbors(5, 8, []int{1, 4, 7}, []string{"a:1", "b:22", "c:333"})
+	id, total, ids, addrs, err := decodeNeighbors(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 5 || total != 8 || len(ids) != 3 || len(addrs) != 3 {
+		t.Fatalf("decoded %d/%d/%v/%v", id, total, ids, addrs)
+	}
+	if ids[2] != 7 || addrs[2] != "c:333" {
+		t.Fatalf("wrong entries: %v %v", ids, addrs)
+	}
+	if _, _, _, _, err := decodeNeighbors(buf[:5]); err == nil {
+		t.Fatal("truncated neighbour payload accepted")
+	}
+}
+
+func TestChanNetworkBroadcastReachesNeighborsOnly(t *testing.T) {
+	nw := NewChanNetwork(8, topology.Hypercube)
+	comms := make([]core.Comm, 8)
+	for i := range comms {
+		comms[i] = nw.Comm(i)
+	}
+	tour := tsp.IdentityTour(5)
+	comms[0].Broadcast(tour, 123)
+	// Node 0's hypercube neighbours are 1, 2, 4.
+	for id := 1; id < 8; id++ {
+		got := comms[id].Drain()
+		isNeighbor := id == 1 || id == 2 || id == 4
+		if isNeighbor && (len(got) != 1 || got[0].From != 0 || got[0].Length != 123) {
+			t.Errorf("neighbour %d received %v", id, got)
+		}
+		if !isNeighbor && len(got) != 0 {
+			t.Errorf("non-neighbour %d received %v", id, got)
+		}
+	}
+	if ledger := nw.Ledger(); len(ledger) != 1 || ledger[0].From != 0 {
+		t.Errorf("ledger %v", nw.Ledger())
+	}
+}
+
+func TestChanNetworkBroadcastCopiesTour(t *testing.T) {
+	nw := NewChanNetwork(2, topology.Complete)
+	a, b := nw.Comm(0), nw.Comm(1)
+	tour := tsp.IdentityTour(4)
+	a.Broadcast(tour, 10)
+	tour[0], tour[1] = tour[1], tour[0] // mutate after send
+	got := b.Drain()
+	if len(got) != 1 {
+		t.Fatal("no message")
+	}
+	if got[0].Tour[0] != 0 || got[0].Tour[1] != 1 {
+		t.Fatal("broadcast aliased the sender's tour")
+	}
+}
+
+func TestChanNetworkOptimumStopsEveryone(t *testing.T) {
+	nw := NewChanNetwork(4, topology.Ring)
+	nw.Comm(2).AnnounceOptimum(42)
+	for i := 0; i < 4; i++ {
+		if !nw.Comm(i).Stopped() {
+			t.Errorf("node %d not stopped", i)
+		}
+	}
+}
+
+func TestChanNetworkDropsWhenFull(t *testing.T) {
+	nw := NewChanNetwork(2, topology.Complete)
+	a := nw.Comm(0)
+	tour := tsp.IdentityTour(3)
+	for i := 0; i < InboxCapacity+10; i++ {
+		a.Broadcast(tour, int64(i))
+	}
+	if nw.Drops() != 10 {
+		t.Errorf("drops = %d, want 10", nw.Drops())
+	}
+	if got := nw.Comm(1).Drain(); len(got) != InboxCapacity {
+		t.Errorf("drained %d, want %d", len(got), InboxCapacity)
+	}
+}
+
+func TestRunClusterFindsOptimumAndStops(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 14, 21)
+	_, optLen, err := exact.HeldKarp(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ClusterConfig{
+		Nodes: 4,
+		Topo:  topology.Hypercube,
+		EA:    core.DefaultConfig(),
+		Budget: core.Budget{
+			Target:        optLen,
+			Deadline:      time.Now().Add(30 * time.Second),
+			MaxIterations: 500,
+		},
+		Seed: 1,
+	}
+	res := RunCluster(in, cfg)
+	if res.BestLength != optLen {
+		t.Fatalf("cluster reached %d, optimum %d", res.BestLength, optLen)
+	}
+	if err := res.BestTour.Validate(14); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) != 4 {
+		t.Fatalf("stats for %d nodes", len(res.Stats))
+	}
+}
+
+func TestRunClusterCooperationSpreadsTours(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 200, 23)
+	cfg := ClusterConfig{
+		Nodes: 4,
+		Topo:  topology.Complete,
+		EA: func() core.Config {
+			c := core.DefaultConfig()
+			c.KicksPerCall = 10
+			return c
+		}(),
+		Budget: core.Budget{
+			MaxIterations: 15,
+			Deadline:      time.Now().Add(60 * time.Second),
+		},
+		Seed: 2,
+	}
+	res := RunCluster(in, cfg)
+	if res.Broadcasts() == 0 {
+		t.Fatal("no broadcasts in a cooperative run")
+	}
+	var received int64
+	for _, s := range res.Stats {
+		received += s.Received
+	}
+	if received == 0 {
+		t.Fatal("no node ever received a tour")
+	}
+	if len(res.Ledger) == 0 {
+		t.Fatal("empty broadcast ledger")
+	}
+	// All nodes should end close to the global best thanks to exchange.
+	for _, s := range res.Stats {
+		if float64(s.BestLength) > float64(res.BestLength)*1.2 {
+			t.Errorf("node %d ended at %d, global best %d — no cooperation?",
+				s.NodeID, s.BestLength, res.BestLength)
+		}
+	}
+}
+
+func TestTCPClusterIntegration(t *testing.T) {
+	const nodes = 4
+	in := tsp.Generate(tsp.FamilyUniform, 60, 25)
+
+	hub, err := NewHub("127.0.0.1:0", nodes, topology.Hypercube)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hub.Serve()
+	defer hub.Close()
+
+	tcpNodes := make([]*TCPNode, nodes)
+	for i := 0; i < nodes; i++ {
+		n, err := JoinTCP(hub.Addr(), "127.0.0.1:0", in.N())
+		if err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		defer n.Close()
+		tcpNodes[i] = n
+	}
+	hub.Wait()
+
+	// Wait for contact-back connections to settle: every node in a 2-bit
+	// hypercube has exactly 2 peers.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		done := true
+		for _, n := range tcpNodes {
+			if n.PeerCount() < 2 {
+				done = false
+			}
+		}
+		if done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i, n := range tcpNodes {
+		if n.PeerCount() != 2 {
+			t.Fatalf("node %d has %d peers, want 2", i, n.PeerCount())
+		}
+	}
+
+	// Broadcast a tour from node 0; its hypercube neighbours must get it.
+	tour := tsp.IdentityTour(in.N())
+	tcpNodes[0].Broadcast(tour, 999)
+	time.Sleep(100 * time.Millisecond)
+	gotCount := 0
+	for i := 1; i < nodes; i++ {
+		msgs := tcpNodes[i].Drain()
+		for _, m := range msgs {
+			if m.From != tcpNodes[0].ID || m.Length != 999 {
+				t.Fatalf("node %d got unexpected message %v", i, m)
+			}
+			if err := m.Tour.Validate(in.N()); err != nil {
+				t.Fatal(err)
+			}
+			gotCount++
+		}
+	}
+	if gotCount != 2 {
+		t.Fatalf("%d deliveries, want 2 (hypercube degree of node 0)", gotCount)
+	}
+
+	// Optimum notification floods to every node.
+	tcpNodes[1].AnnounceOptimum(12345)
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		all := true
+		for _, n := range tcpNodes {
+			if !n.Stopped() {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("optimum notification did not flood to all nodes")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestTCPNodesRunDistributedEA(t *testing.T) {
+	const nodes = 2
+	in := tsp.Generate(tsp.FamilyUniform, 80, 27)
+
+	hub, err := NewHub("127.0.0.1:0", nodes, topology.Complete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hub.Serve()
+	defer hub.Close()
+
+	results := make(chan core.Stats, nodes)
+	for i := 0; i < nodes; i++ {
+		go func(idx int) {
+			tn, err := JoinTCP(hub.Addr(), "127.0.0.1:0", in.N())
+			if err != nil {
+				t.Errorf("join: %v", err)
+				results <- core.Stats{}
+				return
+			}
+			defer tn.Close()
+			cfg := core.DefaultConfig()
+			cfg.KicksPerCall = 10
+			node := core.NewNode(tn.ID, in, cfg, tn, int64(idx+1))
+			results <- node.Run(core.Budget{
+				MaxIterations: 10,
+				Deadline:      time.Now().Add(60 * time.Second),
+			})
+		}(i)
+	}
+	var best int64 = 1 << 62
+	for i := 0; i < nodes; i++ {
+		s := <-results
+		if s.BestLength > 0 && s.BestLength < best {
+			best = s.BestLength
+		}
+	}
+	if best == 1<<62 {
+		t.Fatal("no node produced a result")
+	}
+}

@@ -1,0 +1,98 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"distclk/internal/topology"
+)
+
+// Hub is the bootstrap node. It is the only central component and is used
+// only during initialization: each node connects once, announces its listen
+// address, and receives its hypercube slot plus the addresses of the
+// neighbours that already joined. Later joiners contact earlier ones
+// directly, which adds the reverse edges — after the last join the overlay
+// is the full topology and the hub is idle (paper §2.2).
+type Hub struct {
+	ln       net.Listener
+	expected int
+	topo     topology.Kind
+
+	mu     sync.Mutex
+	joined []string // addr by node id, in join order
+
+	done chan struct{}
+}
+
+// NewHub listens on addr (e.g. "127.0.0.1:0") for `expected` nodes.
+func NewHub(addr string, expected int, topo topology.Kind) (*Hub, error) {
+	if expected <= 0 {
+		return nil, fmt.Errorf("dist: hub needs a positive node count")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Hub{ln: ln, expected: expected, topo: topo, done: make(chan struct{})}, nil
+}
+
+// Addr returns the hub's listen address for nodes to dial.
+func (h *Hub) Addr() string { return h.ln.Addr().String() }
+
+// Serve accepts joins until all expected nodes registered, then returns.
+// Run it in its own goroutine.
+func (h *Hub) Serve() error {
+	defer close(h.done)
+	for {
+		h.mu.Lock()
+		full := len(h.joined) >= h.expected
+		h.mu.Unlock()
+		if full {
+			return nil
+		}
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return err
+		}
+		if err := h.handle(conn); err != nil {
+			conn.Close()
+			continue
+		}
+		conn.Close()
+	}
+}
+
+func (h *Hub) handle(conn net.Conn) error {
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		return err
+	}
+	if typ != msgJoin {
+		return fmt.Errorf("dist: hub expected join, got type %d", typ)
+	}
+	addr := string(payload)
+
+	h.mu.Lock()
+	id := len(h.joined)
+	h.joined = append(h.joined, addr)
+	// Neighbours among already-joined nodes only; the contact-back step
+	// completes the symmetric edges.
+	var ids []int
+	var addrs []string
+	for _, o := range topology.Neighbors(h.topo, h.expected, id) {
+		if o < id {
+			ids = append(ids, o)
+			addrs = append(addrs, h.joined[o])
+		}
+	}
+	h.mu.Unlock()
+
+	return writeFrame(conn, msgNeighbors, encodeNeighbors(id, h.expected, ids, addrs))
+}
+
+// Wait blocks until Serve finished (all nodes joined or listener closed).
+func (h *Hub) Wait() { <-h.done }
+
+// Close shuts the listener down.
+func (h *Hub) Close() error { return h.ln.Close() }

@@ -1,0 +1,149 @@
+// Package dist provides the distributed runtime for the EA in internal/core:
+// an in-process channel network for simulation and benchmarking, and a real
+// TCP transport with a bootstrap hub that assembles the hypercube exactly as
+// described in the paper (nodes join the hub, receive a neighbour list over
+// the already-joined nodes, then contact neighbours directly, forming a
+// peer-to-peer network in which the hub plays no further role).
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"distclk/internal/tsp"
+)
+
+// Message type tags on the wire.
+const (
+	msgJoin      = byte(1) // node -> hub: listen address
+	msgNeighbors = byte(2) // hub -> node: assigned id + neighbour addresses
+	msgHello     = byte(3) // node -> node: sender id
+	msgTour      = byte(4) // node -> node: sender id + tour
+	msgOptimum   = byte(5) // node -> node: target reached, shut down
+)
+
+// maxFrame bounds accepted frame sizes (4 bytes per city on million-city
+// instances plus headers fits comfortably).
+const maxFrame = 1 << 26
+
+// writeFrame emits [type][uint32 length][payload].
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame; it rejects oversized payloads.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	size := binary.LittleEndian.Uint32(hdr[1:])
+	if size > maxFrame {
+		return 0, nil, fmt.Errorf("dist: frame of %d bytes exceeds limit", size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// encodeTour serializes (from, length, tour) for a msgTour frame.
+func encodeTour(from int, length int64, t tsp.Tour) []byte {
+	buf := make([]byte, 16+4*len(t))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(from))
+	binary.LittleEndian.PutUint64(buf[4:], uint64(length))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(len(t)))
+	for i, c := range t {
+		binary.LittleEndian.PutUint32(buf[16+4*i:], uint32(c))
+	}
+	return buf
+}
+
+// decodeTour parses a msgTour payload and validates the permutation length.
+func decodeTour(buf []byte) (from int, length int64, t tsp.Tour, err error) {
+	if len(buf) < 16 {
+		return 0, 0, nil, fmt.Errorf("dist: short tour payload (%d bytes)", len(buf))
+	}
+	from = int(binary.LittleEndian.Uint32(buf[0:]))
+	length = int64(binary.LittleEndian.Uint64(buf[4:]))
+	n := int(binary.LittleEndian.Uint32(buf[12:]))
+	if len(buf) != 16+4*n {
+		return 0, 0, nil, fmt.Errorf("dist: tour payload size %d does not match n=%d", len(buf), n)
+	}
+	t = make(tsp.Tour, n)
+	for i := range t {
+		t[i] = int32(binary.LittleEndian.Uint32(buf[16+4*i:]))
+	}
+	return from, length, t, nil
+}
+
+// encodeNeighbors serializes the hub's reply: assigned id, total expected
+// nodes, and the neighbour list as (id, addr) pairs.
+func encodeNeighbors(id, total int, ids []int, addrs []string) []byte {
+	var buf []byte
+	var tmp [4]byte
+	put := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	put(uint32(id))
+	put(uint32(total))
+	put(uint32(len(ids)))
+	for i := range ids {
+		put(uint32(ids[i]))
+		put(uint32(len(addrs[i])))
+		buf = append(buf, addrs[i]...)
+	}
+	return buf
+}
+
+func decodeNeighbors(buf []byte) (id, total int, ids []int, addrs []string, err error) {
+	off := 0
+	get := func() (uint32, error) {
+		if off+4 > len(buf) {
+			return 0, fmt.Errorf("dist: truncated neighbour payload")
+		}
+		v := binary.LittleEndian.Uint32(buf[off:])
+		off += 4
+		return v, nil
+	}
+	var v uint32
+	if v, err = get(); err != nil {
+		return
+	}
+	id = int(v)
+	if v, err = get(); err != nil {
+		return
+	}
+	total = int(v)
+	if v, err = get(); err != nil {
+		return
+	}
+	count := int(v)
+	for i := 0; i < count; i++ {
+		if v, err = get(); err != nil {
+			return
+		}
+		ids = append(ids, int(v))
+		if v, err = get(); err != nil {
+			return
+		}
+		alen := int(v)
+		if off+alen > len(buf) {
+			err = fmt.Errorf("dist: truncated neighbour address")
+			return
+		}
+		addrs = append(addrs, string(buf[off:off+alen]))
+		off += alen
+	}
+	return
+}

@@ -1,0 +1,257 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"distclk/internal/core"
+	"distclk/internal/tsp"
+)
+
+// TCPNode is a core.Comm over real TCP connections. Nodes form a
+// peer-to-peer overlay: each maintains persistent connections to its
+// topology neighbours, broadcasts improved tours as length-prefixed binary
+// frames, and floods an optimum notification for distributed termination.
+type TCPNode struct {
+	ID    int
+	Total int
+
+	instN int
+	ln    net.Listener
+
+	mu    sync.Mutex
+	peers map[int]*tcpPeer
+
+	inbox     chan core.Incoming
+	stopped   atomic.Bool
+	forwarded atomic.Bool
+	closed    atomic.Bool
+}
+
+type tcpPeer struct {
+	id   int
+	conn net.Conn
+	wmu  sync.Mutex
+}
+
+func (p *tcpPeer) send(typ byte, payload []byte) error {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	return writeFrame(p.conn, typ, payload)
+}
+
+// JoinTCP bootstraps a node: it starts listening on listenAddr (use
+// "127.0.0.1:0" to auto-pick a port), registers with the hub, and dials the
+// neighbours the hub reported. instN is the instance size used to validate
+// incoming tours.
+func JoinTCP(hubAddr, listenAddr string, instN int) (*TCPNode, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	n := &TCPNode{
+		instN: instN,
+		ln:    ln,
+		peers: make(map[int]*tcpPeer),
+		inbox: make(chan core.Incoming, InboxCapacity),
+	}
+	go n.acceptLoop()
+
+	hub, err := net.Dial("tcp", hubAddr)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	defer hub.Close()
+	if err := writeFrame(hub, msgJoin, []byte(ln.Addr().String())); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	typ, payload, err := readFrame(hub)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	if typ != msgNeighbors {
+		ln.Close()
+		return nil, fmt.Errorf("dist: expected neighbour list, got type %d", typ)
+	}
+	id, total, ids, addrs, err := decodeNeighbors(payload)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	n.ID, n.Total = id, total
+
+	for i := range ids {
+		if err := n.dialPeer(ids[i], addrs[i]); err != nil {
+			// A neighbour that vanished is tolerated: P2P networks are
+			// designed for churn; remaining edges keep the overlay usable.
+			continue
+		}
+	}
+	return n, nil
+}
+
+// Addr returns the node's listen address.
+func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
+
+// PeerCount reports the number of live peer connections.
+func (n *TCPNode) PeerCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.peers)
+}
+
+func (n *TCPNode) dialPeer(id int, addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	var hello [4]byte
+	binary.LittleEndian.PutUint32(hello[:], uint32(n.ID))
+	if err := writeFrame(conn, msgHello, hello[:]); err != nil {
+		conn.Close()
+		return err
+	}
+	n.addPeer(id, conn)
+	return nil
+}
+
+func (n *TCPNode) addPeer(id int, conn net.Conn) {
+	p := &tcpPeer{id: id, conn: conn}
+	n.mu.Lock()
+	if old, ok := n.peers[id]; ok {
+		old.conn.Close()
+	}
+	n.peers[id] = p
+	n.mu.Unlock()
+	go n.readLoop(p)
+}
+
+func (n *TCPNode) removePeer(p *tcpPeer) {
+	n.mu.Lock()
+	if n.peers[p.id] == p {
+		delete(n.peers, p.id)
+	}
+	n.mu.Unlock()
+	p.conn.Close()
+}
+
+func (n *TCPNode) acceptLoop() {
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(c net.Conn) {
+			typ, payload, err := readFrame(c)
+			if err != nil || typ != msgHello || len(payload) != 4 {
+				c.Close()
+				return
+			}
+			from := int(binary.LittleEndian.Uint32(payload))
+			n.addPeer(from, c)
+		}(conn)
+	}
+}
+
+func (n *TCPNode) readLoop(p *tcpPeer) {
+	for {
+		typ, payload, err := readFrame(p.conn)
+		if err != nil {
+			n.removePeer(p)
+			return
+		}
+		switch typ {
+		case msgTour:
+			from, length, tour, err := decodeTour(payload)
+			if err != nil || tour.Validate(n.instN) != nil {
+				continue // corrupt tours are dropped, not fatal
+			}
+			select {
+			case n.inbox <- core.Incoming{From: from, Tour: tour, Length: length}:
+			default:
+				// Inbox full: drop; fresher tours will follow.
+			}
+		case msgOptimum:
+			n.stopped.Store(true)
+			n.forwardOptimum(payload)
+		}
+	}
+}
+
+func (n *TCPNode) forwardOptimum(payload []byte) {
+	if !n.forwarded.CompareAndSwap(false, true) {
+		return
+	}
+	n.mu.Lock()
+	peers := make([]*tcpPeer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+	for _, p := range peers {
+		if err := p.send(msgOptimum, payload); err != nil {
+			n.removePeer(p)
+		}
+	}
+}
+
+// Broadcast implements core.Comm: send the tour to every connected peer.
+func (n *TCPNode) Broadcast(t tsp.Tour, length int64) {
+	payload := encodeTour(n.ID, length, t)
+	n.mu.Lock()
+	peers := make([]*tcpPeer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+	for _, p := range peers {
+		if err := p.send(msgTour, payload); err != nil {
+			n.removePeer(p)
+		}
+	}
+}
+
+// Drain implements core.Comm.
+func (n *TCPNode) Drain() []core.Incoming {
+	var out []core.Incoming
+	for {
+		select {
+		case in := <-n.inbox:
+			out = append(out, in)
+		default:
+			return out
+		}
+	}
+}
+
+// AnnounceOptimum implements core.Comm: flood the termination notice.
+func (n *TCPNode) AnnounceOptimum(length int64) {
+	var payload [8]byte
+	binary.LittleEndian.PutUint64(payload[:], uint64(length))
+	n.stopped.Store(true)
+	n.forwardOptimum(payload[:])
+}
+
+// Stopped implements core.Comm.
+func (n *TCPNode) Stopped() bool { return n.stopped.Load() }
+
+// Close tears the node down.
+func (n *TCPNode) Close() error {
+	if !n.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := n.ln.Close()
+	n.mu.Lock()
+	for _, p := range n.peers {
+		p.conn.Close()
+	}
+	n.peers = map[int]*tcpPeer{}
+	n.mu.Unlock()
+	return err
+}

@@ -1,0 +1,132 @@
+// Package exact provides exact TSP solvers for tiny instances, used as test
+// oracles: Held-Karp dynamic programming (n <= ~20) and brute-force
+// enumeration (n <= ~10).
+package exact
+
+import (
+	"fmt"
+	"math"
+
+	"distclk/internal/tsp"
+)
+
+// MaxHeldKarpN bounds the DP solver; the table is O(n * 2^n).
+const MaxHeldKarpN = 20
+
+// HeldKarp computes an optimal tour with the Held-Karp DP. It returns the
+// tour (starting at city 0) and its length.
+func HeldKarp(in *tsp.Instance) (tsp.Tour, int64, error) {
+	n := in.N()
+	if n > MaxHeldKarpN {
+		return nil, 0, fmt.Errorf("exact: n=%d exceeds Held-Karp limit %d", n, MaxHeldKarpN)
+	}
+	if n == 0 {
+		return tsp.Tour{}, 0, nil
+	}
+	if n == 1 {
+		return tsp.Tour{0}, 0, nil
+	}
+	dist := in.DistFunc()
+	// dp[mask][j]: shortest path starting at 0, visiting exactly the set
+	// mask (which always contains 0 and j), ending at j.
+	size := 1 << uint(n)
+	const inf = math.MaxInt64 / 4
+	dp := make([]int64, size*n)
+	parent := make([]int32, size*n)
+	for i := range dp {
+		dp[i] = inf
+		parent[i] = -1
+	}
+	dp[(1<<0)*n+0] = 0
+	for mask := 1; mask < size; mask++ {
+		if mask&1 == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if mask&(1<<uint(j)) == 0 || dp[mask*n+j] >= inf {
+				continue
+			}
+			base := dp[mask*n+j]
+			for k := 1; k < n; k++ {
+				if mask&(1<<uint(k)) != 0 {
+					continue
+				}
+				nm := mask | 1<<uint(k)
+				cand := base + dist(int32(j), int32(k))
+				if cand < dp[nm*n+k] {
+					dp[nm*n+k] = cand
+					parent[nm*n+k] = int32(j)
+				}
+			}
+		}
+	}
+	full := size - 1
+	bestLen := int64(inf)
+	bestEnd := -1
+	for j := 1; j < n; j++ {
+		cand := dp[full*n+j] + dist(int32(j), 0)
+		if cand < bestLen {
+			bestLen = cand
+			bestEnd = j
+		}
+	}
+	// Reconstruct.
+	tour := make(tsp.Tour, n)
+	mask, j := full, int32(bestEnd)
+	for i := n - 1; i >= 0; i-- {
+		tour[i] = j
+		p := parent[mask*n+int(j)]
+		mask &^= 1 << uint(j)
+		j = p
+	}
+	return tour, bestLen, nil
+}
+
+// MaxBruteForceN bounds BruteForce; enumeration is O((n-1)!).
+const MaxBruteForceN = 10
+
+// BruteForce enumerates all tours (city 0 fixed first) and returns an
+// optimal one with its length.
+func BruteForce(in *tsp.Instance) (tsp.Tour, int64, error) {
+	n := in.N()
+	if n > MaxBruteForceN {
+		return nil, 0, fmt.Errorf("exact: n=%d exceeds brute-force limit %d", n, MaxBruteForceN)
+	}
+	if n <= 1 {
+		return tsp.IdentityTour(n), 0, nil
+	}
+	perm := make([]int32, 0, n)
+	used := make([]bool, n)
+	perm = append(perm, 0)
+	used[0] = true
+	best := tsp.IdentityTour(n)
+	bestLen := best.Length(in)
+	dist := in.DistFunc()
+	var rec func(partial int64)
+	rec = func(partial int64) {
+		if partial >= bestLen {
+			return // prune: extensions cannot shrink a nonneg-metric path
+		}
+		if len(perm) == n {
+			total := partial + dist(perm[n-1], 0)
+			if total < bestLen {
+				bestLen = total
+				copy(best, perm)
+			}
+			return
+		}
+		last := perm[len(perm)-1]
+		for c := int32(1); c < int32(n); c++ {
+			if used[c] {
+				continue
+			}
+			used[c] = true
+			perm = append(perm, c)
+			rec(partial + dist(last, c))
+			perm = perm[:len(perm)-1]
+			used[c] = false
+		}
+	}
+	rec(0)
+	return best, bestLen, nil
+}

@@ -1,0 +1,73 @@
+package exact
+
+import (
+	"testing"
+
+	"distclk/internal/geom"
+	"distclk/internal/tsp"
+)
+
+func TestHeldKarpMatchesBruteForce(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		n := 5 + int(seed)%5
+		in := tsp.Generate(tsp.FamilyUniform, n, seed)
+		dpTour, dpLen, err := HeldKarp(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bfTour, bfLen, err := BruteForce(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dpLen != bfLen {
+			t.Fatalf("seed %d n=%d: DP %d != brute force %d", seed, n, dpLen, bfLen)
+		}
+		if err := dpTour.Validate(n); err != nil {
+			t.Fatal(err)
+		}
+		if err := bfTour.Validate(n); err != nil {
+			t.Fatal(err)
+		}
+		if dpTour.Length(in) != dpLen {
+			t.Fatalf("DP tour length %d != reported %d", dpTour.Length(in), dpLen)
+		}
+	}
+}
+
+func TestHeldKarpUnitSquare(t *testing.T) {
+	// Four corners of a 10x10 square: the optimal tour is the perimeter.
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 10, Y: 10}, {X: 0, Y: 10}}
+	in := tsp.New("square", geom.Euc2D, pts)
+	_, l, err := HeldKarp(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l != 40 {
+		t.Fatalf("square optimum %d, want 40", l)
+	}
+}
+
+func TestSizeLimits(t *testing.T) {
+	big := tsp.Generate(tsp.FamilyUniform, MaxHeldKarpN+1, 1)
+	if _, _, err := HeldKarp(big); err == nil {
+		t.Error("HeldKarp accepted oversized instance")
+	}
+	big2 := tsp.Generate(tsp.FamilyUniform, MaxBruteForceN+1, 1)
+	if _, _, err := BruteForce(big2); err == nil {
+		t.Error("BruteForce accepted oversized instance")
+	}
+}
+
+func TestDegenerateSizes(t *testing.T) {
+	for n := 0; n <= 2; n++ {
+		in := tsp.Generate(tsp.FamilyUniform, n, 1)
+		if _, _, err := HeldKarp(in); n > 0 && err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+	one := tsp.Generate(tsp.FamilyUniform, 1, 1)
+	tour, l, err := HeldKarp(one)
+	if err != nil || l != 0 || len(tour) != 1 {
+		t.Errorf("n=1: %v %d %v", tour, l, err)
+	}
+}

@@ -1,0 +1,61 @@
+package geom
+
+// HilbertOrder is the number of bits per axis used when mapping points onto
+// the Hilbert curve; 16 bits gives a 65536x65536 lattice, ample resolution
+// for tour construction.
+const HilbertOrder = 16
+
+// HilbertD converts lattice coordinates (x, y) in [0, 2^order) to the
+// distance along the Hilbert curve of the given order. The classic
+// rotate-and-fold iteration runs in O(order).
+func HilbertD(order uint, x, y uint32) uint64 {
+	var rx, ry uint32
+	var d uint64
+	for s := uint32(1) << (order - 1); s > 0; s >>= 1 {
+		if x&s > 0 {
+			rx = 1
+		} else {
+			rx = 0
+		}
+		if y&s > 0 {
+			ry = 1
+		} else {
+			ry = 0
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		// Rotate the quadrant.
+		if ry == 0 {
+			if rx == 1 {
+				x = s - 1 - x
+				y = s - 1 - y
+			}
+			x, y = y, x
+		}
+	}
+	return d
+}
+
+// HilbertKeys maps every point to its Hilbert-curve index after scaling the
+// bounding box onto the lattice. Identical points receive identical keys.
+func HilbertKeys(pts []Point) []uint64 {
+	keys := make([]uint64, len(pts))
+	if len(pts) == 0 {
+		return keys
+	}
+	min, max := BoundingBox(pts)
+	spanX := max.X - min.X
+	spanY := max.Y - min.Y
+	if spanX <= 0 {
+		spanX = 1
+	}
+	if spanY <= 0 {
+		spanY = 1
+	}
+	side := float64(uint32(1)<<HilbertOrder - 1)
+	for i, p := range pts {
+		x := uint32((p.X - min.X) / spanX * side)
+		y := uint32((p.Y - min.Y) / spanY * side)
+		keys[i] = HilbertD(HilbertOrder, x, y)
+	}
+	return keys
+}

@@ -1,0 +1,210 @@
+package geom
+
+import "sort"
+
+// KDTree is a static 2-d tree over a point set, built once and queried for
+// k-nearest-neighbour and fixed-radius searches. Points are referenced by
+// their index in the slice passed to NewKDTree, so callers can map results
+// back to city identifiers.
+type KDTree struct {
+	pts   []Point
+	nodes []kdNode
+	root  int32
+}
+
+type kdNode struct {
+	idx         int32 // index into pts
+	left, right int32 // node indices, -1 if absent
+	axis        uint8 // 0 = split on X, 1 = split on Y
+}
+
+// NewKDTree builds a balanced k-d tree over pts. The slice is retained (not
+// copied); callers must not mutate it while the tree is in use.
+func NewKDTree(pts []Point) *KDTree {
+	t := &KDTree{
+		pts:   pts,
+		nodes: make([]kdNode, 0, len(pts)),
+	}
+	order := make([]int32, len(pts))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	t.root = t.build(order, 0)
+	return t
+}
+
+func (t *KDTree) build(order []int32, depth int) int32 {
+	if len(order) == 0 {
+		return -1
+	}
+	axis := uint8(depth & 1)
+	sort.Slice(order, func(i, j int) bool {
+		a, b := t.pts[order[i]], t.pts[order[j]]
+		if axis == 0 {
+			return a.X < b.X
+		}
+		return a.Y < b.Y
+	})
+	mid := len(order) / 2
+	node := kdNode{idx: order[mid], axis: axis}
+	pos := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node)
+	left := t.build(order[:mid], depth+1)
+	right := t.build(order[mid+1:], depth+1)
+	t.nodes[pos].left = left
+	t.nodes[pos].right = right
+	return pos
+}
+
+// Len reports the number of indexed points.
+func (t *KDTree) Len() int { return len(t.pts) }
+
+// knnHeap is a bounded max-heap of (squared distance, index) pairs keeping
+// the k closest candidates seen so far.
+type knnHeap struct {
+	d   []float64
+	idx []int32
+	k   int
+}
+
+func (h *knnHeap) worst() float64 { return h.d[0] }
+
+func (h *knnHeap) push(dist float64, idx int32) {
+	if len(h.d) < h.k {
+		h.d = append(h.d, dist)
+		h.idx = append(h.idx, idx)
+		h.up(len(h.d) - 1)
+		return
+	}
+	if dist >= h.d[0] {
+		return
+	}
+	h.d[0], h.idx[0] = dist, idx
+	h.down(0)
+}
+
+func (h *knnHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.d[p] >= h.d[i] {
+			break
+		}
+		h.d[p], h.d[i] = h.d[i], h.d[p]
+		h.idx[p], h.idx[i] = h.idx[i], h.idx[p]
+		i = p
+	}
+}
+
+func (h *knnHeap) down(i int) {
+	n := len(h.d)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && h.d[l] > h.d[big] {
+			big = l
+		}
+		if r < n && h.d[r] > h.d[big] {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h.d[big], h.d[i] = h.d[i], h.d[big]
+		h.idx[big], h.idx[i] = h.idx[i], h.idx[big]
+		i = big
+	}
+}
+
+// KNearest returns the indices of the k points nearest to query, excluding
+// the point with index exclude (pass -1 to exclude nothing), ordered by
+// increasing Euclidean distance. Fewer than k indices are returned when the
+// tree holds fewer eligible points.
+func (t *KDTree) KNearest(query Point, k int, exclude int) []int32 {
+	if k <= 0 || len(t.pts) == 0 {
+		return nil
+	}
+	h := knnHeap{
+		d:   make([]float64, 0, k),
+		idx: make([]int32, 0, k),
+		k:   k,
+	}
+	t.search(t.root, query, int32(exclude), &h)
+	// Heap-sort ascending: repeatedly pop the max to the back.
+	out := make([]int32, len(h.idx))
+	for n := len(h.d); n > 0; n-- {
+		out[n-1] = h.idx[0]
+		h.d[0], h.idx[0] = h.d[n-1], h.idx[n-1]
+		h.d = h.d[:n-1]
+		h.idx = h.idx[:n-1]
+		h.down(0)
+	}
+	return out
+}
+
+func (t *KDTree) search(ni int32, q Point, exclude int32, h *knnHeap) {
+	if ni < 0 {
+		return
+	}
+	node := &t.nodes[ni]
+	p := t.pts[node.idx]
+	if node.idx != exclude {
+		h.push(SqDist(p, q), node.idx)
+	}
+	var delta float64
+	if node.axis == 0 {
+		delta = q.X - p.X
+	} else {
+		delta = q.Y - p.Y
+	}
+	near, far := node.left, node.right
+	if delta > 0 {
+		near, far = far, near
+	}
+	t.search(near, q, exclude, h)
+	if len(h.d) < h.k || delta*delta < h.worst() {
+		t.search(far, q, exclude, h)
+	}
+}
+
+// Nearest returns the index of the point nearest to query, excluding index
+// exclude (-1 for none). It returns -1 on an empty tree.
+func (t *KDTree) Nearest(query Point, exclude int) int32 {
+	r := t.KNearest(query, 1, exclude)
+	if len(r) == 0 {
+		return -1
+	}
+	return r[0]
+}
+
+// WithinRadius appends to dst the indices of all points within Euclidean
+// distance r of query (excluding index exclude; -1 for none) and returns the
+// extended slice. Order is unspecified.
+func (t *KDTree) WithinRadius(query Point, r float64, exclude int, dst []int32) []int32 {
+	return t.radius(t.root, query, r*r, int32(exclude), dst)
+}
+
+func (t *KDTree) radius(ni int32, q Point, r2 float64, exclude int32, dst []int32) []int32 {
+	if ni < 0 {
+		return dst
+	}
+	node := &t.nodes[ni]
+	p := t.pts[node.idx]
+	if node.idx != exclude && SqDist(p, q) <= r2 {
+		dst = append(dst, node.idx)
+	}
+	var delta float64
+	if node.axis == 0 {
+		delta = q.X - p.X
+	} else {
+		delta = q.Y - p.Y
+	}
+	near, far := node.left, node.right
+	if delta > 0 {
+		near, far = far, near
+	}
+	dst = t.radius(near, q, r2, exclude, dst)
+	if delta*delta <= r2 {
+		dst = t.radius(far, q, r2, exclude, dst)
+	}
+	return dst
+}

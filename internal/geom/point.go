@@ -1,0 +1,136 @@
+// Package geom provides geometric primitives for TSP instances: points,
+// TSPLIB distance metrics, a k-d tree for nearest-neighbour queries, and a
+// Hilbert space-filling curve used by construction heuristics.
+package geom
+
+import "math"
+
+// Point is a city location in the plane. GEO instances store latitude and
+// longitude in TSPLIB's DDD.MM degree-minute encoding in X and Y.
+type Point struct {
+	X, Y float64
+}
+
+// MetricKind identifies a TSPLIB edge-weight function.
+type MetricKind int
+
+const (
+	// Euc2D is TSPLIB EUC_2D: Euclidean distance rounded to nearest int.
+	Euc2D MetricKind = iota
+	// Ceil2D is TSPLIB CEIL_2D: Euclidean distance rounded up.
+	Ceil2D
+	// Att is TSPLIB ATT: pseudo-Euclidean distance (pr/att instances).
+	Att
+	// Geo is TSPLIB GEO: great-circle distance on the RRR earth ellipsoid.
+	Geo
+	// Man2D is TSPLIB MAN_2D: Manhattan distance rounded to nearest int.
+	Man2D
+	// Max2D is TSPLIB MAX_2D: Chebyshev distance rounded to nearest int.
+	Max2D
+)
+
+// String returns the TSPLIB EDGE_WEIGHT_TYPE keyword for the metric.
+func (m MetricKind) String() string {
+	switch m {
+	case Euc2D:
+		return "EUC_2D"
+	case Ceil2D:
+		return "CEIL_2D"
+	case Att:
+		return "ATT"
+	case Geo:
+		return "GEO"
+	case Man2D:
+		return "MAN_2D"
+	case Max2D:
+		return "MAX_2D"
+	}
+	return "UNKNOWN"
+}
+
+// Dist computes the integral TSPLIB distance between two points under the
+// metric. All TSPLIB metrics yield non-negative integers.
+func (m MetricKind) Dist(a, b Point) int64 {
+	switch m {
+	case Euc2D:
+		dx, dy := a.X-b.X, a.Y-b.Y
+		return int64(math.Sqrt(dx*dx+dy*dy) + 0.5)
+	case Ceil2D:
+		dx, dy := a.X-b.X, a.Y-b.Y
+		return int64(math.Ceil(math.Sqrt(dx*dx + dy*dy)))
+	case Att:
+		dx, dy := a.X-b.X, a.Y-b.Y
+		r := math.Sqrt((dx*dx + dy*dy) / 10.0)
+		t := int64(r + 0.5)
+		if float64(t) < r {
+			return t + 1
+		}
+		return t
+	case Geo:
+		return geoDist(a, b)
+	case Man2D:
+		return int64(math.Abs(a.X-b.X) + math.Abs(a.Y-b.Y) + 0.5)
+	case Max2D:
+		return int64(math.Max(math.Abs(a.X-b.X), math.Abs(a.Y-b.Y)) + 0.5)
+	}
+	panic("geom: unknown metric")
+}
+
+// Euclidean returns the exact (unrounded) Euclidean distance. Spatial index
+// structures use this regardless of the instance metric; TSPLIB planar
+// metrics are monotone in it, so nearest-neighbour orderings agree closely.
+func Euclidean(a, b Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// SqDist returns the squared Euclidean distance, avoiding the square root.
+func SqDist(a, b Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return dx*dx + dy*dy
+}
+
+const (
+	geoPi     = 3.141592
+	geoRadius = 6378.388
+)
+
+// geoLatLong converts TSPLIB DDD.MM coordinates to radians.
+func geoRad(x float64) float64 {
+	deg := math.Trunc(x)
+	min := x - deg
+	return geoPi * (deg + 5.0*min/3.0) / 180.0
+}
+
+func geoDist(a, b Point) int64 {
+	latA, lonA := geoRad(a.X), geoRad(a.Y)
+	latB, lonB := geoRad(b.X), geoRad(b.Y)
+	q1 := math.Cos(lonA - lonB)
+	q2 := math.Cos(latA - latB)
+	q3 := math.Cos(latA + latB)
+	return int64(geoRadius*math.Acos(0.5*((1.0+q1)*q2-(1.0-q1)*q3)) + 1.0)
+}
+
+// BoundingBox returns the minimal axis-aligned rectangle covering pts.
+// It returns zero points for an empty slice.
+func BoundingBox(pts []Point) (min, max Point) {
+	if len(pts) == 0 {
+		return
+	}
+	min, max = pts[0], pts[0]
+	for _, p := range pts[1:] {
+		if p.X < min.X {
+			min.X = p.X
+		}
+		if p.Y < min.Y {
+			min.Y = p.Y
+		}
+		if p.X > max.X {
+			max.X = p.X
+		}
+		if p.Y > max.Y {
+			max.Y = p.Y
+		}
+	}
+	return
+}

@@ -1,0 +1,147 @@
+package heldkarp
+
+import (
+	"testing"
+
+	"distclk/internal/clk"
+	"distclk/internal/exact"
+	"distclk/internal/tsp"
+)
+
+func TestOneTreeDegreesAndCost(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 50, 1)
+	tree := MinOneTree(in, nil)
+	// A 1-tree over n nodes has exactly n edges; sum of degrees = 2n.
+	var degSum int32
+	for _, d := range tree.Degree {
+		degSum += d
+	}
+	if degSum != 100 {
+		t.Fatalf("degree sum %d, want 100", degSum)
+	}
+	if tree.Degree[0] != 2 {
+		t.Fatalf("city 0 degree %d, want 2", tree.Degree[0])
+	}
+	if tree.Cost <= 0 {
+		t.Fatal("non-positive 1-tree cost")
+	}
+	if tree.Special0[0] == tree.Special0[1] {
+		t.Fatal("city 0's two special edges coincide")
+	}
+}
+
+func TestOneTreeIsMinimalAgainstBruteForce(t *testing.T) {
+	// For a small instance, compare MST part against Kruskal brute force.
+	in := tsp.Generate(tsp.FamilyUniform, 12, 3)
+	tree := MinOneTree(in, nil)
+	dist := in.DistFunc()
+
+	// Kruskal over cities 1..11.
+	type edge struct {
+		w    int64
+		a, b int32
+	}
+	var edges []edge
+	for i := int32(1); i < 12; i++ {
+		for j := i + 1; j < 12; j++ {
+			edges = append(edges, edge{dist(i, j), i, j})
+		}
+	}
+	for i := range edges {
+		for j := i + 1; j < len(edges); j++ {
+			if edges[j].w < edges[i].w {
+				edges[i], edges[j] = edges[j], edges[i]
+			}
+		}
+	}
+	parent := make([]int32, 12)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	var mstCost int64
+	count := 0
+	for _, e := range edges {
+		if find(e.a) != find(e.b) {
+			parent[find(e.a)] = find(e.b)
+			mstCost += e.w
+			count++
+		}
+	}
+	if count != 10 {
+		t.Fatal("kruskal failed")
+	}
+	// Two cheapest from 0.
+	var w0, w1 int64 = 1 << 62, 1 << 62
+	for j := int32(1); j < 12; j++ {
+		w := dist(0, j)
+		if w < w0 {
+			w1, w0 = w0, w
+		} else if w < w1 {
+			w1 = w
+		}
+	}
+	want := float64(mstCost + w0 + w1)
+	if tree.Cost != want {
+		t.Fatalf("1-tree cost %f, want %f", tree.Cost, want)
+	}
+}
+
+func TestLowerBoundBelowOptimum(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		in := tsp.Generate(tsp.FamilyUniform, 14, seed)
+		_, optLen, err := exact.HeldKarp(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := LowerBound(in, Options{Iterations: 150, UpperBound: optLen})
+		if res.Bound > optLen {
+			t.Fatalf("seed %d: HK bound %d exceeds optimum %d", seed, res.Bound, optLen)
+		}
+		// HK is a strong bound: expect within 5% on random instances.
+		if float64(res.Bound) < float64(optLen)*0.95 {
+			t.Errorf("seed %d: HK bound %d weak vs optimum %d", seed, res.Bound, optLen)
+		}
+	}
+}
+
+func TestLowerBoundTightOnLarger(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 300, 9)
+	s := clk.New(in, clk.DefaultParams(), 1)
+	res := s.Run(clk.Budget{MaxKicks: 400})
+	hk := LowerBound(in, Options{Iterations: 120, UpperBound: res.Length})
+	if hk.Bound <= 0 {
+		t.Fatal("non-positive bound")
+	}
+	if hk.Bound > res.Length {
+		t.Fatalf("bound %d above heuristic tour %d", hk.Bound, res.Length)
+	}
+	gap := float64(res.Length-hk.Bound) / float64(hk.Bound)
+	// CLK tour within a few % of optimum and HK within ~1% below: gap
+	// should comfortably be under 6%.
+	if gap > 0.06 {
+		t.Fatalf("HK gap %.1f%% too large — ascent not converging", gap*100)
+	}
+}
+
+func TestLowerBoundMonotoneIterations(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyClustered, 100, 11)
+	few := LowerBound(in, Options{Iterations: 5})
+	many := LowerBound(in, Options{Iterations: 80})
+	if many.Bound < few.Bound {
+		t.Fatalf("more iterations worsened bound: %d -> %d", few.Bound, many.Bound)
+	}
+}
+
+func TestLowerBoundDegenerate(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 2, 1)
+	if res := LowerBound(in, Options{}); res.Bound != 0 {
+		t.Fatalf("n=2 bound %d, want 0", res.Bound)
+	}
+}

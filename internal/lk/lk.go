@@ -1,0 +1,277 @@
+package lk
+
+import (
+	"distclk/internal/neighbor"
+	"distclk/internal/tsp"
+)
+
+// Params tunes the Lin-Kernighan search.
+type Params struct {
+	// MaxDepth bounds the length of one sequential exchange chain.
+	MaxDepth int
+	// Breadth[i] is the number of candidate extensions explored at chain
+	// depth i; depths beyond the slice use breadth 1 (greedy dive).
+	Breadth []int
+}
+
+// DefaultParams matches the breadth schedule used in practice by
+// Concorde-style implementations: wide at the first levels, then a greedy
+// deep dive.
+func DefaultParams() Params {
+	return Params{
+		MaxDepth: 30,
+		Breadth:  []int{5, 3, 2},
+	}
+}
+
+func (p Params) breadth(depth int) int {
+	if depth < len(p.Breadth) {
+		return p.Breadth[depth]
+	}
+	return 1
+}
+
+// step is one link of an exchange chain: with anchor t1 and current loose
+// end `loose`, the move removes edges (t1,loose) and (v,y), and adds
+// (loose,y) and (v,t1), making v the new loose end. Steps are recorded
+// orientation-free: apply/undo re-derive the array direction from Next(t1),
+// because shorter-side flips may mirror the stored orientation.
+type step struct {
+	loose, v int32
+}
+
+// Optimizer runs Lin-Kernighan over an ArrayTour. It maintains don't-look
+// bits and an active-city queue so that repeated optimization after a kick
+// only examines the perturbed region.
+type Optimizer struct {
+	inst   *tsp.Instance
+	nbr    *neighbor.Lists
+	params Params
+
+	Tour   *ArrayTour
+	length int64
+
+	dist    func(i, j int32) int64
+	queue   []int32
+	inQueue []bool
+
+	// chain state
+	t1       int32
+	depthCnt int
+	bestGain int64
+	bestLen  int
+	path     []step
+	bestPath []step
+	touched  []int32
+
+	// Moves counts accepted improving exchanges (for instrumentation).
+	Moves int64
+}
+
+// NewOptimizer prepares an optimizer over the given tour. The tour is
+// adopted (copied into the internal array form); Optimize mutates it.
+func NewOptimizer(inst *tsp.Instance, nbr *neighbor.Lists, tour tsp.Tour, params Params) *Optimizer {
+	o := &Optimizer{
+		inst:    inst,
+		nbr:     nbr,
+		params:  params,
+		Tour:    NewArrayTour(tour),
+		dist:    inst.DistFunc(),
+		inQueue: make([]bool, inst.N()),
+	}
+	o.length = tour.Length(inst)
+	return o
+}
+
+// Length returns the current tour length (maintained incrementally).
+func (o *Optimizer) Length() int64 { return o.length }
+
+// SetTour replaces the working tour, resetting queue state.
+func (o *Optimizer) SetTour(t tsp.Tour) {
+	o.Tour.SetTour(t)
+	o.length = t.Length(o.inst)
+	for i := range o.inQueue {
+		o.inQueue[i] = false
+	}
+	o.queue = o.queue[:0]
+}
+
+// SetLength overrides the cached length after the caller mutated the tour
+// externally with a known delta (used by kick moves).
+func (o *Optimizer) SetLength(l int64) { o.length = l }
+
+func (o *Optimizer) push(c int32) {
+	if !o.inQueue[c] {
+		o.inQueue[c] = true
+		o.queue = append(o.queue, c)
+	}
+}
+
+// QueueAll enqueues every city for examination.
+func (o *Optimizer) QueueAll() {
+	for c := int32(0); c < int32(o.inst.N()); c++ {
+		o.push(c)
+	}
+}
+
+// QueueCities enqueues specific cities (e.g. kick endpoints).
+func (o *Optimizer) QueueCities(cities []int32) {
+	for _, c := range cities {
+		o.push(c)
+	}
+}
+
+// Optimize processes the active queue to exhaustion, applying improving
+// variable-depth exchanges until no queued city yields one. It returns the
+// total gain (length decrease). stop, when non-nil, is polled between
+// cities; a true return aborts early (used for wall-clock budgets).
+func (o *Optimizer) Optimize(stop func() bool) int64 {
+	var total int64
+	checked := 0
+	for len(o.queue) > 0 {
+		c := o.queue[0]
+		o.queue = o.queue[1:]
+		o.inQueue[c] = false
+		for {
+			gain := o.improveCity(c)
+			if gain <= 0 {
+				break
+			}
+			total += gain
+			o.Moves++
+			for _, tc := range o.touched {
+				o.push(tc)
+			}
+		}
+		if stop != nil {
+			checked++
+			if checked&63 == 0 && stop() {
+				break
+			}
+		}
+	}
+	return total
+}
+
+// OptimizeAll runs Optimize starting from every city.
+func (o *Optimizer) OptimizeAll(stop func() bool) int64 {
+	o.QueueAll()
+	return o.Optimize(stop)
+}
+
+// improveCity attempts one accepted improving chain anchored at t1, trying
+// both orientations; returns the realized gain (0 if none).
+func (o *Optimizer) improveCity(t1 int32) int64 {
+	for orient := 0; orient < 2; orient++ {
+		var loose int32
+		if orient == 0 {
+			loose = o.Tour.Next(t1)
+		} else {
+			loose = o.Tour.Prev(t1)
+		}
+		if gain := o.tryChain(t1, loose); gain > 0 {
+			return gain
+		}
+	}
+	return 0
+}
+
+// applyStep performs the 2-opt flip for s given the current array state.
+// Precondition: edge (t1, s.loose) is in the cycle.
+func (o *Optimizer) applyStep(s step) {
+	if o.Tour.Next(o.t1) == s.loose {
+		o.Tour.Flip(s.loose, s.v)
+	} else {
+		o.Tour.Flip(s.v, s.loose)
+	}
+}
+
+// undoStep reverses applyStep. Precondition: edge (t1, s.v) is in the cycle.
+func (o *Optimizer) undoStep(s step) {
+	if o.Tour.Next(o.t1) == s.v {
+		o.Tour.Flip(s.v, s.loose)
+	} else {
+		o.Tour.Flip(s.loose, s.v)
+	}
+}
+
+// tryChain explores sequential exchanges starting by (virtually) removing
+// edge (t1, loose). The array always holds a valid cycle containing the
+// temporary closing edge (t1, current loose); each step is a 2-opt flip.
+// On success the best chain prefix is re-applied and its gain returned.
+func (o *Optimizer) tryChain(t1, loose int32) int64 {
+	o.t1 = t1
+	o.path = o.path[:0]
+	o.bestGain = 0
+	o.bestLen = 0
+
+	g0 := o.dist(t1, loose)
+	o.dive(loose, g0, 0)
+
+	if o.bestGain <= 0 {
+		return 0
+	}
+	// Re-apply the winning prefix and collect touched cities.
+	o.touched = o.touched[:0]
+	o.touched = append(o.touched, t1, loose)
+	for _, s := range o.bestPath[:o.bestLen] {
+		o.applyStep(s)
+		o.touched = append(o.touched, s.loose, s.v)
+	}
+	o.length -= o.bestGain
+	return o.bestGain
+}
+
+// dive extends the chain from the current loose end. G is the cumulative
+// gain of removed-minus-added real edges so far (always > 0 on entry).
+// The tour state is restored before dive returns.
+func (o *Optimizer) dive(loose int32, G int64, depth int) {
+	if depth >= o.params.MaxDepth {
+		return
+	}
+	t := o.Tour
+	t1 := o.t1
+	width := o.params.breadth(depth)
+	tried := 0
+	for _, y := range o.nbr.Of(loose) {
+		if y == t1 || y == loose {
+			continue
+		}
+		g := G - o.dist(loose, y)
+		if g <= 0 {
+			break // candidates sorted by distance: later ones fail too
+		}
+		// v is y's path-neighbour on the loose side, derived from the
+		// current orientation of the temporary edge (t1, loose).
+		var v int32
+		if t.Next(t1) == loose {
+			v = t.Prev(y)
+		} else {
+			v = t.Next(y)
+		}
+		if v == loose {
+			continue // degenerate: y is loose's path successor
+		}
+		newG := g + o.dist(y, v)
+		closeGain := newG - o.dist(v, t1)
+
+		s := step{loose: loose, v: v}
+		o.applyStep(s)
+		o.path = append(o.path, s)
+
+		if closeGain > o.bestGain {
+			o.bestGain = closeGain
+			o.bestLen = len(o.path)
+			o.bestPath = append(o.bestPath[:0], o.path...)
+		}
+		o.dive(v, newG, depth+1)
+
+		o.path = o.path[:len(o.path)-1]
+		o.undoStep(s)
+
+		tried++
+		if tried >= width {
+			break
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package lk
+
+import (
+	"math/rand"
+	"testing"
+
+	"distclk/internal/exact"
+	"distclk/internal/neighbor"
+	"distclk/internal/tsp"
+)
+
+func randomInstance(n int, seed int64) *tsp.Instance {
+	return tsp.Generate(tsp.FamilyUniform, n, seed)
+}
+
+func randomTourOf(n int, rng *rand.Rand) tsp.Tour {
+	t := tsp.IdentityTour(n)
+	rng.Shuffle(n, func(i, j int) { t[i], t[j] = t[j], t[i] })
+	return t
+}
+
+// twoOptLength runs plain full 2-opt to local optimality (oracle quality bar).
+func twoOptLength(in *tsp.Instance, start tsp.Tour) int64 {
+	n := in.N()
+	tour := start.Clone()
+	dist := in.DistFunc()
+	improved := true
+	for improved {
+		improved = false
+		for i := 0; i < n-1; i++ {
+			for j := i + 1; j < n; j++ {
+				a, b := tour[i], tour[(i+1)%n]
+				c, d := tour[j], tour[(j+1)%n]
+				if a == c || a == d || b == c {
+					continue
+				}
+				delta := dist(a, c) + dist(b, d) - dist(a, b) - dist(c, d)
+				if delta < 0 {
+					for x, y := i+1, j; x < y; x, y = x+1, y-1 {
+						tour[x], tour[y] = tour[y], tour[x]
+					}
+					improved = true
+				}
+			}
+		}
+	}
+	return tour.Length(in)
+}
+
+func TestLKProducesValidTour(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{10, 50, 200} {
+		in := randomInstance(n, int64(n))
+		nbr := neighbor.Build(in, 8)
+		start := randomTourOf(n, rng)
+		o := NewOptimizer(in, nbr, start, DefaultParams())
+		o.OptimizeAll(nil)
+		got := o.Tour.Tour()
+		if err := got.Validate(n); err != nil {
+			t.Fatalf("n=%d: invalid tour after LK: %v", n, err)
+		}
+		if got.Length(in) != o.Length() {
+			t.Fatalf("n=%d: cached length %d != recomputed %d", n, o.Length(), got.Length(in))
+		}
+	}
+}
+
+func TestLKImprovesRandomTour(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in := randomInstance(150, 42)
+	nbr := neighbor.Build(in, 8)
+	start := randomTourOf(150, rng)
+	startLen := start.Length(in)
+	o := NewOptimizer(in, nbr, start, DefaultParams())
+	gain := o.OptimizeAll(nil)
+	if o.Length() >= startLen {
+		t.Fatalf("LK did not improve: start %d, end %d", startLen, o.Length())
+	}
+	if gain != startLen-o.Length() {
+		t.Fatalf("reported gain %d != actual %d", gain, startLen-o.Length())
+	}
+	// LK should be far better than random: random uniform tours are ~O(n)
+	// times worse than optimal; expect at least 3x improvement.
+	if o.Length()*3 > startLen {
+		t.Fatalf("LK result %d suspiciously weak vs random start %d", o.Length(), startLen)
+	}
+}
+
+func TestLKNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + rng.Intn(60)
+		in := randomInstance(n, int64(trial+100))
+		nbr := neighbor.Build(in, 6)
+		start := randomTourOf(n, rng)
+		before := start.Length(in)
+		o := NewOptimizer(in, nbr, start, DefaultParams())
+		o.OptimizeAll(nil)
+		if o.Length() > before {
+			t.Fatalf("trial %d (n=%d): LK worsened tour %d -> %d", trial, n, before, o.Length())
+		}
+	}
+}
+
+func TestLKBeatsOrMatchesTwoOpt(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var lkTotal, twoOptTotal int64
+	for trial := 0; trial < 6; trial++ {
+		n := 60 + rng.Intn(60)
+		in := randomInstance(n, int64(trial+7))
+		nbr := neighbor.Build(in, 10)
+		start := randomTourOf(n, rng)
+		o := NewOptimizer(in, nbr, start, DefaultParams())
+		o.OptimizeAll(nil)
+		lkTotal += o.Length()
+		twoOptTotal += twoOptLength(in, start)
+	}
+	// LK explores a superset of 2-opt moves per chain; aggregate quality
+	// must not be worse than plain 2-opt by more than 2%.
+	if float64(lkTotal) > float64(twoOptTotal)*1.02 {
+		t.Fatalf("LK total %d much worse than 2-opt total %d", lkTotal, twoOptTotal)
+	}
+}
+
+func TestLKFindsOptimumSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	found := 0
+	const trials = 15
+	for trial := 0; trial < trials; trial++ {
+		n := 8 + rng.Intn(5) // 8..12
+		in := randomInstance(n, int64(trial+31))
+		_, optLen, err := exact.HeldKarp(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nbr := neighbor.Build(in, n-1)
+		o := NewOptimizer(in, nbr, randomTourOf(n, rng), DefaultParams())
+		o.OptimizeAll(nil)
+		if o.Length() < optLen {
+			t.Fatalf("LK found %d below proven optimum %d — length bookkeeping is broken", o.Length(), optLen)
+		}
+		if o.Length() == optLen {
+			found++
+		}
+	}
+	// A single LK descent from a random tour finds the optimum on most
+	// tiny instances; require a clear majority.
+	if found < trials*2/3 {
+		t.Fatalf("LK found optimum on only %d/%d tiny instances", found, trials)
+	}
+}
+
+func TestLKQueueTargeted(t *testing.T) {
+	// After full optimization, re-queuing all cities must yield zero gain
+	// (local optimum is stable), and the queue must drain.
+	in := randomInstance(120, 77)
+	nbr := neighbor.Build(in, 8)
+	rng := rand.New(rand.NewSource(21))
+	o := NewOptimizer(in, nbr, randomTourOf(120, rng), DefaultParams())
+	o.OptimizeAll(nil)
+	settled := o.Length()
+	if gain := o.OptimizeAll(nil); gain != 0 {
+		t.Fatalf("second full pass found gain %d; expected stable local optimum", gain)
+	}
+	if o.Length() != settled {
+		t.Fatalf("length drifted %d -> %d on no-op pass", settled, o.Length())
+	}
+}
+
+func TestLKStopFunction(t *testing.T) {
+	in := randomInstance(400, 99)
+	nbr := neighbor.Build(in, 8)
+	rng := rand.New(rand.NewSource(23))
+	o := NewOptimizer(in, nbr, randomTourOf(400, rng), DefaultParams())
+	calls := 0
+	o.OptimizeAll(func() bool {
+		calls++
+		return true // abort at first poll
+	})
+	if calls == 0 {
+		t.Fatal("stop function never polled")
+	}
+	// Tour must still be valid after an aborted pass.
+	if err := o.Tour.Tour().Validate(400); err != nil {
+		t.Fatalf("aborted optimize left invalid tour: %v", err)
+	}
+	if o.Tour.Tour().Length(in) != o.Length() {
+		t.Fatal("aborted optimize left inconsistent cached length")
+	}
+}

@@ -1,0 +1,132 @@
+package lk
+
+import (
+	"distclk/internal/neighbor"
+	"distclk/internal/tsp"
+)
+
+// OrOptPass improves a tour with Or-opt moves: segments of one to three
+// consecutive cities are relocated between a candidate city and its tour
+// successor, in either segment orientation. Or-opt moves are 3-exchanges
+// outside the sequential 2-opt-chain neighbourhood, so this pass can
+// improve tours that are Lin-Kernighan-stable; linkern-class solvers
+// include them for exactly that reason. The pass repeats until no Or-opt
+// move improves and returns the improved tour and the total gain.
+func OrOptPass(in *tsp.Instance, nbr *neighbor.Lists, tour tsp.Tour) (tsp.Tour, int64) {
+	n := len(tour)
+	if n < 5 {
+		return tour.Clone(), 0
+	}
+	dist := in.DistFunc()
+	cur := tour.Clone()
+	pos := make([]int32, n)
+	for i, c := range cur {
+		pos[c] = int32(i)
+	}
+	var total int64
+
+	idx := func(i int32) int32 {
+		i %= int32(n)
+		if i < 0 {
+			i += int32(n)
+		}
+		return i
+	}
+
+	improved := true
+	for improved {
+		improved = false
+		for c0 := int32(0); c0 < int32(n); c0++ {
+			for segLen := int32(1); segLen <= 3; segLen++ {
+				p := pos[c0]
+				// Segment s = cur[p .. p+segLen-1], with neighbours
+				// a = predecessor, b = successor.
+				a := cur[idx(p-1)]
+				segEnd := cur[idx(p+segLen-1)]
+				b := cur[idx(p+segLen)]
+				if a == segEnd || b == c0 {
+					continue // segment wraps the whole tour
+				}
+				removed := dist(a, c0) + dist(segEnd, b)
+				closeUp := dist(a, b)
+
+				// Insertion point: after candidate y (y-next(y) edge),
+				// y outside the segment and not a.
+				bestGain := int64(0)
+				var bestY int32 = -1
+				bestRev := false
+				for _, y := range nbr.Of(c0) {
+					py := pos[y]
+					// y inside segment or adjacent-left?
+					dp := idx(py - p)
+					if dp < segLen || y == a {
+						continue
+					}
+					z := cur[idx(py+1)]
+					if z == c0 {
+						continue
+					}
+					base := removed - closeUp + dist(y, z)
+					// Forward: y -> c0 ... segEnd -> z
+					if g := base - dist(y, c0) - dist(segEnd, z); g > bestGain {
+						bestGain, bestY, bestRev = g, y, false
+					}
+					// Reversed: y -> segEnd ... c0 -> z
+					if g := base - dist(y, segEnd) - dist(c0, z); g > bestGain {
+						bestGain, bestY, bestRev = g, y, true
+					}
+				}
+				if bestY < 0 {
+					continue
+				}
+				cur = applyOrOpt(cur, pos, p, segLen, pos[bestY], bestRev)
+				total += bestGain
+				improved = true
+			}
+		}
+	}
+	return cur, total
+}
+
+// applyOrOpt rebuilds the tour with segment [p, p+segLen) moved to just
+// after position py (positions in the old tour), optionally reversed, and
+// refreshes pos. O(n) per accepted move — Or-opt is a polish pass, not the
+// inner loop.
+func applyOrOpt(cur tsp.Tour, pos []int32, p, segLen, py int32, rev bool) tsp.Tour {
+	n := int32(len(cur))
+	idx := func(i int32) int32 {
+		i %= n
+		if i < 0 {
+			i += n
+		}
+		return i
+	}
+	seg := make([]int32, segLen)
+	inSeg := make(map[int32]bool, segLen)
+	for i := int32(0); i < segLen; i++ {
+		seg[i] = cur[idx(p+i)]
+		inSeg[seg[i]] = true
+	}
+	if rev {
+		for i, j := 0, len(seg)-1; i < j; i, j = i+1, j-1 {
+			seg[i], seg[j] = seg[j], seg[i]
+		}
+	}
+	anchor := cur[py]
+	out := make(tsp.Tour, 0, n)
+	for i := int32(0); i < n; i++ {
+		c := cur[i]
+		if inSeg[c] {
+			continue
+		}
+		out = append(out, c)
+		if c == anchor {
+			out = append(out, seg...)
+		}
+	}
+	copy(cur, out)
+	for i, c := range cur {
+		pos[c] = int32(i)
+	}
+	return cur
+}

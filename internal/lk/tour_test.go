@@ -1,0 +1,195 @@
+package lk
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"distclk/internal/tsp"
+)
+
+func edgeSet(t *ArrayTour) map[[2]int32]bool {
+	set := make(map[[2]int32]bool)
+	n := int32(t.N())
+	for i := int32(0); i < n; i++ {
+		a, b := t.At(i), t.At((i+1)%n)
+		if a > b {
+			a, b = b, a
+		}
+		set[[2]int32{a, b}] = true
+	}
+	return set
+}
+
+func sameEdges(a, b map[[2]int32]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for e := range a {
+		if !b[e] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestArrayTourBasics(t *testing.T) {
+	at := NewArrayTour(tsp.Tour{3, 1, 4, 0, 2})
+	if at.N() != 5 {
+		t.Fatalf("N = %d, want 5", at.N())
+	}
+	if got := at.Next(3); got != 1 {
+		t.Errorf("Next(3) = %d, want 1", got)
+	}
+	if got := at.Prev(3); got != 2 {
+		t.Errorf("Prev(3) = %d, want 2", got)
+	}
+	if got := at.Next(2); got != 3 {
+		t.Errorf("Next(2) = %d, want 3 (wrap)", got)
+	}
+	if got := at.Pos(4); got != 2 {
+		t.Errorf("Pos(4) = %d, want 2", got)
+	}
+	if got := at.SeqLen(3, 2); got != 5 {
+		t.Errorf("SeqLen(3,2) = %d, want 5", got)
+	}
+	if got := at.SeqLen(1, 1); got != 1 {
+		t.Errorf("SeqLen(1,1) = %d, want 1", got)
+	}
+}
+
+func TestArrayTourFlipSmall(t *testing.T) {
+	at := NewArrayTour(tsp.Tour{0, 1, 2, 3, 4, 5})
+	at.Flip(1, 4) // reverse 1..4 -> 0 4 3 2 1 5
+	want := tsp.Tour{0, 4, 3, 2, 1, 5}
+	got := at.Tour()
+	wantSet := edgeSet(NewArrayTour(want))
+	if !sameEdges(edgeSet(at), wantSet) {
+		t.Fatalf("Flip(1,4) = %v, want cycle of %v", got, want)
+	}
+	// Positions must stay consistent.
+	for i := int32(0); i < 6; i++ {
+		if at.At(at.Pos(i)) != i {
+			t.Fatalf("pos/order inconsistent for city %d", i)
+		}
+	}
+}
+
+func TestArrayTourFlipUndo(t *testing.T) {
+	// The inverse of a flip must be derived from a reference edge because
+	// shorter-side flips can mirror the stored orientation: with u=Prev(a)
+	// recorded before Flip(a,b), the undo is Flip(b,a) when Next(u)==b
+	// afterwards, else Flip(a,b).
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 4 + rng.Intn(30)
+		perm := tsp.IdentityTour(n)
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		at := NewArrayTour(perm)
+		before := edgeSet(at)
+		a := int32(rng.Intn(n))
+		b := int32(rng.Intn(n))
+		if a == b || at.Prev(a) == b {
+			continue // identity or full-cycle flip; nothing to undo
+		}
+		u := at.Prev(a)
+		at.Flip(a, b)
+		if err := at.Tour().Validate(n); err != nil {
+			t.Fatalf("flip broke permutation: %v", err)
+		}
+		if at.Next(u) == b {
+			at.Flip(b, a)
+		} else {
+			at.Flip(a, b)
+		}
+		if !sameEdges(edgeSet(at), before) {
+			t.Fatalf("orientation-aware undo of Flip(%d,%d) failed (n=%d)", a, b, n)
+		}
+	}
+}
+
+func TestArrayTourFlipMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		n := 3 + rng.Intn(20)
+		perm := tsp.IdentityTour(n)
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		at := NewArrayTour(perm)
+		a := int32(rng.Intn(n))
+		b := int32(rng.Intn(n))
+
+		// Naive reference: reverse forward segment a..b on a copy.
+		ref := NewArrayTour(perm)
+		var seg []int32
+		for c := a; ; c = ref.Next(c) {
+			seg = append(seg, c)
+			if c == b {
+				break
+			}
+		}
+		naive := perm.Clone()
+		pos := make(map[int32]int)
+		for i, c := range naive {
+			pos[c] = i
+		}
+		for i, j := 0, len(seg)-1; i < j; i, j = i+1, j-1 {
+			pi, pj := pos[seg[i]], pos[seg[j]]
+			naive[pi], naive[pj] = naive[pj], naive[pi]
+			pos[seg[i]], pos[seg[j]] = pj, pi
+		}
+
+		at.Flip(a, b)
+		if !sameEdges(edgeSet(at), edgeSet(NewArrayTour(naive))) {
+			t.Fatalf("Flip(%d,%d) on %v: got cycle %v, want %v", a, b, perm, at.Tour(), naive)
+		}
+	}
+}
+
+func TestArrayTourBetween(t *testing.T) {
+	at := NewArrayTour(tsp.Tour{0, 1, 2, 3, 4, 5})
+	cases := []struct {
+		a, b, c int32
+		want    bool
+	}{
+		{0, 2, 4, true},
+		{0, 4, 2, false},
+		{4, 5, 1, true},
+		{4, 0, 1, true},
+		{4, 2, 1, false},
+		{5, 0, 3, true},
+	}
+	for _, tc := range cases {
+		if got := at.Between(tc.a, tc.b, tc.c); got != tc.want {
+			t.Errorf("Between(%d,%d,%d) = %v, want %v", tc.a, tc.b, tc.c, got, tc.want)
+		}
+	}
+}
+
+// TestFlipSequenceStaysPermutation is the property test: any sequence of
+// flips leaves a valid permutation with consistent pos/order arrays.
+func TestFlipSequenceStaysPermutation(t *testing.T) {
+	f := func(seedRaw int64, opsRaw []uint16) bool {
+		rng := rand.New(rand.NewSource(seedRaw))
+		n := 3 + rng.Intn(40)
+		perm := tsp.IdentityTour(n)
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		at := NewArrayTour(perm)
+		for _, op := range opsRaw {
+			a := int32(int(op) % n)
+			b := int32(int(op>>8) % n)
+			at.Flip(a, b)
+		}
+		if err := at.Tour().Validate(n); err != nil {
+			return false
+		}
+		for c := int32(0); c < int32(n); c++ {
+			if at.At(at.Pos(c)) != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,226 @@
+package lk
+
+import (
+	"math"
+
+	"distclk/internal/tsp"
+)
+
+// TwoLevelTour is the classic two-level doubly-linked tour representation
+// for very large instances: cities are grouped into ~sqrt(n) segments held
+// in tour order, each segment carrying a reversal flag. A flip costs
+// O(sqrt(n)) — up to two segment splits plus a segment-range reversal —
+// instead of the ArrayTour's O(n) worst case. Concorde uses this structure
+// for instances the size of pla85900; this repository's optimizer defaults
+// to ArrayTour (simpler, faster at the testbed's scale) and exposes
+// TwoLevelTour for the large-instance regime, benchmarked against
+// ArrayTour in bench_test.go.
+type TwoLevelTour struct {
+	n     int32
+	segs  []*tlSegment // in tour order
+	segOf []*tlSegment // city -> its segment
+	offOf []int32      // city -> offset into the segment's cities slice
+	ideal int32        // target segment size
+}
+
+type tlSegment struct {
+	cities []int32
+	rev    bool
+	pos    int32 // index in TwoLevelTour.segs
+	base   int32 // number of cities in earlier segments
+}
+
+// NewTwoLevelTour builds the structure from a permutation (copied).
+func NewTwoLevelTour(t tsp.Tour) *TwoLevelTour {
+	n := int32(len(t))
+	tl := &TwoLevelTour{
+		n:     n,
+		segOf: make([]*tlSegment, n),
+		offOf: make([]int32, n),
+	}
+	tl.ideal = int32(math.Sqrt(float64(n))) + 1
+	tl.rebuild(t)
+	return tl
+}
+
+// rebuild repartitions the given city order into fresh segments. O(n).
+func (t *TwoLevelTour) rebuild(order []int32) {
+	t.segs = t.segs[:0]
+	for start := int32(0); start < t.n; start += t.ideal {
+		end := start + t.ideal
+		if end > t.n {
+			end = t.n
+		}
+		seg := &tlSegment{cities: append([]int32(nil), order[start:end]...)}
+		t.segs = append(t.segs, seg)
+		t.adopt(seg)
+	}
+	t.renumber()
+}
+
+// adopt points the city index entries of seg at it. O(len(seg.cities)).
+func (t *TwoLevelTour) adopt(seg *tlSegment) {
+	for off, c := range seg.cities {
+		t.segOf[c] = seg
+		t.offOf[c] = int32(off)
+	}
+}
+
+// renumber refreshes segment positions and prefix sums. O(#segments).
+func (t *TwoLevelTour) renumber() {
+	total := int32(0)
+	for i, seg := range t.segs {
+		seg.pos = int32(i)
+		seg.base = total
+		total += int32(len(seg.cities))
+	}
+}
+
+// N reports the number of cities.
+func (t *TwoLevelTour) N() int { return int(t.n) }
+
+// SegmentCount is exported for rebalancing tests.
+func (t *TwoLevelTour) SegmentCount() int { return len(t.segs) }
+
+// logOff is c's logical position inside its segment (reversal-aware).
+func (t *TwoLevelTour) logOff(c int32) int32 {
+	seg := t.segOf[c]
+	if seg.rev {
+		return int32(len(seg.cities)) - 1 - t.offOf[c]
+	}
+	return t.offOf[c]
+}
+
+// cityAt returns the city at logical offset k of seg.
+func cityAt(seg *tlSegment, k int32) int32 {
+	if seg.rev {
+		return seg.cities[int32(len(seg.cities))-1-k]
+	}
+	return seg.cities[k]
+}
+
+// Pos returns c's global sequence position (0-based, in tour order).
+func (t *TwoLevelTour) Pos(c int32) int32 {
+	return t.segOf[c].base + t.logOff(c)
+}
+
+// Next returns the city after c.
+func (t *TwoLevelTour) Next(c int32) int32 {
+	seg := t.segOf[c]
+	k := t.logOff(c) + 1
+	if k < int32(len(seg.cities)) {
+		return cityAt(seg, k)
+	}
+	si := seg.pos + 1
+	if si == int32(len(t.segs)) {
+		si = 0
+	}
+	return cityAt(t.segs[si], 0)
+}
+
+// Prev returns the city before c.
+func (t *TwoLevelTour) Prev(c int32) int32 {
+	seg := t.segOf[c]
+	k := t.logOff(c) - 1
+	if k >= 0 {
+		return cityAt(seg, k)
+	}
+	si := seg.pos
+	if si == 0 {
+		si = int32(len(t.segs))
+	}
+	prev := t.segs[si-1]
+	return cityAt(prev, int32(len(prev.cities))-1)
+}
+
+// Between reports whether b lies on the forward path from a to c
+// (exclusive), mirroring ArrayTour.Between.
+func (t *TwoLevelTour) Between(a, b, c int32) bool {
+	pa, pb, pc := t.Pos(a), t.Pos(b), t.Pos(c)
+	if pa < pc {
+		return pa < pb && pb < pc
+	}
+	return pb > pa || pb < pc
+}
+
+// splitBefore ensures city c is the logical head of its segment, splitting
+// its segment if needed. O(segment size + #segments).
+func (t *TwoLevelTour) splitBefore(c int32) {
+	seg := t.segOf[c]
+	k := t.logOff(c)
+	if k == 0 {
+		return
+	}
+	var left, right []int32
+	if seg.rev {
+		// Logical order is the reverse of storage: logical [0..k) is the
+		// storage tail [cut..).
+		cut := int32(len(seg.cities)) - k
+		left = append([]int32(nil), seg.cities[cut:]...)
+		right = append([]int32(nil), seg.cities[:cut]...)
+	} else {
+		left = append([]int32(nil), seg.cities[:k]...)
+		right = append([]int32(nil), seg.cities[k:]...)
+	}
+	lseg := &tlSegment{cities: left, rev: seg.rev}
+	rseg := &tlSegment{cities: right, rev: seg.rev}
+	si := seg.pos
+	t.segs = append(t.segs, nil)
+	copy(t.segs[si+2:], t.segs[si+1:])
+	t.segs[si] = lseg
+	t.segs[si+1] = rseg
+	t.adopt(lseg)
+	t.adopt(rseg)
+	t.renumber()
+}
+
+// Flip reverses the forward segment from a to b inclusive (same semantics
+// as ArrayTour.Flip without the shorter-side substitution: the stated arc
+// is reversed and the remainder's stored orientation is untouched).
+// Amortized O(sqrt(n)).
+func (t *TwoLevelTour) Flip(a, b int32) {
+	if a == b {
+		return
+	}
+	t.splitBefore(a)
+	nb := t.Next(b)
+	if nb != a { // nb == a means flipping the whole cycle
+		t.splitBefore(nb)
+	}
+	sa := t.segOf[a].pos
+	sb := t.segOf[b].pos
+	// Rotate the segment list so a's segment is first; then the arc is the
+	// contiguous range [0..sb']. O(#segments).
+	if sa != 0 {
+		rot := append(append([]*tlSegment(nil), t.segs[sa:]...), t.segs[:sa]...)
+		t.segs = rot
+		sb = (sb - sa + int32(len(t.segs))) % int32(len(t.segs))
+	}
+	for i, j := int32(0), sb; i < j; i, j = i+1, j-1 {
+		t.segs[i], t.segs[j] = t.segs[j], t.segs[i]
+	}
+	for i := int32(0); i <= sb; i++ {
+		t.segs[i].rev = !t.segs[i].rev
+	}
+	t.renumber()
+	// Amortized rebalance: splits shrink segments; rebuild once the
+	// segment count grows well past the ideal partition.
+	if int32(len(t.segs)) > 3*(t.n/t.ideal+1) {
+		t.rebuild(t.Tour())
+	}
+}
+
+// Tour extracts the current cycle as a permutation. O(n).
+func (t *TwoLevelTour) Tour() tsp.Tour {
+	out := make(tsp.Tour, 0, t.n)
+	for _, seg := range t.segs {
+		if seg.rev {
+			for i := len(seg.cities) - 1; i >= 0; i-- {
+				out = append(out, seg.cities[i])
+			}
+		} else {
+			out = append(out, seg.cities...)
+		}
+	}
+	return out
+}

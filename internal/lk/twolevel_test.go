@@ -1,0 +1,185 @@
+package lk
+
+import (
+	"math/rand"
+	"testing"
+
+	"distclk/internal/tsp"
+)
+
+// naiveFlip reverses the forward arc a..b on a plain slice representation,
+// the reference semantics for TwoLevelTour.Flip.
+type naiveTour struct {
+	order []int32
+	pos   map[int32]int
+}
+
+func newNaive(t tsp.Tour) *naiveTour {
+	n := &naiveTour{order: append([]int32(nil), t...), pos: map[int32]int{}}
+	for i, c := range n.order {
+		n.pos[c] = i
+	}
+	return n
+}
+
+func (n *naiveTour) flip(a, b int32) {
+	if a == b {
+		return
+	}
+	var seg []int32
+	i := n.pos[a]
+	for {
+		seg = append(seg, n.order[i])
+		if n.order[i] == b {
+			break
+		}
+		i = (i + 1) % len(n.order)
+	}
+	i = n.pos[a]
+	for k := len(seg) - 1; k >= 0; k-- {
+		n.order[i] = seg[k]
+		n.pos[seg[k]] = i
+		i = (i + 1) % len(n.order)
+	}
+}
+
+func (n *naiveTour) next(c int32) int32 { return n.order[(n.pos[c]+1)%len(n.order)] }
+func (n *naiveTour) prev(c int32) int32 {
+	return n.order[(n.pos[c]-1+len(n.order))%len(n.order)]
+}
+
+func TestTwoLevelBasics(t *testing.T) {
+	perm := tsp.Tour{3, 1, 4, 0, 2}
+	tl := NewTwoLevelTour(perm)
+	if tl.N() != 5 {
+		t.Fatalf("N = %d", tl.N())
+	}
+	for i, c := range perm {
+		if got := tl.Pos(c); got != int32(i) {
+			t.Errorf("Pos(%d) = %d, want %d", c, got, i)
+		}
+	}
+	if tl.Next(3) != 1 || tl.Prev(3) != 2 || tl.Next(2) != 3 {
+		t.Fatal("next/prev wrong on fresh structure")
+	}
+	got := tl.Tour()
+	for i := range perm {
+		if got[i] != perm[i] {
+			t.Fatalf("Tour() = %v, want %v", got, perm)
+		}
+	}
+}
+
+func TestTwoLevelMatchesNaiveUnderRandomFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(200)
+		perm := tsp.IdentityTour(n)
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		tl := NewTwoLevelTour(perm)
+		ref := newNaive(perm)
+		for op := 0; op < 30; op++ {
+			a := int32(rng.Intn(n))
+			b := int32(rng.Intn(n))
+			tl.Flip(a, b)
+			ref.flip(a, b)
+			// Spot-check a few cities after every op; full check at end.
+			for probe := 0; probe < 5; probe++ {
+				c := int32(rng.Intn(n))
+				if tl.Next(c) != ref.next(c) {
+					t.Fatalf("trial %d op %d: Next(%d) = %d, want %d",
+						trial, op, c, tl.Next(c), ref.next(c))
+				}
+				if tl.Prev(c) != ref.prev(c) {
+					t.Fatalf("trial %d op %d: Prev(%d) = %d, want %d",
+						trial, op, c, tl.Prev(c), ref.prev(c))
+				}
+			}
+		}
+		got := tl.Tour()
+		if err := got.Validate(n); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// The cycles must be identical including orientation: compare
+		// rotated to the reference.
+		refTour := tsp.Tour(ref.order)
+		if !got.SameCycle(refTour) {
+			t.Fatalf("trial %d: cycle diverged\n got %v\nwant %v", trial, got, refTour)
+		}
+		// Orientation check: Next agreement for every city.
+		for c := int32(0); c < int32(n); c++ {
+			if tl.Next(c) != ref.next(c) {
+				t.Fatalf("trial %d: final Next(%d) mismatch", trial, c)
+			}
+		}
+	}
+}
+
+func TestTwoLevelPosConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 150
+	perm := tsp.IdentityTour(n)
+	rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	tl := NewTwoLevelTour(perm)
+	for op := 0; op < 50; op++ {
+		tl.Flip(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		tour := tl.Tour()
+		for i, c := range tour {
+			if tl.Pos(c) != int32(i) {
+				t.Fatalf("op %d: Pos(%d) = %d, tour index %d", op, c, tl.Pos(c), i)
+			}
+		}
+	}
+}
+
+func TestTwoLevelBetweenMatchesArrayTour(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 60
+	perm := tsp.IdentityTour(n)
+	rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	tl := NewTwoLevelTour(perm)
+	at := NewArrayTour(perm)
+	for trial := 0; trial < 500; trial++ {
+		a := int32(rng.Intn(n))
+		b := int32(rng.Intn(n))
+		c := int32(rng.Intn(n))
+		if a == b || b == c || a == c {
+			continue
+		}
+		if tl.Between(a, b, c) != at.Between(a, b, c) {
+			t.Fatalf("Between(%d,%d,%d) disagrees with ArrayTour", a, b, c)
+		}
+	}
+}
+
+func TestTwoLevelFullCycleFlip(t *testing.T) {
+	// Flipping the arc from a to Prev(a) reverses the entire cycle.
+	perm := tsp.Tour{0, 1, 2, 3, 4, 5, 6}
+	tl := NewTwoLevelTour(perm)
+	tl.Flip(1, 0) // arc 1..0 = whole cycle starting at 1
+	got := tl.Tour()
+	if !got.SameCycle(perm) {
+		t.Fatalf("full flip changed the cycle: %v", got)
+	}
+	if tl.Next(0) != 6 {
+		t.Fatalf("orientation not reversed: Next(0) = %d, want 6", tl.Next(0))
+	}
+}
+
+func TestTwoLevelRebalances(t *testing.T) {
+	// Many flips force splits; the structure must keep segment count
+	// bounded via rebuilds and stay correct.
+	rng := rand.New(rand.NewSource(13))
+	n := 400
+	perm := tsp.IdentityTour(n)
+	tl := NewTwoLevelTour(perm)
+	for op := 0; op < 300; op++ {
+		tl.Flip(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	if got := len(tl.segs); int32(got)*tl.ideal > 4*int32(n) {
+		t.Fatalf("segment count %d not rebalanced (ideal %d)", got, tl.ideal)
+	}
+	if err := tl.Tour().Validate(n); err != nil {
+		t.Fatal(err)
+	}
+}

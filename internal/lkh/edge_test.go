@@ -1,0 +1,73 @@
+package lkh
+
+import (
+	"testing"
+	"time"
+
+	"distclk/internal/tsp"
+)
+
+func TestAlphaCandidatesTinyInstances(t *testing.T) {
+	// k >= n-1 and very small n must not panic or produce self-loops.
+	for _, n := range []int{4, 5, 8} {
+		in := tsp.Generate(tsp.FamilyUniform, n, int64(n))
+		cand := AlphaCandidates(in, 10, 10)
+		for c := int32(0); c < int32(n); c++ {
+			for _, o := range cand.Of(c) {
+				if o == c {
+					t.Fatalf("n=%d: city %d lists itself", n, c)
+				}
+				if o < 0 || o >= int32(n) {
+					t.Fatalf("n=%d: candidate %d out of range", n, o)
+				}
+			}
+		}
+	}
+}
+
+func TestAlphaTreeEdgesAreCandidates(t *testing.T) {
+	// Alpha of a 1-tree edge is zero, so (almost) every tree edge should
+	// appear in the candidate lists — this is what bridges clusters.
+	in := tsp.Generate(tsp.FamilyClustered, 120, 5)
+	cand := AlphaCandidates(in, 5, 40)
+	// Count how many cities have at least one candidate that is "far"
+	// relative to their nearest neighbour — cluster bridges.
+	dist := in.DistFunc()
+	bridges := 0
+	for c := int32(0); c < 120; c++ {
+		list := cand.Of(c)
+		nearest := dist(c, list[0])
+		for _, o := range list {
+			if dist(c, o) > 5*nearest && nearest > 0 {
+				bridges++
+				break
+			}
+		}
+	}
+	if bridges == 0 {
+		t.Error("no long candidate edges at all — alpha lists degenerate to kNN")
+	}
+}
+
+func TestSolveZeroTrials(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 30, 7)
+	p := DefaultParams()
+	p.Trials = 1
+	res := Solve(in, p, 1, time.Time{}, 0)
+	if err := res.Tour.Validate(30); err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 1 {
+		t.Fatalf("trials = %d", res.Trials)
+	}
+}
+
+func TestSolveTargetShortCircuits(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 30, 9)
+	// An absurdly generous target: the first descent already meets it, so
+	// no trials should run.
+	res := Solve(in, DefaultParams(), 1, time.Time{}, 1<<60)
+	if res.Trials != 0 {
+		t.Fatalf("ran %d trials despite met target", res.Trials)
+	}
+}

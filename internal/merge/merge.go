@@ -1,0 +1,177 @@
+// Package merge implements a Cook & Seymour-style tour merging baseline
+// (the TM-CLK row in the paper's Table 2): several independent CLK tours
+// are merged into a sparse union graph, and a restricted Lin-Kernighan
+// search over exactly the union edges extracts a tour that combines the
+// best parts of every input. Cook & Seymour find the optimum in the union
+// graph with branch-decomposition dynamic programming; the restricted-LK
+// substitution keeps the same search space at reduced fidelity (DESIGN.md).
+package merge
+
+import (
+	"math/rand"
+	"time"
+
+	"distclk/internal/clk"
+	"distclk/internal/lk"
+	"distclk/internal/neighbor"
+	"distclk/internal/tsp"
+)
+
+// Params tunes the merger.
+type Params struct {
+	// Tours is the number of independent CLK runs (Cook & Seymour use 10).
+	Tours int
+	// KicksPerTour budgets each base run.
+	KicksPerTour int64
+	// CLK configures the base runs.
+	CLK clk.Params
+	// DeepLK configures the restricted merge search.
+	DeepLK lk.Params
+	// MergeKicks is the number of perturbation trials inside the union
+	// graph after the first restricted descent.
+	MergeKicks int
+}
+
+// DefaultParams follows the paper's setup (10 CLK tours).
+func DefaultParams() Params {
+	return Params{
+		Tours:        10,
+		KicksPerTour: 0, // derived from n at Solve time
+		CLK:          clk.DefaultParams(),
+		DeepLK: lk.Params{
+			MaxDepth: 60,
+			Breadth:  []int{10, 6, 4, 2},
+		},
+		MergeKicks: 200,
+	}
+}
+
+// Result reports a Solve run.
+type Result struct {
+	Tour   tsp.Tour
+	Length int64
+	// BaseBest is the best length among the input tours (improvement over
+	// it is the value added by merging).
+	BaseBest int64
+	// UnionEdges is the union graph size.
+	UnionEdges int
+	Elapsed    time.Duration
+}
+
+// UnionGraph builds per-city adjacency over the union of the tours' edges.
+func UnionGraph(n int, tours []tsp.Tour) [][]int32 {
+	sets := make([]map[int32]bool, n)
+	for i := range sets {
+		sets[i] = map[int32]bool{}
+	}
+	for _, t := range tours {
+		for i, c := range t {
+			next := t[(i+1)%len(t)]
+			sets[c][next] = true
+			sets[next][c] = true
+		}
+	}
+	adj := make([][]int32, n)
+	for i := range adj {
+		for j := range sets[i] {
+			adj[i] = append(adj[i], j)
+		}
+	}
+	return adj
+}
+
+// CountEdges tallies distinct undirected edges in an adjacency structure.
+func CountEdges(adj [][]int32) int {
+	total := 0
+	for i, a := range adj {
+		for _, j := range a {
+			if int32(i) < j {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// Solve runs tour merging: r independent CLK runs, then restricted LK over
+// the union graph starting from the best base tour.
+func Solve(in *tsp.Instance, p Params, seed int64, deadline time.Time, target int64) Result {
+	if p.Tours == 0 {
+		p = DefaultParams()
+	}
+	start := time.Now()
+	n := in.N()
+	kicks := p.KicksPerTour
+	if kicks <= 0 {
+		kicks = int64(n)
+	}
+
+	tours := make([]tsp.Tour, 0, p.Tours)
+	var bestBase tsp.Tour
+	var bestBaseLen int64
+	for r := 0; r < p.Tours; r++ {
+		s := clk.New(in, p.CLK, seed+int64(r)*7919)
+		res := s.Run(clk.Budget{MaxKicks: kicks, Deadline: deadline, Target: target})
+		tours = append(tours, res.Tour)
+		if bestBase == nil || res.Length < bestBaseLen {
+			bestBase, bestBaseLen = res.Tour, res.Length
+		}
+		if target > 0 && bestBaseLen <= target {
+			break // a base run already hit the optimum
+		}
+	}
+
+	adj := UnionGraph(n, tours)
+	cand := neighbor.FromEdges(in, adj)
+
+	opt := lk.NewOptimizer(in, cand, bestBase, p.DeepLK)
+	opt.OptimizeAll(nil)
+	best := lk.NewArrayTour(opt.Tour.Tour())
+	bestLen := opt.Length()
+
+	// Perturbation trials confined to the union graph.
+	rng := rand.New(rand.NewSource(seed + 13))
+	dist := in.DistFunc()
+	for trial := 0; trial < p.MergeKicks; trial++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		if target > 0 && bestLen <= target {
+			break
+		}
+		var cities [4]int32
+		for i := 0; i < 4; {
+			c := int32(rng.Intn(n))
+			dup := false
+			for j := 0; j < i; j++ {
+				if cities[j] == c {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				cities[i] = c
+				i++
+			}
+		}
+		delta, touched := clk.DoubleBridge(opt.Tour, cities, dist)
+		opt.SetLength(bestLen + delta)
+		opt.QueueCities(touched[:])
+		opt.Optimize(nil)
+		if opt.Length() <= bestLen {
+			bestLen = opt.Length()
+			best.CopyFrom(opt.Tour)
+		} else {
+			opt.Tour.CopyFrom(best)
+			opt.SetLength(bestLen)
+		}
+	}
+
+	return Result{
+		Tour:       best.Tour(),
+		Length:     bestLen,
+		BaseBest:   bestBaseLen,
+		UnionEdges: CountEdges(adj),
+		Elapsed:    time.Since(start),
+	}
+}

@@ -1,0 +1,84 @@
+package merge
+
+import (
+	"testing"
+	"time"
+
+	"distclk/internal/exact"
+	"distclk/internal/tsp"
+)
+
+func TestUnionGraphContainsAllTourEdges(t *testing.T) {
+	t1 := tsp.Tour{0, 1, 2, 3, 4}
+	t2 := tsp.Tour{0, 2, 4, 1, 3}
+	adj := UnionGraph(5, []tsp.Tour{t1, t2})
+	has := func(a, b int32) bool {
+		for _, x := range adj[a] {
+			if x == b {
+				return true
+			}
+		}
+		return false
+	}
+	for _, tour := range []tsp.Tour{t1, t2} {
+		for i, c := range tour {
+			next := tour[(i+1)%5]
+			if !has(c, next) || !has(next, c) {
+				t.Fatalf("edge (%d,%d) missing from union", c, next)
+			}
+		}
+	}
+	// Two disjoint 5-cycles = 10 distinct edges.
+	if got := CountEdges(adj); got != 10 {
+		t.Fatalf("CountEdges = %d, want 10", got)
+	}
+}
+
+func TestUnionOfIdenticalToursIsOneTour(t *testing.T) {
+	tour := tsp.Tour{3, 1, 4, 0, 2}
+	adj := UnionGraph(5, []tsp.Tour{tour, tour.Clone(), tour.Clone()})
+	if got := CountEdges(adj); got != 5 {
+		t.Fatalf("CountEdges = %d, want 5", got)
+	}
+	for c, a := range adj {
+		if len(a) != 2 {
+			t.Fatalf("city %d has degree %d in single-tour union", c, len(a))
+		}
+	}
+}
+
+func TestSolveNeverWorseThanBestBase(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 250, 1)
+	p := DefaultParams()
+	p.Tours = 5
+	p.KicksPerTour = 60
+	p.MergeKicks = 50
+	res := Solve(in, p, 1, time.Time{}, 0)
+	if err := res.Tour.Validate(250); err != nil {
+		t.Fatal(err)
+	}
+	if res.Length > res.BaseBest {
+		t.Fatalf("merged %d worse than best base %d", res.Length, res.BaseBest)
+	}
+	if res.UnionEdges < 250 {
+		t.Fatalf("union graph has only %d edges", res.UnionEdges)
+	}
+	if res.Tour.Length(in) != res.Length {
+		t.Fatal("length mismatch")
+	}
+}
+
+func TestSolveSmallToOptimum(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 14, 3)
+	_, optLen, err := exact.HeldKarp(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.Tours = 4
+	p.KicksPerTour = 50
+	res := Solve(in, p, 2, time.Now().Add(30*time.Second), optLen)
+	if res.Length != optLen {
+		t.Fatalf("tour merging reached %d, optimum %d", res.Length, optLen)
+	}
+}

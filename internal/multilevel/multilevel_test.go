@@ -1,0 +1,92 @@
+package multilevel
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"distclk/internal/clk"
+	"distclk/internal/tsp"
+)
+
+func TestCoarsenShrinks(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 500, 1)
+	rng := rand.New(rand.NewSource(2))
+	levels := coarsen(in, 16, rng)
+	if len(levels) < 4 {
+		t.Fatalf("only %d levels for n=500", len(levels))
+	}
+	for i := 1; i < len(levels); i++ {
+		prev, cur := levels[i-1].inst.N(), levels[i].inst.N()
+		if cur >= prev {
+			t.Fatalf("level %d did not shrink: %d -> %d", i, prev, cur)
+		}
+		// Matching halves the size up to odd leftovers; expect <= ~0.75x.
+		if float64(cur) > float64(prev)*0.75 {
+			t.Errorf("level %d shrunk too little: %d -> %d", i, prev, cur)
+		}
+		// Children partition the finer level.
+		seen := make([]bool, prev)
+		for _, kids := range levels[i].children {
+			for _, k := range kids {
+				if seen[k] {
+					t.Fatalf("level %d: child %d assigned twice", i, k)
+				}
+				seen[k] = true
+			}
+		}
+		for c, s := range seen {
+			if !s {
+				t.Fatalf("level %d: city %d unassigned", i, c)
+			}
+		}
+	}
+	if levels[len(levels)-1].inst.N() > 16 {
+		t.Fatalf("coarsest level has %d cities", levels[len(levels)-1].inst.N())
+	}
+}
+
+func TestExpandProducesValidTour(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 200, 3)
+	rng := rand.New(rand.NewSource(4))
+	levels := coarsen(in, 16, rng)
+	// Identity tour at the coarsest level, expanded all the way down.
+	tour := tsp.IdentityTour(levels[len(levels)-1].inst.N())
+	for li := len(levels) - 1; li >= 1; li-- {
+		fine := levels[li-1].inst
+		tour = expand(levels[li], tour, fine)
+		if err := tour.Validate(fine.N()); err != nil {
+			t.Fatalf("level %d expansion: %v", li, err)
+		}
+	}
+}
+
+func TestSolveQuality(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 400, 5)
+	res := Solve(in, DefaultParams(), 1, time.Time{}, 0)
+	if err := res.Tour.Validate(400); err != nil {
+		t.Fatal(err)
+	}
+	if res.Levels < 3 {
+		t.Errorf("only %d levels", res.Levels)
+	}
+	// Compare against a modest plain CLK run: multilevel should be in the
+	// same quality ballpark (within 5%).
+	s := clk.New(in, clk.DefaultParams(), 2)
+	ref := s.Run(clk.Budget{MaxKicks: 200})
+	if float64(res.Length) > float64(ref.Length)*1.05 {
+		t.Fatalf("multilevel %d much worse than plain CLK %d", res.Length, ref.Length)
+	}
+}
+
+func TestSolveTinyInstance(t *testing.T) {
+	// Instances below the coarsest size must still work (no levels).
+	in := tsp.Generate(tsp.FamilyUniform, 12, 7)
+	res := Solve(in, DefaultParams(), 1, time.Time{}, 0)
+	if err := res.Tour.Validate(12); err != nil {
+		t.Fatal(err)
+	}
+	if res.Levels != 1 {
+		t.Errorf("tiny instance produced %d levels", res.Levels)
+	}
+}

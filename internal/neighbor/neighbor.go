@@ -1,0 +1,208 @@
+// Package neighbor builds candidate edge sets for local search: k-nearest
+// neighbour lists (via k-d tree for geometric instances, brute force for
+// EXPLICIT ones) and quadrant neighbour lists as used by Concorde.
+package neighbor
+
+import (
+	"sort"
+
+	"distclk/internal/geom"
+	"distclk/internal/tsp"
+)
+
+// Lists holds fixed-size candidate neighbour lists for every city, sorted by
+// increasing instance distance. Local search only considers candidate edges,
+// which is what makes Lin-Kernighan subquadratic in practice.
+type Lists struct {
+	k    int
+	flat []int32
+	n    int
+}
+
+// K reports the per-city list length.
+func (l *Lists) K() int { return l.k }
+
+// N reports the number of cities.
+func (l *Lists) N() int { return l.n }
+
+// Of returns city's candidates ordered by increasing distance. The returned
+// slice aliases internal storage; callers must not modify it.
+func (l *Lists) Of(city int32) []int32 {
+	return l.flat[int(city)*l.k : int(city)*l.k+l.k]
+}
+
+// Build constructs k-nearest-neighbour candidate lists. k is clamped to n-1.
+func Build(in *tsp.Instance, k int) *Lists {
+	n := in.N()
+	if k > n-1 {
+		k = n - 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	l := &Lists{k: k, n: n, flat: make([]int32, n*k)}
+	dist := in.DistFunc()
+	if in.Explicit() || n <= 64 {
+		buildBrute(l, n, k, dist)
+		return l
+	}
+	tree := geom.NewKDTree(in.Pts)
+	// Fetch extra Euclidean neighbours, then re-sort by the instance metric:
+	// rounding (EUC_2D/ATT/GEO) can permute near-ties.
+	fetch := k + 4
+	if fetch > n-1 {
+		fetch = n - 1
+	}
+	for c := 0; c < n; c++ {
+		cand := tree.KNearest(in.Pts[c], fetch, c)
+		ci := int32(c)
+		sort.Slice(cand, func(i, j int) bool {
+			di, dj := dist(ci, cand[i]), dist(ci, cand[j])
+			if di != dj {
+				return di < dj
+			}
+			return cand[i] < cand[j]
+		})
+		copy(l.flat[c*k:(c+1)*k], cand[:k])
+	}
+	return l
+}
+
+func buildBrute(l *Lists, n, k int, dist func(i, j int32) int64) {
+	idx := make([]int32, 0, n-1)
+	for c := 0; c < n; c++ {
+		idx = idx[:0]
+		for j := 0; j < n; j++ {
+			if j != c {
+				idx = append(idx, int32(j))
+			}
+		}
+		ci := int32(c)
+		sort.Slice(idx, func(i, j int) bool {
+			di, dj := dist(ci, idx[i]), dist(ci, idx[j])
+			if di != dj {
+				return di < dj
+			}
+			return idx[i] < idx[j]
+		})
+		copy(l.flat[c*k:(c+1)*k], idx[:k])
+	}
+}
+
+// BuildQuadrant constructs quadrant neighbour lists: for each city, up to
+// perQuad nearest neighbours from each of the four coordinate quadrants
+// around it, padded with globally nearest cities when quadrants are sparse.
+// Quadrant lists avoid candidate starvation in strongly clustered instances.
+func BuildQuadrant(in *tsp.Instance, perQuad int) *Lists {
+	n := in.N()
+	k := 4 * perQuad
+	if k > n-1 {
+		k = n - 1
+	}
+	if in.Explicit() {
+		return Build(in, k)
+	}
+	l := &Lists{k: k, n: n, flat: make([]int32, n*k)}
+	tree := geom.NewKDTree(in.Pts)
+	dist := in.DistFunc()
+	fetch := 4 * k
+	if fetch > n-1 {
+		fetch = n - 1
+	}
+	var quad [4][]int32
+	for c := 0; c < n; c++ {
+		cand := tree.KNearest(in.Pts[c], fetch, c)
+		for q := range quad {
+			quad[q] = quad[q][:0]
+		}
+		p := in.Pts[c]
+		chosen := make([]int32, 0, k)
+		seen := make(map[int32]bool, k)
+		for _, o := range cand {
+			op := in.Pts[o]
+			q := 0
+			if op.X >= p.X {
+				q |= 1
+			}
+			if op.Y >= p.Y {
+				q |= 2
+			}
+			if len(quad[q]) < perQuad {
+				quad[q] = append(quad[q], o)
+				chosen = append(chosen, o)
+				seen[o] = true
+			}
+		}
+		// Pad with nearest unused candidates.
+		for _, o := range cand {
+			if len(chosen) >= k {
+				break
+			}
+			if !seen[o] {
+				chosen = append(chosen, o)
+				seen[o] = true
+			}
+		}
+		ci := int32(c)
+		sort.Slice(chosen, func(i, j int) bool {
+			di, dj := dist(ci, chosen[i]), dist(ci, chosen[j])
+			if di != dj {
+				return di < dj
+			}
+			return chosen[i] < chosen[j]
+		})
+		copy(l.flat[c*k:], chosen)
+		// If still short (tiny n), fill from brute force.
+		for len(chosen) < k {
+			for j := 0; j < n && len(chosen) < k; j++ {
+				if int32(j) != ci && !seen[int32(j)] {
+					chosen = append(chosen, int32(j))
+					seen[int32(j)] = true
+				}
+			}
+			copy(l.flat[c*k:], chosen)
+		}
+	}
+	return l
+}
+
+// FromEdges builds candidate lists from an explicit edge set (e.g. the union
+// graph in tour merging or alpha-nearness selections). adj maps each city to
+// candidate endpoints; lists are truncated/padded to the maximum degree and
+// sorted by instance distance. Cities with fewer candidates are padded by
+// repeating their nearest candidate, keeping the flat layout rectangular.
+func FromEdges(in *tsp.Instance, adj [][]int32) *Lists {
+	n := in.N()
+	k := 1
+	for _, a := range adj {
+		if len(a) > k {
+			k = len(a)
+		}
+	}
+	dist := in.DistFunc()
+	l := &Lists{k: k, n: n, flat: make([]int32, n*k)}
+	for c := 0; c < n; c++ {
+		a := append([]int32(nil), adj[c]...)
+		ci := int32(c)
+		sort.Slice(a, func(i, j int) bool {
+			di, dj := dist(ci, a[i]), dist(ci, a[j])
+			if di != dj {
+				return di < dj
+			}
+			return a[i] < a[j]
+		})
+		if len(a) == 0 {
+			// Degenerate; point at an arbitrary different city.
+			other := int32(0)
+			if ci == 0 {
+				other = 1 % int32(n)
+			}
+			a = append(a, other)
+		}
+		for len(a) < k {
+			a = append(a, a[len(a)-1])
+		}
+		copy(l.flat[c*k:], a[:k])
+	}
+	return l
+}

@@ -1,0 +1,152 @@
+package neighbor
+
+import (
+	"testing"
+
+	"distclk/internal/tsp"
+)
+
+func TestBuildSortedByDistance(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 200, 1)
+	l := Build(in, 10)
+	if l.K() != 10 || l.N() != 200 {
+		t.Fatalf("K=%d N=%d", l.K(), l.N())
+	}
+	dist := in.DistFunc()
+	for c := int32(0); c < 200; c++ {
+		nb := l.Of(c)
+		for i := 1; i < len(nb); i++ {
+			if dist(c, nb[i-1]) > dist(c, nb[i]) {
+				t.Fatalf("city %d: candidates not ascending", c)
+			}
+		}
+		for _, o := range nb {
+			if o == c {
+				t.Fatalf("city %d lists itself", c)
+			}
+		}
+	}
+}
+
+func TestBuildMatchesBruteForce(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyClustered, 150, 3)
+	fast := Build(in, 6)
+	dist := in.DistFunc()
+	for c := int32(0); c < 150; c++ {
+		// Brute-force 6 nearest by distance.
+		var best []int32
+		for j := int32(0); j < 150; j++ {
+			if j != c {
+				best = append(best, j)
+			}
+		}
+		for i := 0; i < 6; i++ {
+			for j := i + 1; j < len(best); j++ {
+				di, dj := dist(c, best[i]), dist(c, best[j])
+				if dj < di || (dj == di && best[j] < best[i]) {
+					best[i], best[j] = best[j], best[i]
+				}
+			}
+		}
+		got := fast.Of(c)
+		for i := 0; i < 6; i++ {
+			// Compare by distance (ties may order differently only if
+			// tie-break differs, but both tie-break by index).
+			if dist(c, got[i]) != dist(c, best[i]) {
+				t.Fatalf("city %d rank %d: got %d (d=%d), want %d (d=%d)",
+					c, i, got[i], dist(c, got[i]), best[i], dist(c, best[i]))
+			}
+		}
+	}
+}
+
+func TestBuildClampsK(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 10, 5)
+	l := Build(in, 50)
+	if l.K() != 9 {
+		t.Fatalf("K = %d, want 9", l.K())
+	}
+}
+
+func TestBuildExplicit(t *testing.T) {
+	m := []int64{
+		0, 1, 5, 9,
+		1, 0, 2, 7,
+		5, 2, 0, 3,
+		9, 7, 3, 0,
+	}
+	in, err := tsp.NewExplicit("m4", 4, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Build(in, 2)
+	if got := l.Of(0); got[0] != 1 || got[1] != 2 {
+		t.Fatalf("city 0 candidates %v, want [1 2]", got)
+	}
+	if got := l.Of(3); got[0] != 2 || got[1] != 1 {
+		t.Fatalf("city 3 candidates %v, want [2 1]", got)
+	}
+}
+
+func TestQuadrantCoversDirections(t *testing.T) {
+	// A cross-shaped instance: quadrant lists must include neighbours in
+	// all four directions even when one direction is denser.
+	in := tsp.Generate(tsp.FamilyClustered, 400, 7)
+	q := BuildQuadrant(in, 3)
+	if q.K() != 12 {
+		t.Fatalf("K = %d, want 12", q.K())
+	}
+	for c := int32(0); c < 400; c++ {
+		nb := q.Of(c)
+		if len(nb) != 12 {
+			t.Fatalf("city %d has %d candidates", c, len(nb))
+		}
+		for _, o := range nb {
+			if o == c || o < 0 || o >= 400 {
+				t.Fatalf("city %d has bad candidate %d", c, o)
+			}
+		}
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 20, 9)
+	adj := make([][]int32, 20)
+	for i := int32(0); i < 20; i++ {
+		adj[i] = []int32{(i + 1) % 20, (i + 19) % 20}
+	}
+	adj[5] = append(adj[5], 10, 15) // one larger list forces padding
+	l := FromEdges(in, adj)
+	if l.K() != 4 {
+		t.Fatalf("K = %d, want 4", l.K())
+	}
+	dist := in.DistFunc()
+	for c := int32(0); c < 20; c++ {
+		nb := l.Of(c)
+		for i := 1; i < len(nb); i++ {
+			if dist(c, nb[i-1]) > dist(c, nb[i]) {
+				t.Fatalf("city %d: FromEdges candidates not ascending", c)
+			}
+		}
+	}
+	// Padded entries repeat but never list the city itself.
+	for _, o := range l.Of(3) {
+		if o == 3 {
+			t.Fatal("padding produced self-loop")
+		}
+	}
+}
+
+func TestFromEdgesEmptyAdjacency(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 5, 11)
+	adj := make([][]int32, 5)
+	adj[2] = []int32{4}
+	l := FromEdges(in, adj)
+	for c := int32(0); c < 5; c++ {
+		for _, o := range l.Of(c) {
+			if o == c {
+				t.Fatalf("city %d listed itself", c)
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !approx(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Error("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if !approx(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 2.138089935299395) {
+		t.Errorf("stddev = %v", StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}))
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Error("single-sample stddev")
+	}
+	if StdDev([]float64{3, 3, 3}) != 0 {
+		t.Error("constant stddev")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if !approx(Median([]float64{5, 1, 3}), 3) {
+		t.Error("odd median")
+	}
+	if !approx(Median([]float64{4, 1, 3, 2}), 2.5) {
+		t.Error("even median")
+	}
+	if Median(nil) != 0 {
+		t.Error("empty median")
+	}
+	// Median must not mutate its input.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 {
+		t.Error("median mutated input")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("minmax = %v %v", min, max)
+	}
+	if a, b := MinMax(nil); a != 0 || b != 0 {
+		t.Error("empty minmax")
+	}
+}
+
+func TestInts(t *testing.T) {
+	got := Ints([]int64{1, -2, 3})
+	if len(got) != 3 || got[1] != -2 {
+		t.Errorf("Ints = %v", got)
+	}
+}
+
+func TestProperties(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		min, max := MinMax(xs)
+		m := Mean(xs)
+		med := Median(xs)
+		// Mean and median lie within [min, max]; stddev non-negative.
+		return m >= min-1e-9 && m <= max+1e-9 &&
+			med >= min-1e-9 && med <= max+1e-9 &&
+			StdDev(xs) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+// Package topology defines the static overlay networks the distributed
+// algorithm runs on. The paper arranges eight nodes in a hypercube; ring,
+// torus grid, and complete graphs are provided for ablation.
+package topology
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind selects an overlay topology.
+type Kind int
+
+const (
+	// Hypercube connects nodes whose binary ids differ in exactly one bit
+	// (the paper's topology).
+	Hypercube Kind = iota
+	// Ring connects each node to its two cyclic neighbours.
+	Ring
+	// Grid is a near-square torus with four neighbours per node.
+	Grid
+	// Complete connects every pair of nodes.
+	Complete
+)
+
+// String names the topology.
+func (k Kind) String() string {
+	switch k {
+	case Hypercube:
+		return "hypercube"
+	case Ring:
+		return "ring"
+	case Grid:
+		return "grid"
+	case Complete:
+		return "complete"
+	}
+	return "unknown"
+}
+
+// Parse maps a topology name to its constant.
+func Parse(s string) (Kind, error) {
+	for _, k := range []Kind{Hypercube, Ring, Grid, Complete} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("topology: unknown kind %q", s)
+}
+
+// Neighbors returns the neighbour ids of node id in a network of n nodes
+// (ids 0..n-1). For non-power-of-two n, hypercube links to absent ids are
+// dropped, matching a hub that only hands out assigned slots.
+func Neighbors(k Kind, n, id int) []int {
+	if n <= 1 || id < 0 || id >= n {
+		return nil
+	}
+	switch k {
+	case Hypercube:
+		bits := int(math.Ceil(math.Log2(float64(n))))
+		if bits == 0 {
+			bits = 1
+		}
+		var out []int
+		for b := 0; b < bits; b++ {
+			o := id ^ (1 << uint(b))
+			if o < n {
+				out = append(out, o)
+			}
+		}
+		return out
+	case Ring:
+		if n == 2 {
+			return []int{1 - id}
+		}
+		return []int{(id + n - 1) % n, (id + 1) % n}
+	case Grid:
+		cols := int(math.Ceil(math.Sqrt(float64(n))))
+		rows := (n + cols - 1) / cols
+		r, c := id/cols, id%cols
+		seen := map[int]bool{id: true}
+		var out []int
+		add := func(rr, cc int) {
+			rr = (rr + rows) % rows
+			cc = (cc + cols) % cols
+			o := rr*cols + cc
+			if o < n && !seen[o] {
+				seen[o] = true
+				out = append(out, o)
+			}
+		}
+		add(r-1, c)
+		add(r+1, c)
+		add(r, c-1)
+		add(r, c+1)
+		return out
+	case Complete:
+		out := make([]int, 0, n-1)
+		for o := 0; o < n; o++ {
+			if o != id {
+				out = append(out, o)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// Validate checks symmetry and connectivity of the topology for n nodes;
+// the distributed algorithm relies on both so that improvements eventually
+// reach every node.
+func Validate(k Kind, n int) error {
+	adj := make([][]int, n)
+	for id := 0; id < n; id++ {
+		adj[id] = Neighbors(k, n, id)
+	}
+	for id, ns := range adj {
+		for _, o := range ns {
+			if o < 0 || o >= n || o == id {
+				return fmt.Errorf("topology: node %d has invalid neighbour %d", id, o)
+			}
+			found := false
+			for _, back := range adj[o] {
+				if back == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("topology: edge %d->%d not symmetric", id, o)
+			}
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	// BFS connectivity.
+	seen := make([]bool, n)
+	queue := []int{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, o := range adj[cur] {
+			if !seen[o] {
+				seen[o] = true
+				count++
+				queue = append(queue, o)
+			}
+		}
+	}
+	if count != n {
+		return fmt.Errorf("topology: %s with %d nodes is disconnected (%d reachable)", k, n, count)
+	}
+	return nil
+}

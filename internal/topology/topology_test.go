@@ -1,0 +1,94 @@
+package topology
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestHypercubeEight(t *testing.T) {
+	// The paper's setup: 8 nodes, 3-bit hypercube, 3 neighbours each.
+	want := map[int][]int{
+		0: {1, 2, 4},
+		1: {0, 3, 5},
+		2: {0, 3, 6},
+		3: {1, 2, 7},
+		4: {0, 5, 6},
+		5: {1, 4, 7},
+		6: {2, 4, 7},
+		7: {3, 5, 6},
+	}
+	for id, w := range want {
+		got := Neighbors(Hypercube, 8, id)
+		sort.Ints(got)
+		if len(got) != len(w) {
+			t.Fatalf("node %d: neighbours %v, want %v", id, got, w)
+		}
+		for i := range w {
+			if got[i] != w[i] {
+				t.Fatalf("node %d: neighbours %v, want %v", id, got, w)
+			}
+		}
+	}
+}
+
+func TestValidateAllKindsAndSizes(t *testing.T) {
+	for _, k := range []Kind{Hypercube, Ring, Grid, Complete} {
+		for n := 2; n <= 17; n++ {
+			if err := Validate(k, n); err != nil {
+				t.Errorf("%v n=%d: %v", k, n, err)
+			}
+		}
+	}
+}
+
+func TestSingleNodeHasNoNeighbors(t *testing.T) {
+	for _, k := range []Kind{Hypercube, Ring, Grid, Complete} {
+		if got := Neighbors(k, 1, 0); len(got) != 0 {
+			t.Errorf("%v: single node has neighbours %v", k, got)
+		}
+	}
+}
+
+func TestRingDegree(t *testing.T) {
+	for n := 3; n <= 10; n++ {
+		for id := 0; id < n; id++ {
+			if got := Neighbors(Ring, n, id); len(got) != 2 {
+				t.Errorf("ring n=%d node %d: degree %d, want 2", n, id, len(got))
+			}
+		}
+	}
+	// n=2 degenerates to a single edge, not a double edge.
+	if got := Neighbors(Ring, 2, 0); len(got) != 1 || got[0] != 1 {
+		t.Errorf("ring n=2: %v, want [1]", got)
+	}
+}
+
+func TestCompleteDegree(t *testing.T) {
+	for n := 2; n <= 12; n++ {
+		for id := 0; id < n; id++ {
+			if got := Neighbors(Complete, n, id); len(got) != n-1 {
+				t.Errorf("complete n=%d node %d: degree %d", n, id, len(got))
+			}
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, k := range []Kind{Hypercube, Ring, Grid, Complete} {
+		got, err := Parse(k.String())
+		if err != nil || got != k {
+			t.Errorf("Parse(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := Parse("mesh-of-trees"); err == nil {
+		t.Error("Parse accepted unknown topology")
+	}
+}
+
+func TestHypercubeNonPowerOfTwoStaysConnected(t *testing.T) {
+	for _, n := range []int{3, 5, 6, 7, 9, 11, 13} {
+		if err := Validate(Hypercube, n); err != nil {
+			t.Errorf("hypercube n=%d: %v", n, err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package tsp defines TSP instances and tours: distance evaluation with
+// optional matrix caching, TSPLIB file input/output, and seeded synthetic
+// instance generators mirroring the families used in the paper's testbed.
+package tsp
+
+import (
+	"fmt"
+
+	"distclk/internal/geom"
+)
+
+// Instance is a symmetric TSP instance. Geometric instances carry point
+// coordinates and a metric; EXPLICIT instances carry a full distance matrix.
+type Instance struct {
+	Name    string
+	Comment string
+	Metric  geom.MetricKind
+	Pts     []geom.Point
+
+	// BestKnown is the optimal (or best known) tour length, 0 when unknown.
+	// The experiment harness uses it as the success criterion when set.
+	BestKnown int64
+
+	// explicit holds the row-major n*n matrix for EXPLICIT instances.
+	explicit []int64
+	// cache holds an optional precomputed matrix for geometric instances.
+	cache []int32
+	n     int
+}
+
+// New creates a geometric instance over the given points.
+func New(name string, metric geom.MetricKind, pts []geom.Point) *Instance {
+	return &Instance{Name: name, Metric: metric, Pts: pts, n: len(pts)}
+}
+
+// NewExplicit creates an instance from a full n-by-n distance matrix.
+// The matrix must be symmetric; Dist returns matrix[i*n+j].
+func NewExplicit(name string, n int, matrix []int64) (*Instance, error) {
+	if len(matrix) != n*n {
+		return nil, fmt.Errorf("tsp: explicit matrix has %d entries, want %d", len(matrix), n*n)
+	}
+	return &Instance{Name: name, explicit: matrix, n: n}, nil
+}
+
+// N reports the number of cities.
+func (in *Instance) N() int { return in.n }
+
+// Explicit reports whether the instance is matrix-backed (no coordinates).
+func (in *Instance) Explicit() bool { return in.explicit != nil }
+
+// Dist returns the distance between cities i and j.
+func (in *Instance) Dist(i, j int) int64 {
+	if in.explicit != nil {
+		return in.explicit[i*in.n+j]
+	}
+	if in.cache != nil {
+		return int64(in.cache[i*in.n+j])
+	}
+	return in.Metric.Dist(in.Pts[i], in.Pts[j])
+}
+
+// DistCached is true once CacheMatrix has run (or the instance is EXPLICIT).
+func (in *Instance) DistCached() bool { return in.cache != nil || in.explicit != nil }
+
+// MaxCacheN bounds CacheMatrix: above this size the quadratic matrix is too
+// large to be worth the memory (n^2 * 4 bytes).
+const MaxCacheN = 3000
+
+// CacheMatrix precomputes the full distance matrix for geometric instances
+// with at most MaxCacheN cities, turning Dist into an array lookup. It is a
+// no-op for larger or EXPLICIT instances. Distances above MaxInt32 are not
+// representable and cause a panic (no realistic TSPLIB instance hits this).
+func (in *Instance) CacheMatrix() {
+	if in.explicit != nil || in.cache != nil || in.n > MaxCacheN {
+		return
+	}
+	c := make([]int32, in.n*in.n)
+	for i := 0; i < in.n; i++ {
+		for j := i + 1; j < in.n; j++ {
+			d := in.Metric.Dist(in.Pts[i], in.Pts[j])
+			if d > 1<<31-1 {
+				panic("tsp: distance overflows int32 cache")
+			}
+			c[i*in.n+j] = int32(d)
+			c[j*in.n+i] = int32(d)
+		}
+	}
+	in.cache = c
+}
+
+// DistFunc returns a closure evaluating distances, binding the fastest
+// available path (matrix lookup or metric computation) once.
+func (in *Instance) DistFunc() func(i, j int32) int64 {
+	switch {
+	case in.explicit != nil:
+		m, n := in.explicit, in.n
+		return func(i, j int32) int64 { return m[int(i)*n+int(j)] }
+	case in.cache != nil:
+		m, n := in.cache, in.n
+		return func(i, j int32) int64 { return int64(m[int(i)*n+int(j)]) }
+	default:
+		pts, metric := in.Pts, in.Metric
+		return func(i, j int32) int64 { return metric.Dist(pts[i], pts[j]) }
+	}
+}

@@ -1,0 +1,119 @@
+package tsp
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Tour is a permutation of the cities 0..n-1 visited in order, closing back
+// to the first city.
+type Tour []int32
+
+// IdentityTour returns the tour 0, 1, ..., n-1.
+func IdentityTour(n int) Tour {
+	t := make(Tour, n)
+	for i := range t {
+		t[i] = int32(i)
+	}
+	return t
+}
+
+// Clone returns a copy of the tour.
+func (t Tour) Clone() Tour {
+	c := make(Tour, len(t))
+	copy(c, t)
+	return c
+}
+
+// Length evaluates the closed tour under the instance metric.
+func (t Tour) Length(in *Instance) int64 {
+	if len(t) < 2 {
+		return 0
+	}
+	dist := in.DistFunc()
+	var sum int64
+	prev := t[len(t)-1]
+	for _, c := range t {
+		sum += dist(prev, c)
+		prev = c
+	}
+	return sum
+}
+
+// Validate checks that the tour is a permutation of 0..n-1.
+func (t Tour) Validate(n int) error {
+	if len(t) != n {
+		return fmt.Errorf("tsp: tour has %d cities, want %d", len(t), n)
+	}
+	seen := make([]bool, n)
+	for i, c := range t {
+		if c < 0 || int(c) >= n {
+			return fmt.Errorf("tsp: tour[%d] = %d out of range [0,%d)", i, c, n)
+		}
+		if seen[c] {
+			return fmt.Errorf("tsp: city %d visited twice", c)
+		}
+		seen[c] = true
+	}
+	return nil
+}
+
+// Canonical returns the tour rotated so city 0 comes first and oriented so
+// the second city is the smaller of city 0's two tour neighbours. Two tours
+// describe the same Hamiltonian cycle iff their canonical forms are equal.
+func (t Tour) Canonical() Tour {
+	n := len(t)
+	if n == 0 {
+		return Tour{}
+	}
+	start := 0
+	for i, c := range t {
+		if c == 0 {
+			start = i
+			break
+		}
+	}
+	out := make(Tour, n)
+	next := t[(start+1)%n]
+	prev := t[(start-1+n)%n]
+	if n > 2 && prev < next {
+		for i := 0; i < n; i++ {
+			out[i] = t[(start-i+n)%n]
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			out[i] = t[(start+i)%n]
+		}
+	}
+	return out
+}
+
+// Hash returns a 64-bit hash of the canonical form, usable to detect
+// duplicate cycles regardless of rotation or orientation.
+func (t Tour) Hash() uint64 {
+	c := t.Canonical()
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, city := range c {
+		buf[0] = byte(city)
+		buf[1] = byte(city >> 8)
+		buf[2] = byte(city >> 16)
+		buf[3] = byte(city >> 24)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// SameCycle reports whether two tours describe the same Hamiltonian cycle.
+func (t Tour) SameCycle(o Tour) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	a, b := t.Canonical(), o.Canonical()
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,53 @@
+package tsp_test
+
+import (
+	"strings"
+	"testing"
+
+	"distclk/internal/exact"
+	"distclk/internal/tsp"
+)
+
+// ulysses16 from TSPLIB (GEO metric, 16 sites of Odysseus's journey). Its
+// proven optimal tour length is 6859 — a strong end-to-end validation of
+// the GEO great-circle metric, the parser, and the exact DP solver at once.
+const ulysses16 = `NAME: ulysses16
+TYPE: TSP
+COMMENT: Odyssey of Ulysses (Groetschel/Padberg)
+DIMENSION: 16
+EDGE_WEIGHT_TYPE: GEO
+NODE_COORD_SECTION
+1 38.24 20.42
+2 39.57 26.15
+3 40.56 25.32
+4 36.26 23.12
+5 33.48 10.54
+6 37.56 12.19
+7 38.42 13.11
+8 37.52 20.44
+9 41.23 9.10
+10 41.17 13.05
+11 36.08 -5.21
+12 38.47 15.13
+13 38.15 15.35
+14 37.51 15.17
+15 35.49 14.32
+16 39.36 19.56
+EOF`
+
+func TestUlysses16OptimumIs6859(t *testing.T) {
+	in, err := tsp.ReadTSPLIB(strings.NewReader(ulysses16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.N() != 16 {
+		t.Fatalf("n = %d", in.N())
+	}
+	_, opt, err := exact.HeldKarp(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 6859 {
+		t.Fatalf("ulysses16 optimum computed as %d, TSPLIB's proven optimum is 6859", opt)
+	}
+}
