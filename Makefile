@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check build vet fmt test race
+
+## check: everything CI runs — vet, formatting, full tests, race tests
+check: vet fmt test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+## fmt: fail if any file is not gofmt-clean
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+## race: the concurrency-heavy packages under the race detector
+race:
+	$(GO) test -race ./internal/dist/... ./internal/core/...

@@ -8,6 +8,7 @@ package distclk
 // Held-Karp bound or run-best reference; lower is better.
 
 import (
+	"context"
 	"io"
 	"strconv"
 	"testing"
@@ -267,7 +268,7 @@ func BenchmarkKickStrategies(b *testing.B) {
 				p := clk.DefaultParams()
 				p.Kick = kick
 				s := clk.New(in, p, 11)
-				return s.Run(clk.Budget{MaxKicks: 400}).Length
+				return s.Run(context.Background(), clk.Budget{MaxKicks: 400}).Length
 			})
 		})
 	}
@@ -287,7 +288,7 @@ func BenchmarkAblationVariator(b *testing.B) {
 				cfg.DisablePerturbation = disabled
 				cfg.KicksPerCall = 30
 				node := core.NewNode(0, in, cfg, core.NopComm{}, 13)
-				stats := node.Run(core.Budget{MaxIterations: 12})
+				stats := node.Run(context.Background(), core.Budget{MaxIterations: 12})
 				return stats.BestLength
 			})
 		})
@@ -301,7 +302,7 @@ func BenchmarkAblationNoComm(b *testing.B) {
 		in := tsp.Generate(tsp.FamilyDrill, 500, 7)
 		cfg := core.DefaultConfig()
 		cfg.KicksPerCall = 25
-		res := dist.RunCluster(in, dist.ClusterConfig{
+		res := dist.RunCluster(context.Background(), in, dist.ClusterConfig{
 			Nodes:  nodes,
 			Topo:   topo,
 			EA:     cfg,
@@ -322,7 +323,7 @@ func BenchmarkAblationNoComm(b *testing.B) {
 				cfg := core.DefaultConfig()
 				cfg.KicksPerCall = 25
 				node := core.NewNode(i, in, cfg, core.NopComm{}, 17+int64(i)*1_000_000_007)
-				if s := node.Run(core.Budget{MaxIterations: 6}); s.BestLength < best {
+				if s := node.Run(context.Background(), core.Budget{MaxIterations: 6}); s.BestLength < best {
 					best = s.BestLength
 				}
 			}
@@ -338,7 +339,7 @@ func BenchmarkAblationTopology(b *testing.B) {
 			ablationGap(b, func(in *tsp.Instance) int64 {
 				cfg := core.DefaultConfig()
 				cfg.KicksPerCall = 25
-				res := dist.RunCluster(in, dist.ClusterConfig{
+				res := dist.RunCluster(context.Background(), in, dist.ClusterConfig{
 					Nodes:  4,
 					Topo:   topo,
 					EA:     cfg,
@@ -359,7 +360,7 @@ func BenchmarkAblationNeighbors(b *testing.B) {
 				p := clk.DefaultParams()
 				p.NeighborK = k
 				s := clk.New(in, p, 23)
-				return s.Run(clk.Budget{MaxKicks: 300}).Length
+				return s.Run(context.Background(), clk.Budget{MaxKicks: 300}).Length
 			})
 		})
 	}

@@ -10,13 +10,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"distclk/internal/cli"
 	"distclk/internal/clk"
+	"distclk/internal/obs"
 	"distclk/internal/tsp"
 )
 
@@ -55,13 +59,19 @@ func main() {
 	fmt.Printf("%s: n=%d, initial tour %d (%.2fs construct+LK)\n",
 		in.Name, in.N(), solver.BestLength(), time.Since(start).Seconds())
 	if !*quiet {
-		solver.OnImprove = func(length int64, k int64) {
-			fmt.Printf("  kick %8d  len %12d  %8.2fs\n", k, length, time.Since(start).Seconds())
-		}
+		solver.Rec = obs.NewRecorder(0, obs.SinkFunc(func(e obs.Event) {
+			if e.Kind == obs.KindLKImprove {
+				fmt.Printf("  kick %8d  len %12d  %8.2fs\n",
+					solver.Kicks(), e.Value, time.Since(start).Seconds())
+			}
+		}))
 	}
-	res := solver.Run(clk.Budget{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := context.WithTimeout(ctx, *budget)
+	defer cancel()
+	res := solver.Run(ctx, clk.Budget{
 		MaxKicks: *kicks,
-		Deadline: start.Add(*budget),
 		Target:   *target,
 	})
 	fmt.Printf("final: len=%d kicks=%d improves=%d elapsed=%.2fs\n",

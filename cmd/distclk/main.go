@@ -14,18 +14,26 @@
 //
 // Every node writes its local best; collect the minimum across nodes, as
 // the paper does.
+//
+// Ctrl-C cancels the solve gracefully: the best tour found so far is
+// printed (and written with -tour). -pprof and -metrics expose live
+// profiling and counter endpoints for long runs.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"distclk/internal/cli"
 	"distclk/internal/clk"
 	"distclk/internal/core"
 	"distclk/internal/dist"
+	"distclk/internal/obs"
 	"distclk/internal/topology"
 	"distclk/internal/tsp"
 )
@@ -48,6 +56,8 @@ func main() {
 		hubAddr = flag.String("hub", "", "TCP mode: hub address (runs one node)")
 		listen  = flag.String("listen", "127.0.0.1:0", "TCP mode: this node's listen address")
 		tourOut = flag.String("tour", "", "write the best tour to this file")
+		pprofAd = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060)")
+		metrics = flag.String("metrics", "", "serve a JSON counter snapshot on this address at /metrics")
 	)
 	flag.Parse()
 
@@ -71,31 +81,41 @@ func main() {
 	ea.CLK.Kick = strategy
 	ea.KicksPerCall = *kpc
 
+	// Ctrl-C / SIGTERM cancels the context; the solve unwinds and reports
+	// its best-so-far tour.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := context.WithTimeout(ctx, *budget)
+	defer cancel()
+
 	var best tsp.Tour
 	var bestLen int64
 	if *hubAddr != "" {
-		best, bestLen, err = runTCPNode(in, *hubAddr, *listen, ea, *budget, *target, *seed)
+		best, bestLen, err = runTCPNode(ctx, in, *hubAddr, *listen, ea, *target, *seed, *pprofAd, *metrics)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "distclk:", err)
 			os.Exit(1)
 		}
 	} else {
-		res := dist.RunCluster(in, dist.ClusterConfig{
-			Nodes: *nodes,
-			Topo:  kind,
-			EA:    ea,
-			Budget: core.Budget{
-				Deadline: time.Now().Add(*budget),
-				Target:   *target,
-			},
-			Seed: *seed,
+		observer := obs.NewObserver(*nodes, nil)
+		if err := cli.ServeDebug(*pprofAd, *metrics, func() any { return observer.Counters() }); err != nil {
+			fmt.Fprintln(os.Stderr, "distclk:", err)
+			os.Exit(1)
+		}
+		res := dist.RunCluster(ctx, in, dist.ClusterConfig{
+			Nodes:  *nodes,
+			Topo:   kind,
+			EA:     ea,
+			Budget: core.Budget{Target: *target},
+			Seed:   *seed,
+			Obs:    observer,
 		})
 		best, bestLen = res.BestTour, res.BestLength
 		fmt.Printf("cluster: %d nodes, %d broadcasts, best %d in %.2fs wall\n",
 			*nodes, res.Broadcasts(), bestLen, res.Elapsed.Seconds())
 		for _, s := range res.Stats {
-			fmt.Printf("  node %d: best=%d iters=%d sent=%d recv=%d restarts=%d\n",
-				s.NodeID, s.BestLength, s.Iterations, s.Broadcasts, s.Received, s.Restarts)
+			fmt.Printf("  node %d: best=%d iters=%d kicks=%d sent=%d recv=%d accepted=%d restarts=%d\n",
+				s.NodeID, s.BestLength, s.Iterations, s.Kicks, s.Broadcasts, s.Received, s.Accepted, s.Restarts)
 		}
 	}
 	fmt.Printf("final: len=%d\n", bestLen)
@@ -114,23 +134,29 @@ func main() {
 	}
 }
 
-func runTCPNode(in *tsp.Instance, hubAddr, listen string, ea core.Config, budget time.Duration, target, seed int64) (tsp.Tour, int64, error) {
-	tn, err := dist.JoinTCP(hubAddr, listen, in.N())
+func runTCPNode(ctx context.Context, in *tsp.Instance, hubAddr, listen string, ea core.Config, target, seed int64, pprofAd, metrics string) (tsp.Tour, int64, error) {
+	tn, err := dist.JoinTCP(ctx, hubAddr, listen, in.N())
 	if err != nil {
 		return nil, 0, err
 	}
 	defer tn.Close()
 	fmt.Printf("node %d/%d: listening on %s, %d peers\n", tn.ID, tn.Total, tn.Addr(), tn.PeerCount())
 	node := core.NewNode(tn.ID, in, ea, tn, seed+int64(tn.ID)*1_000_000_007)
-	node.OnImprove = func(length int64, at time.Duration) {
-		fmt.Printf("  %8.2fs  len %d\n", at.Seconds(), length)
+	rec := obs.NewRecorder(tn.ID, obs.SinkFunc(func(e obs.Event) {
+		switch e.Kind {
+		case obs.KindImprove:
+			fmt.Printf("  %8.2fs  len %d\n", e.At.Seconds(), e.Value)
+		case obs.KindImproveReceived:
+			fmt.Printf("  %8.2fs  len %d (from node %d)\n", e.At.Seconds(), e.Value, e.From)
+		}
+	}))
+	node.SetRecorder(rec)
+	if err := cli.ServeDebug(pprofAd, metrics, func() any { return rec.Snapshot() }); err != nil {
+		return nil, 0, err
 	}
-	stats := node.Run(core.Budget{
-		Deadline: time.Now().Add(budget),
-		Target:   target,
-	})
-	fmt.Printf("node %d: best=%d iters=%d sent=%d recv=%d restarts=%d\n",
-		stats.NodeID, stats.BestLength, stats.Iterations, stats.Broadcasts, stats.Received, stats.Restarts)
+	stats := node.Run(ctx, core.Budget{Target: target})
+	fmt.Printf("node %d: best=%d iters=%d kicks=%d sent=%d recv=%d accepted=%d restarts=%d\n",
+		stats.NodeID, stats.BestLength, stats.Iterations, stats.Kicks, stats.Broadcasts, stats.Received, stats.Accepted, stats.Restarts)
 	tour, l := node.Best()
 	return tour, l, nil
 }

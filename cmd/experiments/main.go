@@ -14,6 +14,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"distclk/internal/bench"
+	"distclk/internal/obs"
 )
 
 func main() {
@@ -34,6 +36,7 @@ func main() {
 		seed   = flag.Int64("seed", 1, "random seed")
 		csvDir = flag.String("csv", "", "write figure traces as CSV into this directory")
 		maxIns = flag.Int("instances", 0, "truncate each experiment's instance list (0 = all)")
+		trace  = flag.String("trace", "", "write every solver event as JSONL to this file")
 	)
 	flag.Parse()
 
@@ -66,6 +69,23 @@ func main() {
 	opt.OutDir = *csvDir
 
 	h := bench.New(opt)
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		w := bufio.NewWriter(f)
+		sink := obs.NewJSONLSink(w)
+		h.Trace = sink
+		defer func() {
+			w.Flush()
+			f.Close()
+			if err := sink.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: trace write: %v\n", err)
+			}
+		}()
+	}
 	all := []struct {
 		id  string
 		run func(*bench.Bench) error

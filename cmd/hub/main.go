@@ -6,22 +6,31 @@
 // Usage:
 //
 //	hub -listen :7070 -nodes 8 -topology hypercube
+//
+// Ctrl-C aborts the bootstrap. -pprof and -metrics expose profiling and a
+// JSON join-progress snapshot.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"distclk/internal/cli"
 	"distclk/internal/dist"
 	"distclk/internal/topology"
 )
 
 func main() {
 	var (
-		listen = flag.String("listen", ":7070", "listen address")
-		nodes  = flag.Int("nodes", 8, "expected number of nodes")
-		topo   = flag.String("topology", "hypercube", "overlay: hypercube|ring|grid|complete")
+		listen  = flag.String("listen", ":7070", "listen address")
+		nodes   = flag.Int("nodes", 8, "expected number of nodes")
+		topo    = flag.String("topology", "hypercube", "overlay: hypercube|ring|grid|complete")
+		pprofAd = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060)")
+		metrics = flag.String("metrics", "", "serve a JSON join-progress snapshot on this address at /metrics")
 	)
 	flag.Parse()
 
@@ -35,8 +44,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hub:", err)
 		os.Exit(1)
 	}
+	if err := cli.ServeDebug(*pprofAd, *metrics, func() any {
+		return map[string]any{"expected": *nodes, "joined": h.Joined(), "topology": kind.String()}
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "hub:", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	fmt.Printf("hub: listening on %s for %d nodes (%s)\n", h.Addr(), *nodes, kind)
-	if err := h.Serve(); err != nil {
+	if err := h.Serve(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "hub:", err)
 		os.Exit(1)
 	}

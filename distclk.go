@@ -2,21 +2,28 @@
 // from-scratch Go reproduction of Fischer & Merz, "A Distributed Chained
 // Lin-Kernighan Algorithm for TSP Problems" (IPDPS/IPPS 2005).
 //
-// The package exposes the high-level API: load or generate instances, solve
-// them with Chained Lin-Kernighan (the Concorde linkern heuristic rebuilt
-// in Go), or with the paper's distributed evolutionary algorithm in which
-// cooperating nodes exchange tours over a hypercube overlay. Lower layers
-// (the LK engine, kicking strategies, transports, baselines, the experiment
-// harness) live under internal/ and are driven by the cmd/ binaries.
+// The package exposes the high-level API: load or generate instances, then
+// solve them through a Solver — plain Chained Lin-Kernighan (the Concorde
+// linkern heuristic rebuilt in Go) by default, or the paper's distributed
+// evolutionary algorithm (WithNodes) in which cooperating nodes exchange
+// tours over a hypercube overlay. Every solve is context-driven: cancel the
+// context or let its deadline fire and Solve promptly returns the best
+// tour found so far. Progress exposes periodic snapshots of the running
+// solve. Lower layers (the LK engine, kicking strategies, transports,
+// baselines, the observability spine, the experiment harness) live under
+// internal/ and are driven by the cmd/ binaries.
 package distclk
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"distclk/internal/clk"
 	"distclk/internal/core"
 	"distclk/internal/dist"
+	"distclk/internal/obs"
 	"distclk/internal/topology"
 	"distclk/internal/tsp"
 )
@@ -46,17 +53,61 @@ func StandIn(paperName string, seed int64) (*Instance, error) {
 	return tsp.StandIn(paperName, seed)
 }
 
+// NodeStats reports one node's search statistics, sourced from the
+// observability layer.
+type NodeStats struct {
+	// Node is the node id (0 for plain CLK).
+	Node int
+	// BestLength is the node's own best tour length.
+	BestLength int64
+	// Kicks counts double-bridge kicks attempted.
+	Kicks int64
+	// Improvements counts strict LK chain improvements.
+	Improvements int64
+	// Restarts counts restart-rule firings.
+	Restarts int64
+	// BroadcastsSent counts tours broadcast to neighbours.
+	BroadcastsSent int64
+	// BroadcastsReceived counts tours drained from the inbox.
+	BroadcastsReceived int64
+	// BroadcastsAccepted counts received tours adopted as the node's best.
+	BroadcastsAccepted int64
+}
+
 // Result reports a solve.
 type Result struct {
 	// Tour is the best tour found.
 	Tour Tour
 	// Length is its length under the instance metric.
 	Length int64
-	// Elapsed is the wall-clock duration of the solve.
+	// Elapsed is the runtime-measured wall-clock duration of the solve
+	// (engine construction included), identical in meaning for plain and
+	// distributed solves.
 	Elapsed time.Duration
 	// Nodes is the number of cooperating nodes (1 for plain CLK).
 	Nodes int
 	// Broadcasts counts tours exchanged (distributed runs only).
+	Broadcasts int64
+	// PerNode carries each node's search statistics.
+	PerNode []NodeStats
+}
+
+// Snapshot is one progress observation of a running solve.
+type Snapshot struct {
+	// Elapsed is wall-clock time since Solve started.
+	Elapsed time.Duration
+	// CPUPerNode approximates per-node CPU time consumed: nodes time-share
+	// min(nodes, GOMAXPROCS) cores, so each receives that fraction of the
+	// wall clock — the paper's "CPU time per node" axis.
+	CPUPerNode time.Duration
+	// BestLength is the best tour length found so far (0 before the first
+	// tour exists).
+	BestLength int64
+	// Kicks is the total double-bridge kicks attempted across nodes.
+	Kicks int64
+	// Restarts is the total restart-rule firings across nodes.
+	Restarts int64
+	// Broadcasts is the total tours broadcast across nodes.
 	Broadcasts int64
 }
 
@@ -70,19 +121,22 @@ type options struct {
 	topo     topology.Kind
 	cv, cr   int
 	kpc      int64
+	nodes    int // 0 = plain CLK, >= 1 = distributed EA
+	interval time.Duration
 }
 
-// Option configures SolveCLK and SolveDistributed.
+// Option configures a Solver.
 type Option func(*options) error
 
 func defaults() options {
 	return options{
-		kick:   clk.KickRandomWalk,
-		budget: 10 * time.Second,
-		seed:   1,
-		topo:   topology.Hypercube,
-		cv:     64,
-		cr:     256,
+		kick:     clk.KickRandomWalk,
+		budget:   10 * time.Second,
+		seed:     1,
+		topo:     topology.Hypercube,
+		cv:       64,
+		cr:       256,
+		interval: 100 * time.Millisecond,
 	}
 }
 
@@ -100,7 +154,8 @@ func WithKick(name string) Option {
 }
 
 // WithBudget bounds the solve duration (per node for distributed solves,
-// matching the paper's per-node CPU limits). Default 10s.
+// matching the paper's per-node CPU limits). Default 10s. A tighter
+// deadline on the Solve context wins.
 func WithBudget(d time.Duration) Option {
 	return func(o *options) error {
 		if d <= 0 {
@@ -112,18 +167,25 @@ func WithBudget(d time.Duration) Option {
 }
 
 // WithMaxKicks bounds plain CLK by kick count instead of (or on top of)
-// time.
+// time. Zero means unlimited.
 func WithMaxKicks(k int64) Option {
 	return func(o *options) error {
+		if k < 0 {
+			return fmt.Errorf("distclk: negative max kicks %d", k)
+		}
 		o.maxKicks = k
 		return nil
 	}
 }
 
 // WithTarget stops the solve as soon as a tour of at most this length is
-// found — the paper's known-optimum termination criterion.
+// found — the paper's known-optimum termination criterion. Zero means no
+// target.
 func WithTarget(length int64) Option {
 	return func(o *options) error {
+		if length < 0 {
+			return fmt.Errorf("distclk: negative target length %d", length)
+		}
 		o.target = length
 		return nil
 	}
@@ -133,6 +195,20 @@ func WithTarget(length int64) Option {
 func WithSeed(seed int64) Option {
 	return func(o *options) error {
 		o.seed = seed
+		return nil
+	}
+}
+
+// WithNodes selects the paper's distributed evolutionary algorithm with
+// the given number of cooperating in-process nodes (the paper uses 8; 1
+// runs the EA without neighbours, the paper's cooperation baseline).
+// Without this option the Solver runs plain Chained Lin-Kernighan.
+func WithNodes(n int) Option {
+	return func(o *options) error {
+		if n <= 0 {
+			return fmt.Errorf("distclk: need at least one node, got %d", n)
+		}
+		o.nodes = n
 		return nil
 	}
 }
@@ -179,6 +255,18 @@ func WithKicksPerCall(k int64) Option {
 	}
 }
 
+// WithProgressInterval sets the sampling period of the Progress channel
+// (default 100ms).
+func WithProgressInterval(d time.Duration) Option {
+	return func(o *options) error {
+		if d <= 0 {
+			return fmt.Errorf("distclk: non-positive progress interval %v", d)
+		}
+		o.interval = d
+		return nil
+	}
+}
+
 func build(opts []Option) (options, error) {
 	o := defaults()
 	for _, fn := range opts {
@@ -189,62 +277,206 @@ func build(opts []Option) (options, error) {
 	return o, nil
 }
 
+// Solver is a configured, single-use solve: build it with New, optionally
+// subscribe to Progress, then call Solve. A Solver must not be shared
+// across goroutines (the Progress channel may be consumed elsewhere).
+type Solver struct {
+	in       *Instance
+	o        options
+	observer *obs.Observer
+	progress chan Snapshot
+	solved   bool
+}
+
+// New validates the options and builds a Solver over the instance.
+func New(in *Instance, opts ...Option) (*Solver, error) {
+	if in == nil {
+		return nil, fmt.Errorf("distclk: nil instance")
+	}
+	o, err := build(opts)
+	if err != nil {
+		return nil, err
+	}
+	nodes := o.nodes
+	if nodes == 0 {
+		nodes = 1
+	}
+	return &Solver{in: in, o: o, observer: obs.NewObserver(nodes, nil)}, nil
+}
+
+// Progress returns a channel of periodic solve snapshots. Call Progress
+// before Solve starts — e.g. on the goroutine that will call Solve, not
+// inside the consuming goroutine, or the subscription may race with the
+// solve and miss it. Sampling is latest-wins: a slow consumer sees fresh
+// snapshots, never a backlog. The channel closes when Solve returns.
+func (s *Solver) Progress() <-chan Snapshot {
+	if s.progress == nil {
+		s.progress = make(chan Snapshot, 1)
+	}
+	return s.progress
+}
+
+// snapshot samples the observer.
+func (s *Solver) snapshot() Snapshot {
+	var kicks, restarts, broadcasts int64
+	for _, c := range s.observer.Counters() {
+		kicks += c.Kicks
+		restarts += c.Restarts
+		broadcasts += c.BroadcastsSent
+	}
+	elapsed := s.observer.Elapsed()
+	nodes := s.observer.Nodes()
+	procs := runtime.GOMAXPROCS(0)
+	if procs > nodes {
+		procs = nodes
+	}
+	return Snapshot{
+		Elapsed:    elapsed,
+		CPUPerNode: time.Duration(float64(elapsed) * float64(procs) / float64(nodes)),
+		BestLength: s.observer.BestLength(),
+		Kicks:      kicks,
+		Restarts:   restarts,
+		Broadcasts: broadcasts,
+	}
+}
+
+// pump samples progress every interval until done, closing the channel on
+// exit. Each tick also records a snapshot event into the observer, so
+// event traces carry the progress timeline.
+func (s *Solver) pump(done <-chan struct{}) {
+	ticker := time.NewTicker(s.o.interval)
+	defer ticker.Stop()
+	defer close(s.progress)
+	for {
+		select {
+		case <-done:
+			return
+		case <-ticker.C:
+			s.observer.Snapshot()
+			snap := s.snapshot()
+			select {
+			case s.progress <- snap:
+			default:
+				// Latest wins: evict the stale snapshot, then retry once.
+				select {
+				case <-s.progress:
+				default:
+				}
+				select {
+				case s.progress <- snap:
+				default:
+				}
+			}
+		}
+	}
+}
+
+// Solve runs the solve until the budget, target, kick bound, or ctx ends
+// it — whichever comes first — and returns the best tour found.
+// Cancellation is not an error: the best-so-far result comes back with a
+// nil error. Solve may be called once per Solver.
+func (s *Solver) Solve(ctx context.Context) (Result, error) {
+	if s.solved {
+		return Result{}, fmt.Errorf("distclk: Solve already called on this Solver")
+	}
+	s.solved = true
+	ctx, cancel := context.WithTimeout(ctx, s.o.budget)
+	defer cancel()
+
+	done := make(chan struct{})
+	if s.progress != nil {
+		go s.pump(done)
+	}
+	defer close(done)
+
+	start := time.Now()
+	var res Result
+	if s.o.nodes == 0 {
+		res = s.solveCLK(ctx)
+	} else {
+		res = s.solveCluster(ctx)
+	}
+	res.Elapsed = time.Since(start)
+	for _, c := range s.observer.Counters() {
+		res.PerNode = append(res.PerNode, NodeStats{
+			Node:               c.Node,
+			BestLength:         c.BestLength,
+			Kicks:              c.Kicks,
+			Improvements:       c.Improvements,
+			Restarts:           c.Restarts,
+			BroadcastsSent:     c.BroadcastsSent,
+			BroadcastsReceived: c.BroadcastsReceived,
+			BroadcastsAccepted: c.BroadcastsAccepted,
+		})
+	}
+	return res, nil
+}
+
+func (s *Solver) solveCLK(ctx context.Context) Result {
+	p := clk.DefaultParams()
+	p.Kick = s.o.kick
+	engine := clk.New(s.in, p, s.o.seed)
+	engine.Rec = s.observer.Recorder(0)
+	engine.Rec.SetBest(engine.BestLength())
+	res := engine.Run(ctx, clk.Budget{
+		MaxKicks: s.o.maxKicks,
+		Target:   s.o.target,
+	})
+	return Result{
+		Tour:   res.Tour,
+		Length: res.Length,
+		Nodes:  1,
+	}
+}
+
+func (s *Solver) solveCluster(ctx context.Context) Result {
+	ea := core.DefaultConfig()
+	ea.CV, ea.CR = s.o.cv, s.o.cr
+	ea.CLK.Kick = s.o.kick
+	ea.KicksPerCall = s.o.kpc
+	res := dist.RunCluster(ctx, s.in, dist.ClusterConfig{
+		Nodes:  s.o.nodes,
+		Topo:   s.o.topo,
+		EA:     ea,
+		Budget: core.Budget{Target: s.o.target},
+		Seed:   s.o.seed,
+		Obs:    s.observer,
+	})
+	return Result{
+		Tour:       res.BestTour,
+		Length:     res.BestLength,
+		Nodes:      s.o.nodes,
+		Broadcasts: res.Broadcasts(),
+	}
+}
+
 // SolveCLK runs plain Chained Lin-Kernighan (the paper's ABCC-CLK
 // reference configuration) on one goroutine.
+//
+// Deprecated: use New and (*Solver).Solve, which add cancellation and
+// progress reporting.
 func SolveCLK(in *Instance, opts ...Option) (Result, error) {
-	o, err := build(opts)
+	s, err := New(in, opts...)
 	if err != nil {
 		return Result{}, err
 	}
-	p := clk.DefaultParams()
-	p.Kick = o.kick
-	start := time.Now()
-	s := clk.New(in, p, o.seed)
-	res := s.Run(clk.Budget{
-		MaxKicks: o.maxKicks,
-		Deadline: start.Add(o.budget),
-		Target:   o.target,
-	})
-	return Result{
-		Tour:    res.Tour,
-		Length:  res.Length,
-		Elapsed: time.Since(start),
-		Nodes:   1,
-	}, nil
+	return s.Solve(context.Background())
 }
 
 // SolveDistributed runs the paper's distributed algorithm with the given
 // number of cooperating in-process nodes (the paper uses 8) under a
 // per-node budget. For multi-machine deployments use cmd/hub and
 // cmd/distclk instead.
+//
+// Deprecated: use New with WithNodes and (*Solver).Solve, which add
+// cancellation and progress reporting.
 func SolveDistributed(in *Instance, nodes int, opts ...Option) (Result, error) {
 	if nodes <= 0 {
 		return Result{}, fmt.Errorf("distclk: need at least one node, got %d", nodes)
 	}
-	o, err := build(opts)
+	s, err := New(in, append([]Option{WithNodes(nodes)}, opts...)...)
 	if err != nil {
 		return Result{}, err
 	}
-	ea := core.DefaultConfig()
-	ea.CV, ea.CR = o.cv, o.cr
-	ea.CLK.Kick = o.kick
-	ea.KicksPerCall = o.kpc
-	start := time.Now()
-	res := dist.RunCluster(in, dist.ClusterConfig{
-		Nodes: nodes,
-		Topo:  o.topo,
-		EA:    ea,
-		Budget: core.Budget{
-			Deadline: start.Add(o.budget),
-			Target:   o.target,
-		},
-		Seed: o.seed,
-	})
-	return Result{
-		Tour:       res.BestTour,
-		Length:     res.BestLength,
-		Elapsed:    res.Elapsed,
-		Nodes:      nodes,
-		Broadcasts: res.Broadcasts(),
-	}, nil
+	return s.Solve(context.Background())
 }

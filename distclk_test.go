@@ -98,6 +98,21 @@ func TestOptionsValidation(t *testing.T) {
 	if _, err := SolveDistributed(in, 2, WithEAParameters(0, 5)); err == nil {
 		t.Error("bad EA parameters accepted")
 	}
+	if _, err := New(in, WithMaxKicks(-1)); err == nil {
+		t.Error("negative max kicks accepted")
+	}
+	if _, err := New(in, WithTarget(-5)); err == nil {
+		t.Error("negative target accepted")
+	}
+	if _, err := New(in, WithNodes(0)); err == nil {
+		t.Error("zero nodes accepted by WithNodes")
+	}
+	if _, err := New(in, WithProgressInterval(0)); err == nil {
+		t.Error("zero progress interval accepted")
+	}
+	if _, err := New(in, WithKicksPerCall(0)); err == nil {
+		t.Error("zero kicks per call accepted")
+	}
 }
 
 func TestAllOptionsApply(t *testing.T) {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -31,7 +32,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	go hub.Serve()
+	ctx := context.Background()
+	go hub.Serve(ctx)
 	fmt.Printf("hub listening on %s\n", hub.Addr())
 
 	var wg sync.WaitGroup
@@ -40,7 +42,7 @@ func main() {
 		wg.Add(1)
 		go func(idx int) {
 			defer wg.Done()
-			tn, err := dist.JoinTCP(hub.Addr(), "127.0.0.1:0", in.N())
+			tn, err := dist.JoinTCP(ctx, hub.Addr(), "127.0.0.1:0", in.N())
 			if err != nil {
 				log.Printf("node %d join failed: %v", idx, err)
 				return
@@ -49,10 +51,10 @@ func main() {
 			cfg := core.DefaultConfig()
 			cfg.CV, cfg.CR = 4, 16 // scaled to the short demo budget
 			cfg.KicksPerCall = 10
+			runCtx, cancel := context.WithTimeout(ctx, 4*time.Second)
+			defer cancel()
 			node := core.NewNode(tn.ID, in, cfg, tn, int64(idx+1))
-			stats[idx] = node.Run(core.Budget{
-				Deadline: time.Now().Add(4 * time.Second),
-			})
+			stats[idx] = node.Run(runCtx, core.Budget{})
 		}(i)
 	}
 	wg.Wait()

@@ -5,6 +5,7 @@ package distclk
 // -> bounds, with invariants validated at each stage.
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -55,7 +56,7 @@ func TestFullPipeline(t *testing.T) {
 	// Stage 4: CLK chaining from the polished tour.
 	solver := clk.New(in, clk.DefaultParams(), 3)
 	solver.SetTour(polished)
-	res := solver.Run(clk.Budget{MaxKicks: 150})
+	res := solver.Run(context.Background(), clk.Budget{MaxKicks: 150})
 	if res.Length > orLen {
 		t.Fatalf("CLK worsened polished tour: %d -> %d", orLen, res.Length)
 	}
@@ -65,11 +66,13 @@ func TestFullPipeline(t *testing.T) {
 	ea := core.DefaultConfig()
 	ea.CV, ea.CR = 4, 16
 	ea.KicksPerCall = 10
-	cres := dist.RunCluster(in, dist.ClusterConfig{
+	cctx, ccancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer ccancel()
+	cres := dist.RunCluster(cctx, in, dist.ClusterConfig{
 		Nodes:  4,
 		Topo:   topology.Hypercube,
 		EA:     ea,
-		Budget: core.Budget{MaxIterations: 20, Deadline: time.Now().Add(60 * time.Second)},
+		Budget: core.Budget{MaxIterations: 20},
 		Seed:   5,
 	})
 	if err := cres.BestTour.Validate(400); err != nil {
@@ -105,7 +108,7 @@ func TestSeedDeterminismCLK(t *testing.T) {
 	in := tsp.Generate(tsp.FamilyUniform, 200, 23)
 	run := func() int64 {
 		s := clk.New(in, clk.DefaultParams(), 77)
-		return s.Run(clk.Budget{MaxKicks: 60}).Length
+		return s.Run(context.Background(), clk.Budget{MaxKicks: 60}).Length
 	}
 	a, b := run(), run()
 	if a != b {
@@ -123,13 +126,15 @@ func TestAllFamiliesThroughDistributedLoop(t *testing.T) {
 		in := tsp.Generate(fam, 150, 29)
 		ea := core.DefaultConfig()
 		ea.KicksPerCall = 5
-		res := dist.RunCluster(in, dist.ClusterConfig{
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		res := dist.RunCluster(ctx, in, dist.ClusterConfig{
 			Nodes:  2,
 			Topo:   topology.Ring,
 			EA:     ea,
-			Budget: core.Budget{MaxIterations: 4, Deadline: time.Now().Add(60 * time.Second)},
+			Budget: core.Budget{MaxIterations: 4},
 			Seed:   7,
 		})
+		cancel()
 		if err := res.BestTour.Validate(150); err != nil {
 			t.Fatalf("%v: %v", fam, err)
 		}

@@ -9,6 +9,7 @@ import (
 
 	"distclk/internal/clk"
 	"distclk/internal/dist"
+	"distclk/internal/obs"
 	"distclk/internal/tsp"
 )
 
@@ -407,27 +408,34 @@ func (b *Bench) Messages(w io.Writer) error {
 	}
 	var totalBroadcasts int64
 	for i, res := range results {
-		ledger := res.Ledger
+		// The broadcast ledger is the broadcast-sent slice of the obs event
+		// stream (already ordered by run-clock offset).
+		var sent []obs.Event
+		for _, e := range res.Events {
+			if e.Kind == obs.KindBroadcastSent {
+				sent = append(sent, e)
+			}
+		}
 		early := 0
 		cutoff := time.Duration(float64(res.Elapsed) * 0.2)
-		for _, rec := range ledger {
-			if rec.At <= cutoff {
+		for _, e := range sent {
+			if e.At <= cutoff {
 				early++
 			}
 		}
 		frac := "-"
-		if len(ledger) > 0 {
-			frac = fmt.Sprintf("%.0f%%", float64(early)/float64(len(ledger))*100)
+		if len(sent) > 0 {
+			frac = fmt.Sprintf("%.0f%%", float64(early)/float64(len(sent))*100)
 		}
 		// The paper: "the first 10 messages of a run were sent by nodes
 		// that had consumed less than 1116 CPU seconds" — report the time
 		// by which the 10th broadcast happened, as a fraction of the run.
 		tenth := "-"
-		if len(ledger) >= 10 {
-			tenth = fmt.Sprintf("%.0f%% of run", float64(ledger[9].At)/float64(res.Elapsed)*100)
+		if len(sent) >= 10 {
+			tenth = fmt.Sprintf("%.0f%% of run", float64(sent[9].At)/float64(res.Elapsed)*100)
 		}
-		tbl.AddRow(i, len(ledger), fmt.Sprintf("%.1f", float64(len(ledger))/float64(b.Opt.Nodes)), frac, tenth)
-		totalBroadcasts += int64(len(ledger))
+		tbl.AddRow(i, len(sent), fmt.Sprintf("%.1f", float64(len(sent))/float64(b.Opt.Nodes)), frac, tenth)
+		totalBroadcasts += int64(len(sent))
 	}
 	tbl.Note("average %.1f broadcasts per run; the paper reports 84.9 on sw24978 with most sent early",
 		float64(totalBroadcasts)/float64(len(results)))
@@ -451,21 +459,19 @@ func (b *Bench) Variator(w io.Writer) error {
 	for i, res := range results {
 		improves, levelUps, restarts := 0, 0, 0
 		maxLevel := int64(1)
-		for _, events := range res.Events {
-			for _, e := range events {
-				switch {
-				case e.Kind.String() == "improve-local" || e.Kind.String() == "improve-received":
-					improves++
-				case e.Kind.String() == "perturb-level":
-					if e.Value > 1 {
-						levelUps++
-					}
-					if e.Value > maxLevel {
-						maxLevel = e.Value
-					}
-				case e.Kind.String() == "restart":
-					restarts++
+		for _, e := range res.Events {
+			switch e.Kind {
+			case obs.KindImprove, obs.KindImproveReceived:
+				improves++
+			case obs.KindPerturbLevel:
+				if e.Value > 1 {
+					levelUps++
 				}
+				if e.Value > maxLevel {
+					maxLevel = e.Value
+				}
+			case obs.KindRestart:
+				restarts++
 			}
 		}
 		tbl.AddRow(i, improves, maxLevel, levelUps, restarts)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"distclk/internal/core"
 	"distclk/internal/dist"
 	"distclk/internal/heldkarp"
+	"distclk/internal/obs"
 	"distclk/internal/topology"
 	"distclk/internal/tsp"
 )
@@ -136,6 +138,10 @@ type Bench struct {
 	instances map[string]*tsp.Instance
 	hk        map[string]int64
 
+	// Trace, when set, receives every obs event of every run (e.g. a
+	// JSONLSink for offline analysis of the experiment's search behaviour).
+	Trace obs.Sink
+
 	runCache     map[runKey][]Series
 	clusterCache map[runKey][]dist.ClusterResult
 }
@@ -197,10 +203,20 @@ func (b *Bench) RunCLK(in *tsp.Instance, kick clk.KickStrategy, budget time.Dura
 	s := clk.New(in, p, seed)
 	series := Series{Label: fmt.Sprintf("CLK/%s", kick)}
 	series.Points = append(series.Points, Point{T: time.Since(start), Len: s.BestLength()})
-	s.OnImprove = func(length int64, kicks int64) {
-		series.Points = append(series.Points, Point{T: time.Since(start), Len: length})
+	// Trace every LK improvement straight off the event stream. Run is
+	// single-goroutine, so appending from the sink is race-free.
+	var sink obs.Sink = obs.SinkFunc(func(e obs.Event) {
+		if e.Kind == obs.KindLKImprove {
+			series.Points = append(series.Points, Point{T: time.Since(start), Len: e.Value})
+		}
+	})
+	if b.Trace != nil {
+		sink = obs.Multi(sink, b.Trace)
 	}
-	res := s.Run(clk.Budget{Deadline: start.Add(budget), Target: target})
+	s.Rec = obs.NewRecorder(0, sink)
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	res := s.Run(ctx, clk.Budget{Target: target})
 	series.Final = res.Length
 	series.Points = append(series.Points, Point{T: time.Since(start), Len: res.Length})
 	return series
@@ -237,24 +253,28 @@ func (b *Bench) RunDist(in *tsp.Instance, nodes int, perNodeCPU time.Duration, k
 	if b.Opt.KicksPerCall > 0 {
 		ea.KicksPerCall = b.Opt.KicksPerCall
 	}
-	res := dist.RunCluster(in, dist.ClusterConfig{
-		Nodes: nodes,
-		Topo:  topology.Hypercube,
-		EA:    ea,
-		Budget: core.Budget{
-			Deadline: time.Now().Add(wall),
-			Target:   target,
-		},
-		Seed: seed,
+	ctx, cancel := context.WithTimeout(context.Background(), wall)
+	defer cancel()
+	res := dist.RunCluster(ctx, in, dist.ClusterConfig{
+		Nodes:  nodes,
+		Topo:   topology.Hypercube,
+		EA:     ea,
+		Budget: core.Budget{Target: target},
+		Seed:   seed,
+		Obs:    obs.NewObserver(nodes, b.Trace),
 	})
 	series := Series{Label: fmt.Sprintf("DistCLK/%d", nodes), Final: res.BestLength}
 	// The cluster trace is global (best across nodes improves over time as
-	// nodes improve locally); keep the running minimum.
+	// nodes improve locally); keep the running minimum over the improvement
+	// events of all nodes.
 	best := int64(1 << 62)
-	for _, tp := range res.Trace {
-		if tp.Length < best {
-			best = tp.Length
-			series.Points = append(series.Points, Point{T: tp.At, Len: tp.Length})
+	for _, e := range res.Events {
+		if e.Kind != obs.KindImprove && e.Kind != obs.KindImproveReceived {
+			continue
+		}
+		if e.Value < best {
+			best = e.Value
+			series.Points = append(series.Points, Point{T: e.At, Len: e.Value})
 		}
 	}
 	series.Points = append(series.Points, Point{T: res.Elapsed, Len: res.BestLength})

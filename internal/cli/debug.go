@@ -1,0 +1,59 @@
+package cli
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+
+	"distclk/internal/obs"
+)
+
+// ServeDebug starts the long-running binaries' debug endpoints, governed by
+// the -pprof and -metrics flags (empty string disables either):
+//
+//   - pprofAddr serves net/http/pprof under /debug/pprof/
+//   - metricsAddr serves an expvar-style JSON snapshot of snap() under
+//     /metrics
+//
+// Listeners bind immediately (so port 0 works and misconfiguration fails
+// fast); serving happens on background goroutines that live for the
+// process lifetime. The bound addresses are announced on stderr.
+func ServeDebug(pprofAddr, metricsAddr string, snap func() any) error {
+	if pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		if err := serveBackground("pprof", pprofAddr, mux); err != nil {
+			return err
+		}
+	}
+	if metricsAddr != "" {
+		if snap == nil {
+			return fmt.Errorf("cli: -metrics requires a snapshot source")
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.MetricsHandler(snap))
+		if err := serveBackground("metrics", metricsAddr, mux); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func serveBackground(name, addr string, h http.Handler) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cli: %s listener: %w", name, err)
+	}
+	fmt.Fprintf(os.Stderr, "%s: serving on http://%s\n", name, ln.Addr())
+	go func() {
+		srv := &http.Server{Handler: h}
+		_ = srv.Serve(ln)
+	}()
+	return nil
+}

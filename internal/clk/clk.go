@@ -1,12 +1,14 @@
 package clk
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
 	"distclk/internal/construct"
 	"distclk/internal/lk"
 	"distclk/internal/neighbor"
+	"distclk/internal/obs"
 	"distclk/internal/tsp"
 )
 
@@ -44,33 +46,45 @@ func DefaultParams() Params {
 	}
 }
 
-// Budget bounds a Run. Zero values disable the respective bound.
+// Budget bounds a Run. Zero values disable the respective bound. Time
+// limits and external shutdown arrive through the Run context (deadline or
+// cancellation), not through Budget.
 type Budget struct {
 	// MaxKicks stops after this many kicks.
 	MaxKicks int64
-	// Deadline stops when the wall clock passes it.
-	Deadline time.Time
 	// Target stops as soon as the incumbent is <= Target (e.g. a known
 	// optimum, the paper's extra termination criterion).
 	Target int64
-	// Stop, when non-nil, is polled between kicks for external shutdown.
-	Stop func() bool
 }
 
-func (b Budget) expired(now time.Time, kicks int64, best int64) bool {
+func (b Budget) expired(ctx context.Context, kicks int64, best int64) bool {
 	if b.MaxKicks > 0 && kicks >= b.MaxKicks {
-		return true
-	}
-	if !b.Deadline.IsZero() && now.After(b.Deadline) {
 		return true
 	}
 	if b.Target > 0 && best <= b.Target {
 		return true
 	}
-	if b.Stop != nil && b.Stop() {
+	if ctx.Err() != nil {
 		return true
 	}
 	return false
+}
+
+// cancelPoll adapts a context to the lk.Optimizer abort hook, making a
+// cancellation cut short even a single in-flight LK pass (the optimizer
+// polls every 64 cities).
+func cancelPoll(ctx context.Context) func() bool {
+	if ctx.Done() == nil {
+		return nil
+	}
+	return func() bool {
+		select {
+		case <-ctx.Done():
+			return true
+		default:
+			return false
+		}
+	}
 }
 
 // Result reports a Run's outcome.
@@ -97,8 +111,9 @@ type Solver struct {
 
 	kicker kicker
 
-	// OnImprove, when set, observes every new incumbent (for traces).
-	OnImprove func(length int64, kicks int64)
+	// Rec, when set, receives kick and improvement events and keeps the
+	// solver's counters. A nil recorder costs one nil check per kick.
+	Rec *obs.Recorder
 
 	kicks int64
 }
@@ -203,35 +218,43 @@ func (s *Solver) OptimizeCurrent() int64 {
 // it is no longer than the incumbent (linkern accepts ties to drift across
 // plateaus); otherwise the working tour reverts to the incumbent.
 // It reports whether the incumbent strictly improved.
-func (s *Solver) KickOnce() bool {
+func (s *Solver) KickOnce() bool { return s.kickOnce(nil) }
+
+// kickOnce is KickOnce with an abort hook threaded into the embedded LK
+// pass; an aborted pass still leaves a valid working tour, so acceptance
+// logic is unchanged.
+func (s *Solver) kickOnce(stop func() bool) bool {
 	delta, touched := DoubleBridge(s.opt.Tour, s.kicker.selectCities(s.Inst.N()), s.kicker.dist)
 	s.opt.SetLength(s.bestLen + delta)
 	s.opt.QueueCities(touched[:])
-	s.opt.Optimize(nil)
+	s.opt.Optimize(stop)
 	s.kicks++
 	if s.opt.Length() <= s.bestLen {
 		improved := s.opt.Length() < s.bestLen
 		s.bestLen = s.opt.Length()
 		s.best.CopyFrom(s.opt.Tour)
+		s.Rec.KickAccepted(s.bestLen)
 		return improved
 	}
 	// Revert the working tour to the incumbent.
 	s.opt.Tour.CopyFrom(s.best)
 	s.opt.SetLength(s.bestLen)
+	s.Rec.KickReverted()
 	return false
 }
 
-// Run chains kicks until the budget expires and returns the incumbent.
-func (s *Solver) Run(b Budget) Result {
+// Run chains kicks until the budget expires or ctx is done, and returns
+// the incumbent. Cancellation is responsive mid-kick: the context is also
+// polled inside the LK pass.
+func (s *Solver) Run(ctx context.Context, b Budget) Result {
 	start := time.Now()
 	startKicks := s.kicks
+	stop := cancelPoll(ctx)
 	var improves int64
-	for !b.expired(time.Now(), s.kicks-startKicks, s.bestLen) {
-		if s.KickOnce() {
+	for !b.expired(ctx, s.kicks-startKicks, s.bestLen) {
+		if s.kickOnce(stop) {
 			improves++
-			if s.OnImprove != nil {
-				s.OnImprove(s.bestLen, s.kicks)
-			}
+			s.Rec.LKImprove(s.bestLen)
 		}
 	}
 	tour, l := s.Best()
@@ -257,6 +280,7 @@ func (s *Solver) Perturb(count int) {
 		s.opt.QueueCities(touched[:])
 	}
 	s.opt.SetLength(length)
+	s.Rec.Perturb(count)
 }
 
 // RunPerturbed re-optimizes the (already perturbed) working tour with LK,
@@ -264,14 +288,14 @@ func (s *Solver) Perturb(count int) {
 // comparison is against the perturbed tour's optimum, so a worse-than-
 // incumbent result can still be adopted — the EA decides what to keep.
 // It returns the best tour reached from the perturbed start.
-func (s *Solver) RunPerturbed(b Budget) Result {
+func (s *Solver) RunPerturbed(ctx context.Context, b Budget) Result {
 	start := time.Now()
-	s.opt.Optimize(nil)
+	s.opt.Optimize(cancelPoll(ctx))
 	// Adopt the re-optimized perturbed tour as the chain incumbent even if
 	// worse than the previous one: the EA's SELECTBESTTOUR owns acceptance.
 	s.bestLen = s.opt.Length()
 	s.best.CopyFrom(s.opt.Tour)
-	res := s.Run(b)
+	res := s.Run(ctx, b)
 	res.Elapsed = time.Since(start)
 	return res
 }

@@ -1,6 +1,7 @@
 package clk
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -178,7 +179,7 @@ func TestCLKSolvesSmallToOptimum(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := New(in, DefaultParams(), 1)
-	res := s.Run(Budget{MaxKicks: 300, Target: optLen})
+	res := s.Run(context.Background(), Budget{MaxKicks: 300, Target: optLen})
 	if res.Length != optLen {
 		t.Fatalf("CLK reached %d, optimum is %d", res.Length, optLen)
 	}
@@ -213,7 +214,7 @@ func TestCLKKickStrategiesAllRun(t *testing.T) {
 		p := DefaultParams()
 		p.Kick = strat
 		s := New(in, p, 3)
-		res := s.Run(Budget{MaxKicks: 40})
+		res := s.Run(context.Background(), Budget{MaxKicks: 40})
 		if err := res.Tour.Validate(150); err != nil {
 			t.Fatalf("%v: %v", strat, err)
 		}
@@ -226,10 +227,30 @@ func TestCLKKickStrategiesAllRun(t *testing.T) {
 func TestCLKDeadline(t *testing.T) {
 	in := tsp.Generate(tsp.FamilyUniform, 300, 37)
 	s := New(in, DefaultParams(), 4)
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
 	start := time.Now()
-	s.Run(Budget{Deadline: time.Now().Add(150 * time.Millisecond)})
+	s.Run(ctx, Budget{})
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
 		t.Fatalf("deadline overrun: %v", elapsed)
+	}
+}
+
+func TestCLKCancellation(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 500, 53)
+	s := New(in, DefaultParams(), 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res := s.Run(ctx, Budget{})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation ignored: ran %v", elapsed)
+	}
+	if err := res.Tour.Validate(500); err != nil {
+		t.Fatalf("cancelled run returned invalid tour: %v", err)
 	}
 }
 
@@ -238,7 +259,7 @@ func TestPerturbAndRunPerturbed(t *testing.T) {
 	s := New(in, DefaultParams(), 5)
 	base := s.BestLength()
 	s.Perturb(3)
-	res := s.RunPerturbed(Budget{MaxKicks: 10})
+	res := s.RunPerturbed(context.Background(), Budget{MaxKicks: 10})
 	if err := res.Tour.Validate(200); err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +279,7 @@ func TestSetTourAdoptsExternalTour(t *testing.T) {
 	if b.BestLength() != la {
 		t.Fatalf("adopted tour length %d, want %d", b.BestLength(), la)
 	}
-	res := b.Run(Budget{MaxKicks: 5})
+	res := b.Run(context.Background(), Budget{MaxKicks: 5})
 	if res.Length > la {
 		t.Fatalf("run from adopted tour worsened incumbent %d -> %d", la, res.Length)
 	}

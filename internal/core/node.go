@@ -4,14 +4,17 @@
 // variable-strength double-bridge move, exchanges improved tours with
 // neighbouring nodes, and restarts from a fresh tour after prolonged
 // stagnation. The package is transport-agnostic: networking is behind the
-// Comm interface, implemented by internal/dist.
+// Comm interface, implemented by internal/dist. Search telemetry flows
+// through an optional obs.Recorder.
 package core
 
 import (
+	"context"
 	"time"
 
 	"distclk/internal/clk"
 	"distclk/internal/construct"
+	"distclk/internal/obs"
 	"distclk/internal/tsp"
 )
 
@@ -84,53 +87,15 @@ func (NopComm) AnnounceOptimum(int64) {}
 // Stopped reports false.
 func (NopComm) Stopped() bool { return false }
 
-// EventKind tags entries of the node's event log (§4.2.1 analysis).
-type EventKind int
-
-const (
-	// EventImproveLocal: the node's own CLK produced the new best tour.
-	EventImproveLocal EventKind = iota
-	// EventImproveReceived: a received tour became the new best.
-	EventImproveReceived
-	// EventPerturbLevel: NumPerturbations changed.
-	EventPerturbLevel
-	// EventRestart: the incumbent was discarded (NumNoImprovements > CR).
-	EventRestart
-	// EventOptimum: the target length was reached locally.
-	EventOptimum
-)
-
-// String names the event kind.
-func (k EventKind) String() string {
-	switch k {
-	case EventImproveLocal:
-		return "improve-local"
-	case EventImproveReceived:
-		return "improve-received"
-	case EventPerturbLevel:
-		return "perturb-level"
-	case EventRestart:
-		return "restart"
-	case EventOptimum:
-		return "optimum"
-	}
-	return "unknown"
-}
-
-// Event is one entry of a node's run log.
-type Event struct {
-	At    time.Duration // since the node's Run started
-	Kind  EventKind
-	Value int64 // new length, or perturbation level
-}
-
 // Stats summarizes a node's run.
 type Stats struct {
 	NodeID     int
 	BestLength int64
 	Iterations int64
-	Broadcasts int64
-	Received   int64
+	Kicks      int64 // double-bridge kicks attempted by the embedded CLK
+	Broadcasts int64 // tours broadcast to neighbours
+	Received   int64 // tours drained from the inbox
+	Accepted   int64 // received tours adopted as node best
 	Restarts   int64
 	Elapsed    time.Duration
 }
@@ -141,16 +106,13 @@ type Node struct {
 	cfg    Config
 	solver *clk.Solver
 	comm   Comm
+	rec    *obs.Recorder
 
 	sBest    tsp.Tour
 	sBestLen int64
 
 	noImprove    int
 	perturbLevel int
-
-	// Events is the run log; OnImprove (optional) observes every new best.
-	Events    []Event
-	OnImprove func(length int64, at time.Duration)
 
 	stats Stats
 	start time.Time
@@ -182,6 +144,16 @@ func NewNode(id int, inst *tsp.Instance, cfg Config, comm Comm, seed int64) *Nod
 	return n
 }
 
+// SetRecorder attaches the node's observability recorder (nil is fine) and
+// threads it into the embedded CLK solver. Call before Run.
+func (n *Node) SetRecorder(rec *obs.Recorder) {
+	n.rec = rec
+	n.solver.Rec = rec
+}
+
+// Recorder returns the attached recorder (possibly nil).
+func (n *Node) Recorder() *obs.Recorder { return n.rec }
+
 // Solver exposes the underlying CLK engine (read-mostly; used by tests and
 // the harness).
 func (n *Node) Solver() *clk.Solver { return n.solver }
@@ -194,21 +166,18 @@ func (n *Node) Best() (tsp.Tour, int64) {
 	return n.sBest.Clone(), n.sBestLen
 }
 
-// Budget bounds a node's Run.
+// Budget bounds a node's Run. Time limits and external shutdown arrive
+// through the Run context.
 type Budget struct {
-	// Deadline stops the loop when the wall clock passes it.
-	Deadline time.Time
 	// Target stops the loop once the best tour is <= Target and triggers
 	// AnnounceOptimum (the paper's known-optimum termination criterion).
 	Target int64
 	// MaxIterations bounds EA iterations (0 = unlimited).
 	MaxIterations int64
-	// Stop is polled each iteration for external shutdown.
-	Stop func() bool
 }
 
-func (b Budget) done(iter int64, best int64, comm Comm) bool {
-	if !b.Deadline.IsZero() && time.Now().After(b.Deadline) {
+func (b Budget) done(ctx context.Context, iter int64, best int64, comm Comm) bool {
+	if ctx.Err() != nil {
 		return true
 	}
 	if b.Target > 0 && best <= b.Target {
@@ -217,68 +186,62 @@ func (b Budget) done(iter int64, best int64, comm Comm) bool {
 	if b.MaxIterations > 0 && iter >= b.MaxIterations {
 		return true
 	}
-	if b.Stop != nil && b.Stop() {
-		return true
-	}
 	return comm.Stopped()
 }
 
-func (n *Node) log(kind EventKind, value int64) {
-	at := time.Since(n.start)
-	n.Events = append(n.Events, Event{At: at, Kind: kind, Value: value})
-	if kind == EventImproveLocal || kind == EventImproveReceived {
-		if n.OnImprove != nil {
-			n.OnImprove(value, at)
-		}
-	}
-}
-
-// Run executes the Figure 1 loop until the budget expires and returns the
-// node's statistics. It must be called at most once per Node.
-func (n *Node) Run(b Budget) Stats {
+// Run executes the Figure 1 loop until the budget expires or ctx is done,
+// and returns the node's statistics. It must be called at most once per
+// Node.
+func (n *Node) Run(ctx context.Context, b Budget) Stats {
 	n.start = time.Now()
 
 	// s_prev := INITIALTOUR; s_best := CHAINEDLINKERNIGHAN(s_prev).
 	// NewNode already constructed + LK-optimized the initial tour; the
 	// initial chained run completes the first line of the pseudocode.
-	n.runCLK(b)
+	n.runCLK(ctx, b)
 	n.sBest, n.sBestLen = n.solver.Best()
-	n.log(EventImproveLocal, n.sBestLen)
-	n.comm.Broadcast(n.sBest, n.sBestLen)
-	n.stats.Broadcasts++
+	n.rec.Improve(n.sBestLen)
+	n.broadcast(n.sBest, n.sBestLen)
 	n.perturbLevel = 1
 
 	sPrevLen := n.sBestLen
-	for !b.done(n.stats.Iterations, n.sBestLen, n.comm) {
+	for !b.done(ctx, n.stats.Iterations, n.sBestLen, n.comm) {
 		n.stats.Iterations++
 
 		// s := CHAINEDLINKERNIGHAN(PERTURBATE(s_best))
 		n.perturbate()
-		res := n.runCLK(b)
+		res := n.runCLK(ctx, b)
 		s, sLen := res.Tour, res.Length
 
 		// S_received := ALLRECEIVEDTOURS
 		received := n.comm.Drain()
 		n.stats.Received += int64(len(received))
+		for _, in := range received {
+			n.rec.BroadcastReceived(in.Length, in.From)
+		}
 
 		// s_best := SELECTBESTTOUR(S_received ∪ {s} ∪ {s_prev})
 		bestLen := sLen
 		bestTour := s
 		fromLocal := true
+		bestFrom := -1
 		for _, in := range received {
 			if in.Length < bestLen {
 				bestLen = in.Length
 				bestTour = in.Tour
 				fromLocal = false
+				bestFrom = in.From
 			}
 		}
 		if n.sBestLen < bestLen {
 			bestLen = n.sBestLen
 			bestTour = n.sBest
 			fromLocal = false
+			bestFrom = -1
 		} else if n.sBestLen == bestLen && !fromLocal {
 			// Tie with the previous best: keep it, no broadcast.
 			bestTour = n.sBest
+			bestFrom = -1
 		}
 
 		if bestLen == sPrevLen {
@@ -288,11 +251,13 @@ func (n *Node) Run(b Budget) Stats {
 			n.noImprove = 0
 			n.setPerturbLevel(1)
 			if fromLocal {
-				n.comm.Broadcast(bestTour, bestLen)
-				n.stats.Broadcasts++
-				n.log(EventImproveLocal, bestLen)
+				n.rec.Improve(bestLen)
+				n.broadcast(bestTour, bestLen)
 			} else {
-				n.log(EventImproveReceived, bestLen)
+				if bestFrom >= 0 {
+					n.stats.Accepted++
+				}
+				n.rec.ImproveReceived(bestLen, bestFrom)
 			}
 		} else {
 			// Perturbation made things worse and nothing received beats
@@ -308,12 +273,19 @@ func (n *Node) Run(b Budget) Stats {
 	}
 
 	if b.Target > 0 && n.sBestLen <= b.Target {
-		n.log(EventOptimum, n.sBestLen)
+		n.rec.Optimum(n.sBestLen)
 		n.comm.AnnounceOptimum(n.sBestLen)
 	}
 	n.stats.BestLength = n.sBestLen
+	n.stats.Kicks = n.solver.Kicks()
 	n.stats.Elapsed = time.Since(n.start)
 	return n.stats
+}
+
+func (n *Node) broadcast(t tsp.Tour, length int64) {
+	n.comm.Broadcast(t, length)
+	n.stats.Broadcasts++
+	n.rec.BroadcastSent(length)
 }
 
 // perturbate implements PERTURBATE(s): either restart from a fresh tour
@@ -323,7 +295,7 @@ func (n *Node) perturbate() {
 		n.noImprove = 0
 		n.setPerturbLevel(1)
 		n.stats.Restarts++
-		n.log(EventRestart, 0)
+		n.rec.Restart()
 		n.solver.Reconstruct(n.cfg.RestartConstruct)
 		return
 	}
@@ -339,17 +311,15 @@ func (n *Node) perturbate() {
 func (n *Node) setPerturbLevel(level int) {
 	if level != n.perturbLevel {
 		n.perturbLevel = level
-		n.log(EventPerturbLevel, int64(level))
+		n.rec.PerturbLevel(level)
 	}
 }
 
 // runCLK runs the embedded CLK under the per-iteration kick budget, clipped
-// by the global deadline/target.
-func (n *Node) runCLK(b Budget) clk.Result {
-	return n.solver.RunPerturbed(clk.Budget{
+// by the global context/target.
+func (n *Node) runCLK(ctx context.Context, b Budget) clk.Result {
+	return n.solver.RunPerturbed(ctx, clk.Budget{
 		MaxKicks: n.cfg.KicksPerCall,
-		Deadline: b.Deadline,
 		Target:   b.Target,
-		Stop:     b.Stop,
 	})
 }

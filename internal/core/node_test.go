@@ -1,15 +1,33 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
 	"distclk/internal/exact"
+	"distclk/internal/obs"
 	"distclk/internal/tsp"
 )
 
 func smallInstance(n int, seed int64) *tsp.Instance {
 	return tsp.Generate(tsp.FamilyUniform, n, seed)
+}
+
+// testCtx bounds a test run the way Deadline budgets used to.
+func testCtx(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// observe attaches a fresh EA-level event collector to the node and
+// returns it.
+func observe(n *Node) *obs.MemorySink {
+	sink := obs.NewMemorySink()
+	n.SetRecorder(obs.NewRecorder(n.ID, obs.Filter(sink, obs.Kind.EALevel)))
+	return sink
 }
 
 func TestDefaultConfigMatchesPaper(t *testing.T) {
@@ -29,10 +47,10 @@ func TestSingleNodeReachesOptimumSmall(t *testing.T) {
 		t.Fatal(err)
 	}
 	node := NewNode(0, in, DefaultConfig(), NopComm{}, 1)
-	stats := node.Run(Budget{
+	sink := observe(node)
+	stats := node.Run(testCtx(t, 20*time.Second), Budget{
 		Target:        optLen,
 		MaxIterations: 200,
-		Deadline:      time.Now().Add(20 * time.Second),
 	})
 	if stats.BestLength != optLen {
 		t.Fatalf("node reached %d, optimum %d", stats.BestLength, optLen)
@@ -44,15 +62,15 @@ func TestSingleNodeReachesOptimumSmall(t *testing.T) {
 	if tour.Length(in) != l {
 		t.Fatalf("best length mismatch: %d vs %d", tour.Length(in), l)
 	}
-	// Optimum event must be logged.
+	// Optimum event must be recorded.
 	found := false
-	for _, e := range node.Events {
-		if e.Kind == EventOptimum {
+	for _, e := range sink.Events() {
+		if e.Kind == obs.KindOptimum {
 			found = true
 		}
 	}
 	if !found {
-		t.Error("no EventOptimum logged despite reaching target")
+		t.Error("no optimum event recorded despite reaching target")
 	}
 }
 
@@ -81,6 +99,7 @@ func TestRestartAfterCR(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.CR = 16
 	node := NewNode(0, in, cfg, NopComm{}, 3)
+	sink := observe(node)
 	node.SeedBest()
 	node.ForceNoImprove(17) // > CR
 	node.Perturbate()
@@ -88,13 +107,13 @@ func TestRestartAfterCR(t *testing.T) {
 		t.Errorf("counters not reset after restart: %d", node.NoImprove())
 	}
 	restarted := false
-	for _, e := range node.Events {
-		if e.Kind == EventRestart {
+	for _, e := range sink.Events() {
+		if e.Kind == obs.KindRestart {
 			restarted = true
 		}
 	}
 	if !restarted {
-		t.Error("restart not logged")
+		t.Error("restart not recorded")
 	}
 	// The solver must hold a valid optimized tour after reconstruction.
 	tour, _ := node.Solver().Best()
@@ -108,11 +127,12 @@ func TestNoRestartAtOrBelowCR(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.CR = 16
 	node := NewNode(0, in, cfg, NopComm{}, 4)
+	sink := observe(node)
 	node.SeedBest()
 	node.ForceNoImprove(16) // == CR: Figure 1 uses strict >
 	node.Perturbate()
-	for _, e := range node.Events {
-		if e.Kind == EventRestart {
+	for _, e := range sink.Events() {
+		if e.Kind == obs.KindRestart {
 			t.Fatal("restarted at noImprove == CR; pseudocode requires strict >")
 		}
 	}
@@ -145,11 +165,11 @@ func TestReceivedBetterTourAdoptedNotRebroadcast(t *testing.T) {
 
 	// Build a much better tour with a second, longer-running node.
 	helper := NewNode(1, in, DefaultConfig(), NopComm{}, 6)
-	helperStats := helper.Run(Budget{MaxIterations: 30, Deadline: time.Now().Add(10 * time.Second)})
+	helperStats := helper.Run(testCtx(t, 10*time.Second), Budget{MaxIterations: 30})
 	better, betterLen := helper.Best()
 
 	comm.pending = append(comm.pending, Incoming{From: 1, Tour: better, Length: betterLen})
-	node.Run(Budget{MaxIterations: 1, Deadline: time.Now().Add(10 * time.Second)})
+	node.Run(testCtx(t, 10*time.Second), Budget{MaxIterations: 1})
 
 	_, got := node.Best()
 	if got > betterLen {
@@ -167,19 +187,21 @@ func TestReceivedBetterTourAdoptedNotRebroadcast(t *testing.T) {
 func TestEventsTimeline(t *testing.T) {
 	in := smallInstance(120, 13)
 	node := NewNode(0, in, DefaultConfig(), NopComm{}, 7)
-	node.Run(Budget{MaxIterations: 10, Deadline: time.Now().Add(20 * time.Second)})
-	if len(node.Events) == 0 {
-		t.Fatal("no events logged")
+	sink := observe(node)
+	node.Run(testCtx(t, 20*time.Second), Budget{MaxIterations: 10})
+	events := sink.Events()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
 	}
 	var prev time.Duration
-	for _, e := range node.Events {
+	for _, e := range events {
 		if e.At < prev {
 			t.Fatalf("events out of order: %v after %v", e.At, prev)
 		}
 		prev = e.At
 	}
-	if node.Events[0].Kind != EventImproveLocal {
-		t.Errorf("first event %v, want initial improve-local", node.Events[0].Kind)
+	if events[0].Kind != obs.KindImprove {
+		t.Errorf("first event %v, want initial improve", events[0].Kind)
 	}
 }
 
@@ -189,7 +211,7 @@ func TestDisablePerturbationAblation(t *testing.T) {
 	cfg.DisablePerturbation = true
 	cfg.KicksPerCall = 5
 	node := NewNode(0, in, cfg, NopComm{}, 8)
-	stats := node.Run(Budget{MaxIterations: 5, Deadline: time.Now().Add(10 * time.Second)})
+	stats := node.Run(testCtx(t, 10*time.Second), Budget{MaxIterations: 5})
 	if stats.Iterations != 5 {
 		t.Fatalf("ran %d iterations, want 5", stats.Iterations)
 	}
@@ -204,21 +226,30 @@ func TestBudgetMaxIterations(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.KicksPerCall = 3
 	node := NewNode(0, in, cfg, NopComm{}, 9)
-	stats := node.Run(Budget{MaxIterations: 7, Deadline: time.Now().Add(10 * time.Second)})
+	stats := node.Run(testCtx(t, 10*time.Second), Budget{MaxIterations: 7})
 	if stats.Iterations != 7 {
 		t.Fatalf("iterations = %d, want 7", stats.Iterations)
 	}
 }
 
-func TestStopFunctionHonored(t *testing.T) {
-	in := smallInstance(60, 19)
+func TestContextCancellationStopsRun(t *testing.T) {
+	in := smallInstance(400, 19)
 	node := NewNode(0, in, DefaultConfig(), NopComm{}, 10)
-	iter := 0
-	stats := node.Run(Budget{
-		Stop:     func() bool { iter++; return iter > 3 },
-		Deadline: time.Now().Add(10 * time.Second),
-	})
-	if stats.Iterations > 4 {
-		t.Fatalf("stop ignored: %d iterations", stats.Iterations)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	stats := node.Run(ctx, Budget{})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation ignored: ran %v", elapsed)
+	}
+	if stats.BestLength == 0 {
+		t.Fatal("cancelled run lost its best tour")
+	}
+	tour, _ := node.Best()
+	if err := tour.Validate(400); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"distclk/internal/obs"
 	"distclk/internal/tsp"
 )
 
@@ -38,7 +39,7 @@ func TestStatsAccounting(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.KicksPerCall = 4
 	node := NewNode(0, in, cfg, comm, 2)
-	stats := node.Run(Budget{MaxIterations: 8, Deadline: time.Now().Add(30 * time.Second)})
+	stats := node.Run(testCtx(t, 30*time.Second), Budget{MaxIterations: 8})
 	if stats.Broadcasts != int64(len(comm.sent)) {
 		t.Fatalf("stats.Broadcasts=%d, comm saw %d", stats.Broadcasts, len(comm.sent))
 	}
@@ -69,7 +70,7 @@ func TestReceivedWorseToursIgnored(t *testing.T) {
 	// A deliberately bad received tour: identity permutation.
 	bad := tsp.IdentityTour(60)
 	comm.pending = append(comm.pending, Incoming{From: 9, Tour: bad, Length: bad.Length(in)})
-	node.Run(Budget{MaxIterations: 2, Deadline: time.Now().Add(30 * time.Second)})
+	node.Run(testCtx(t, 30*time.Second), Budget{MaxIterations: 2})
 	_, best := node.Best()
 	if best >= bad.Length(in) {
 		t.Fatalf("node adopted a worse received tour: %d vs %d", best, bad.Length(in))
@@ -85,13 +86,14 @@ func TestEventOrderingAndKinds(t *testing.T) {
 	cfg.CR = 4
 	cfg.KicksPerCall = 2
 	node := NewNode(0, in, cfg, NopComm{}, 4)
-	node.Run(Budget{MaxIterations: 20, Deadline: time.Now().Add(30 * time.Second)})
+	sink := observe(node)
+	node.Run(testCtx(t, 30*time.Second), Budget{MaxIterations: 20})
 	sawLevel := false
-	for _, e := range node.Events {
+	for _, e := range sink.Events() {
 		if e.Kind.String() == "unknown" {
 			t.Fatalf("unknown event kind %d", e.Kind)
 		}
-		if e.Kind == EventPerturbLevel {
+		if e.Kind == obs.KindPerturbLevel {
 			sawLevel = true
 			if e.Value < 1 {
 				t.Fatalf("perturbation level %d < 1", e.Value)

@@ -3,38 +3,27 @@ package dist
 import (
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"distclk/internal/core"
 	"distclk/internal/topology"
 	"distclk/internal/tsp"
 )
 
-// BroadcastRecord is one entry of the message ledger: a node broadcast its
-// new best tour at the given offset from network start. The paper's §4
-// communication analysis (broadcast counts, early-phase concentration) is
-// computed from this ledger.
-type BroadcastRecord struct {
-	From   int
-	Length int64
-	At     time.Duration
-}
-
 // ChanNetwork is the in-process network: every node is a goroutine and
 // tours travel over buffered channels. It reproduces the paper's
 // communication pattern exactly (asynchronous broadcast to topology
 // neighbours, drain-on-demand) without sockets, so simulations and tests
-// are deterministic in structure and fast.
+// are deterministic in structure and fast. Message-flow telemetry is not
+// recorded here: nodes emit broadcast-sent/received events through their
+// obs.Recorder, which sees every transport identically.
 type ChanNetwork struct {
 	n       int
 	topo    topology.Kind
 	inboxes []chan core.Incoming
 	stopped atomic.Bool
 
-	mu     sync.Mutex
-	ledger []BroadcastRecord
-	start  time.Time
-	drops  int64
+	mu    sync.Mutex
+	drops int64
 }
 
 // InboxCapacity is the per-node buffered channel size. The EA drains its
@@ -49,7 +38,6 @@ func NewChanNetwork(n int, topo topology.Kind) *ChanNetwork {
 		n:       n,
 		topo:    topo,
 		inboxes: make([]chan core.Incoming, n),
-		start:   time.Now(),
 	}
 	for i := range nw.inboxes {
 		nw.inboxes[i] = make(chan core.Incoming, InboxCapacity)
@@ -60,15 +48,6 @@ func NewChanNetwork(n int, topo topology.Kind) *ChanNetwork {
 // Comm returns node id's view of the network.
 func (nw *ChanNetwork) Comm(id int) core.Comm {
 	return &chanComm{nw: nw, id: id, neighbors: topology.Neighbors(nw.topo, nw.n, id)}
-}
-
-// Ledger returns a copy of the broadcast ledger.
-func (nw *ChanNetwork) Ledger() []BroadcastRecord {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	out := make([]BroadcastRecord, len(nw.ledger))
-	copy(out, nw.ledger)
-	return out
 }
 
 // Drops reports how many tours were discarded on full inboxes.
@@ -86,13 +65,6 @@ type chanComm struct {
 
 // Broadcast sends a copy of the tour to every topology neighbour.
 func (c *chanComm) Broadcast(t tsp.Tour, length int64) {
-	c.nw.mu.Lock()
-	c.nw.ledger = append(c.nw.ledger, BroadcastRecord{
-		From:   c.id,
-		Length: length,
-		At:     time.Since(c.nw.start),
-	})
-	c.nw.mu.Unlock()
 	for _, o := range c.neighbors {
 		msg := core.Incoming{From: c.id, Tour: t.Clone(), Length: length}
 		select {

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -32,9 +33,8 @@ func TestHeterogeneousNodeLifetimes(t *testing.T) {
 		wg.Add(1)
 		go func(idx int, n *core.Node, maxIters int64) {
 			defer wg.Done()
-			results[idx] = n.Run(core.Budget{
+			results[idx] = n.Run(testCtx(t, 60*time.Second), core.Budget{
 				MaxIterations: maxIters,
-				Deadline:      time.Now().Add(60 * time.Second),
 			})
 		}(i, node, iters)
 	}
@@ -66,12 +66,12 @@ func TestTCPPeerDeath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	go hub.Serve()
+	go hub.Serve(context.Background())
 	defer hub.Close()
 
 	tcpNodes := make([]*TCPNode, nodes)
 	for i := range tcpNodes {
-		n, err := JoinTCP(hub.Addr(), "127.0.0.1:0", in.N())
+		n, err := JoinTCP(context.Background(), hub.Addr(), "127.0.0.1:0", in.N())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -110,12 +110,12 @@ func TestTCPDuplicateOptimumAnnouncements(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	go hub.Serve()
+	go hub.Serve(context.Background())
 	defer hub.Close()
 
 	tcpNodes := make([]*TCPNode, nodes)
 	for i := range tcpNodes {
-		n, err := JoinTCP(hub.Addr(), "127.0.0.1:0", 10)
+		n, err := JoinTCP(context.Background(), hub.Addr(), "127.0.0.1:0", 10)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,13 +1,14 @@
 package dist
 
 import (
-	"sort"
+	"context"
 	"sync"
 	"time"
 
 	"distclk/internal/clk"
 	"distclk/internal/core"
 	"distclk/internal/neighbor"
+	"distclk/internal/obs"
 	"distclk/internal/topology"
 	"distclk/internal/tsp"
 )
@@ -21,18 +22,15 @@ type ClusterConfig struct {
 	// EA configures each node's evolutionary loop.
 	EA core.Config
 	// Budget bounds each node's run (the same budget is applied per node,
-	// matching the paper's per-node CPU-time limit).
+	// matching the paper's per-node CPU-time limit). Wall-clock limits come
+	// from the RunCluster context.
 	Budget core.Budget
 	// Seed derives per-node seeds (node i uses Seed + i*1e9+7i).
 	Seed int64
-}
-
-// TracePoint is one improvement observation: some node's best tour reached
-// Length at time At. Traces drive the paper's figures.
-type TracePoint struct {
-	Node   int
-	Length int64
-	At     time.Duration
+	// Obs, when set, supplies the run's observer (it must have at least
+	// Nodes recorders). When nil, RunCluster creates one internally so
+	// events and counters are always available on the result.
+	Obs *obs.Observer
 }
 
 // ClusterResult aggregates a distributed run.
@@ -40,10 +38,13 @@ type ClusterResult struct {
 	BestTour   tsp.Tour
 	BestLength int64
 	Stats      []core.Stats
-	Events     [][]core.Event
-	Ledger     []BroadcastRecord
-	Trace      []TracePoint
-	Elapsed    time.Duration
+	// Events is the merged EA-level event stream of all nodes, ordered by
+	// run-clock offset. The paper's §4 message analysis and §4.2.1 variator
+	// timeline are computed from it.
+	Events []obs.Event
+	// Counters is the per-node counter snapshot at run end.
+	Counters []obs.CounterSnapshot
+	Elapsed  time.Duration
 	// Nodes echoes the configured node count.
 	Nodes int
 }
@@ -60,8 +61,10 @@ func (r ClusterResult) Broadcasts() int64 {
 // RunCluster executes the distributed algorithm with one goroutine per node
 // over an in-process channel network and returns the aggregated result.
 // The best result "has to be collected from the local output of each node"
-// (paper §2.3) — RunCluster does exactly that after all nodes stop.
-func RunCluster(inst *tsp.Instance, cfg ClusterConfig) ClusterResult {
+// (paper §2.3) — RunCluster does exactly that after all nodes stop. The
+// run ends when every node's budget expires or ctx is cancelled/expired;
+// cancellation still returns the best-so-far tour.
+func RunCluster(ctx context.Context, inst *tsp.Instance, cfg ClusterConfig) ClusterResult {
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 8
 	}
@@ -77,46 +80,41 @@ func RunCluster(inst *tsp.Instance, cfg ClusterConfig) ClusterResult {
 		}
 		cfg.EA.CLK.Neighbors = neighbor.Build(inst, k)
 	}
+	observer := cfg.Obs
+	if observer == nil {
+		observer = obs.NewObserver(cfg.Nodes, nil)
+	}
 	nw := NewChanNetwork(cfg.Nodes, cfg.Topo)
 
 	nodes := make([]*core.Node, cfg.Nodes)
 	stats := make([]core.Stats, cfg.Nodes)
-	var traceMu sync.Mutex
-	var trace []TracePoint
 
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Nodes; i++ {
 		seed := cfg.Seed + int64(i)*1_000_000_007
 		node := core.NewNode(i, inst, cfg.EA, nw.Comm(i), seed)
-		id := i
-		node.OnImprove = func(length int64, at time.Duration) {
-			traceMu.Lock()
-			trace = append(trace, TracePoint{Node: id, Length: length, At: at})
-			traceMu.Unlock()
-		}
+		node.SetRecorder(observer.Recorder(i))
 		nodes[i] = node
 		wg.Add(1)
 		go func(idx int) {
 			defer wg.Done()
-			stats[idx] = nodes[idx].Run(cfg.Budget)
+			stats[idx] = nodes[idx].Run(ctx, cfg.Budget)
 		}(i)
 	}
 	wg.Wait()
 
 	res := ClusterResult{
-		Stats:   stats,
-		Ledger:  nw.Ledger(),
-		Elapsed: time.Since(start),
-		Nodes:   cfg.Nodes,
+		Stats:    stats,
+		Events:   observer.Events(),
+		Counters: observer.Counters(),
+		Elapsed:  time.Since(start),
+		Nodes:    cfg.Nodes,
 	}
 	for _, n := range nodes {
-		res.Events = append(res.Events, n.Events)
 		tour, l := n.Best()
 		if res.BestTour == nil || l < res.BestLength {
 			res.BestTour, res.BestLength = tour, l
 		}
 	}
-	sort.Slice(trace, func(i, j int) bool { return trace[i].At < trace[j].At })
-	res.Trace = trace
 	return res
 }

@@ -1,9 +1,11 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"distclk/internal/topology"
 )
@@ -40,10 +42,23 @@ func NewHub(addr string, expected int, topo topology.Kind) (*Hub, error) {
 // Addr returns the hub's listen address for nodes to dial.
 func (h *Hub) Addr() string { return h.ln.Addr().String() }
 
-// Serve accepts joins until all expected nodes registered, then returns.
-// Run it in its own goroutine.
-func (h *Hub) Serve() error {
+// Joined reports how many nodes have registered so far.
+func (h *Hub) Joined() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.joined)
+}
+
+// Serve accepts joins until all expected nodes registered, ctx is done, or
+// the listener closes, then returns. Run it in its own goroutine.
+func (h *Hub) Serve(ctx context.Context) error {
 	defer close(h.done)
+	if ctx.Done() != nil {
+		// Accept has no context form; closing the listener is the idiomatic
+		// unblocking mechanism.
+		stop := context.AfterFunc(ctx, func() { h.ln.Close() })
+		defer stop()
+	}
 	for {
 		h.mu.Lock()
 		full := len(h.joined) >= h.expected
@@ -53,6 +68,9 @@ func (h *Hub) Serve() error {
 		}
 		conn, err := h.ln.Accept()
 		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
 			return err
 		}
 		if err := h.handle(conn); err != nil {
@@ -64,6 +82,7 @@ func (h *Hub) Serve() error {
 }
 
 func (h *Hub) handle(conn net.Conn) error {
+	conn.SetDeadline(time.Now().Add(tcpIOTimeout))
 	typ, payload, err := readFrame(conn)
 	if err != nil {
 		return err

@@ -1,15 +1,22 @@
 package dist
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"distclk/internal/core"
 	"distclk/internal/tsp"
 )
+
+// tcpIOTimeout bounds handshake reads and every frame write. A peer that
+// stops reading cannot wedge a broadcaster: the write deadline fires, the
+// send errors, and the peer is dropped (P2P churn tolerance).
+const tcpIOTimeout = 10 * time.Second
 
 // TCPNode is a core.Comm over real TCP connections. Nodes form a
 // peer-to-peer overlay: each maintains persistent connections to its
@@ -40,14 +47,18 @@ type tcpPeer struct {
 func (p *tcpPeer) send(typ byte, payload []byte) error {
 	p.wmu.Lock()
 	defer p.wmu.Unlock()
-	return writeFrame(p.conn, typ, payload)
+	p.conn.SetWriteDeadline(time.Now().Add(tcpIOTimeout))
+	err := writeFrame(p.conn, typ, payload)
+	p.conn.SetWriteDeadline(time.Time{})
+	return err
 }
 
 // JoinTCP bootstraps a node: it starts listening on listenAddr (use
 // "127.0.0.1:0" to auto-pick a port), registers with the hub, and dials the
 // neighbours the hub reported. instN is the instance size used to validate
-// incoming tours.
-func JoinTCP(hubAddr, listenAddr string, instN int) (*TCPNode, error) {
+// incoming tours. ctx bounds the bootstrap (hub dial + handshake + peer
+// dials); once joined, the node lives until Close.
+func JoinTCP(ctx context.Context, hubAddr, listenAddr string, instN int) (*TCPNode, error) {
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, err
@@ -60,12 +71,14 @@ func JoinTCP(hubAddr, listenAddr string, instN int) (*TCPNode, error) {
 	}
 	go n.acceptLoop()
 
-	hub, err := net.Dial("tcp", hubAddr)
+	var d net.Dialer
+	hub, err := d.DialContext(ctx, "tcp", hubAddr)
 	if err != nil {
 		ln.Close()
 		return nil, err
 	}
 	defer hub.Close()
+	hub.SetDeadline(handshakeDeadline(ctx))
 	if err := writeFrame(hub, msgJoin, []byte(ln.Addr().String())); err != nil {
 		ln.Close()
 		return nil, err
@@ -87,13 +100,22 @@ func JoinTCP(hubAddr, listenAddr string, instN int) (*TCPNode, error) {
 	n.ID, n.Total = id, total
 
 	for i := range ids {
-		if err := n.dialPeer(ids[i], addrs[i]); err != nil {
+		if err := n.dialPeer(ctx, ids[i], addrs[i]); err != nil {
 			// A neighbour that vanished is tolerated: P2P networks are
 			// designed for churn; remaining edges keep the overlay usable.
 			continue
 		}
 	}
 	return n, nil
+}
+
+// handshakeDeadline clips the default IO timeout by the context deadline.
+func handshakeDeadline(ctx context.Context) time.Time {
+	dl := time.Now().Add(tcpIOTimeout)
+	if ctxDL, ok := ctx.Deadline(); ok && ctxDL.Before(dl) {
+		dl = ctxDL
+	}
+	return dl
 }
 
 // Addr returns the node's listen address.
@@ -106,17 +128,20 @@ func (n *TCPNode) PeerCount() int {
 	return len(n.peers)
 }
 
-func (n *TCPNode) dialPeer(id int, addr string) error {
-	conn, err := net.Dial("tcp", addr)
+func (n *TCPNode) dialPeer(ctx context.Context, id int, addr string) error {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return err
 	}
 	var hello [4]byte
 	binary.LittleEndian.PutUint32(hello[:], uint32(n.ID))
+	conn.SetWriteDeadline(handshakeDeadline(ctx))
 	if err := writeFrame(conn, msgHello, hello[:]); err != nil {
 		conn.Close()
 		return err
 	}
+	conn.SetWriteDeadline(time.Time{})
 	n.addPeer(id, conn)
 	return nil
 }
@@ -148,11 +173,13 @@ func (n *TCPNode) acceptLoop() {
 			return
 		}
 		go func(c net.Conn) {
+			c.SetReadDeadline(time.Now().Add(tcpIOTimeout))
 			typ, payload, err := readFrame(c)
 			if err != nil || typ != msgHello || len(payload) != 4 {
 				c.Close()
 				return
 			}
+			c.SetReadDeadline(time.Time{})
 			from := int(binary.LittleEndian.Uint32(payload))
 			n.addPeer(from, c)
 		}(conn)

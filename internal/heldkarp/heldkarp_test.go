@@ -1,6 +1,7 @@
 package heldkarp
 
 import (
+	"context"
 	"testing"
 
 	"distclk/internal/clk"
@@ -114,7 +115,7 @@ func TestLowerBoundBelowOptimum(t *testing.T) {
 func TestLowerBoundTightOnLarger(t *testing.T) {
 	in := tsp.Generate(tsp.FamilyUniform, 300, 9)
 	s := clk.New(in, clk.DefaultParams(), 1)
-	res := s.Run(clk.Budget{MaxKicks: 400})
+	res := s.Run(context.Background(), clk.Budget{MaxKicks: 400})
 	hk := LowerBound(in, Options{Iterations: 120, UpperBound: res.Length})
 	if hk.Bound <= 0 {
 		t.Fatal("non-positive bound")

@@ -8,6 +8,7 @@
 package merge
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -99,6 +100,12 @@ func Solve(in *tsp.Instance, p Params, seed int64, deadline time.Time, target in
 	if p.Tours == 0 {
 		p = DefaultParams()
 	}
+	ctx := context.Background()
+	if !deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
 	start := time.Now()
 	n := in.N()
 	kicks := p.KicksPerTour
@@ -111,7 +118,7 @@ func Solve(in *tsp.Instance, p Params, seed int64, deadline time.Time, target in
 	var bestBaseLen int64
 	for r := 0; r < p.Tours; r++ {
 		s := clk.New(in, p.CLK, seed+int64(r)*7919)
-		res := s.Run(clk.Budget{MaxKicks: kicks, Deadline: deadline, Target: target})
+		res := s.Run(ctx, clk.Budget{MaxKicks: kicks, Target: target})
 		tours = append(tours, res.Tour)
 		if bestBase == nil || res.Length < bestBaseLen {
 			bestBase, bestBaseLen = res.Tour, res.Length

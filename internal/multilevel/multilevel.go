@@ -7,6 +7,7 @@
 package multilevel
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -162,6 +163,12 @@ func Solve(in *tsp.Instance, p Params, seed int64, deadline time.Time, target in
 	if p.CoarsestSize == 0 {
 		p = DefaultParams()
 	}
+	ctx := context.Background()
+	if !deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
 	start := time.Now()
 	rng := rand.New(rand.NewSource(seed))
 	levels := coarsen(in, p.CoarsestSize, rng)
@@ -169,9 +176,8 @@ func Solve(in *tsp.Instance, p Params, seed int64, deadline time.Time, target in
 	// Solve the coarsest level from scratch.
 	top := levels[len(levels)-1].inst
 	solver := clk.New(top, p.CLK, seed)
-	res := solver.Run(clk.Budget{
+	res := solver.Run(ctx, clk.Budget{
 		MaxKicks: int64(float64(top.N())*p.KicksFactor) + 50,
-		Deadline: deadline,
 	})
 	tour := res.Tour
 
@@ -190,7 +196,7 @@ func Solve(in *tsp.Instance, p Params, seed int64, deadline time.Time, target in
 		if li == 1 {
 			tgt = target // only the original level compares to the target
 		}
-		rres := refiner.Run(clk.Budget{MaxKicks: kicks, Deadline: deadline, Target: tgt})
+		rres := refiner.Run(ctx, clk.Budget{MaxKicks: kicks, Target: tgt})
 		tour = rres.Tour
 	}
 	return Result{

@@ -1,6 +1,7 @@
 package multilevel
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -73,7 +74,7 @@ func TestSolveQuality(t *testing.T) {
 	// Compare against a modest plain CLK run: multilevel should be in the
 	// same quality ballpark (within 5%).
 	s := clk.New(in, clk.DefaultParams(), 2)
-	ref := s.Run(clk.Budget{MaxKicks: 200})
+	ref := s.Run(context.Background(), clk.Budget{MaxKicks: 200})
 	if float64(res.Length) > float64(ref.Length)*1.05 {
 		t.Fatalf("multilevel %d much worse than plain CLK %d", res.Length, ref.Length)
 	}

@@ -1,0 +1,319 @@
+// Package obs is the solver's structured observability layer: typed events
+// at every search decision point (kicks, improvements, perturbation
+// escalations, restarts, tour exchanges), lock-cheap atomic counters, and
+// pluggable sinks. The paper's own evaluation (§4 message counts, §4.2.1
+// variator-strength timeline) is computed from exactly these signals; the
+// experiment harness, the facade's progress snapshots and the binaries'
+// -metrics endpoints all report through this package.
+//
+// Design constraints: emitting into a nil or no-op recorder costs a nil
+// check; counters are single-writer atomics readable concurrently (live
+// metrics endpoints, progress pumps); event sinks serialize internally, so
+// recorders of concurrent nodes can share one sink.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind tags an event with the decision point that produced it.
+type Kind uint8
+
+const (
+	// KindKickAccepted: a double-bridge kick's re-optimized tour was
+	// accepted as the chain incumbent (ties included). Value = new length.
+	KindKickAccepted Kind = iota
+	// KindKickReverted: the kick made the tour longer; the working tour
+	// reverted to the incumbent.
+	KindKickReverted
+	// KindLKImprove: chained LK strictly improved its incumbent.
+	// Value = new length. For a plain CLK run this is a global improvement;
+	// inside the EA it is relative to the perturbed restart point.
+	KindLKImprove
+	// KindImprove: a node's own search produced a new global best tour
+	// (the EA's SELECTBESTTOUR chose the local result). Value = length.
+	KindImprove
+	// KindImproveReceived: a tour received from a neighbour became the
+	// node's best (a broadcast was accepted). Value = length, From = sender.
+	KindImproveReceived
+	// KindPerturb: the variable-strength perturbation was applied.
+	// Value = NumPerturbations (double-bridge count).
+	KindPerturb
+	// KindPerturbLevel: the perturbation strength changed. Value = level.
+	KindPerturbLevel
+	// KindRestart: stagnation exceeded c_r; the incumbent was discarded and
+	// rebuilt from scratch.
+	KindRestart
+	// KindBroadcastSent: the node broadcast its new best to its topology
+	// neighbours. Value = length.
+	KindBroadcastSent
+	// KindBroadcastReceived: a tour arrived from a neighbour. Value =
+	// length, From = sender.
+	KindBroadcastReceived
+	// KindOptimum: the target length was reached locally.
+	KindOptimum
+	// KindSnapshot: a periodic progress observation. Value = best length so
+	// far; Node is -1 (whole-solve scope).
+	KindSnapshot
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"kick-accepted",
+	"kick-reverted",
+	"lk-improve",
+	"improve",
+	"improve-received",
+	"perturb",
+	"perturb-level",
+	"restart",
+	"broadcast-sent",
+	"broadcast-received",
+	"optimum",
+	"snapshot",
+}
+
+// String names the kind; these names are the JSONL trace vocabulary.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// EALevel reports whether the kind is a low-frequency EA decision point.
+// Kick-level kinds fire once per kick (potentially millions per run) and
+// are excluded from unbounded in-memory collection; their totals live in
+// Counters.
+func (k Kind) EALevel() bool {
+	switch k {
+	case KindKickAccepted, KindKickReverted, KindLKImprove, KindPerturb:
+		return false
+	}
+	return true
+}
+
+// Event is one observation: node `Node` hit decision point `Kind` at
+// offset `At` from the run start. Value carries the tour length or
+// perturbation level; From is the sending node for received-tour events
+// and -1 otherwise.
+type Event struct {
+	At    time.Duration
+	Node  int
+	Kind  Kind
+	Value int64
+	From  int
+}
+
+// Sink consumes events. Implementations must be safe for concurrent Emit
+// calls: recorders of all cluster nodes share one sink.
+type Sink interface {
+	Emit(Event)
+}
+
+type nopSink struct{}
+
+func (nopSink) Emit(Event) {}
+
+// Nop discards every event.
+var Nop Sink = nopSink{}
+
+// SinkFunc adapts a function to the Sink interface. The function must be
+// safe for concurrent calls.
+type SinkFunc func(Event)
+
+// Emit calls f.
+func (f SinkFunc) Emit(e Event) { f(e) }
+
+// MemorySink retains every event, for tests and post-run analysis.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewMemorySink returns an empty in-memory sink.
+func NewMemorySink() *MemorySink { return &MemorySink{} }
+
+// Emit appends the event.
+func (m *MemorySink) Emit(e Event) {
+	m.mu.Lock()
+	m.events = append(m.events, e)
+	m.mu.Unlock()
+}
+
+// Events returns a copy of the collected events in emission order.
+func (m *MemorySink) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Event, len(m.events))
+	copy(out, m.events)
+	return out
+}
+
+// Len reports how many events were collected.
+func (m *MemorySink) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.events)
+}
+
+// RingSink keeps the most recent events in a fixed-size ring — bounded
+// memory for arbitrarily long runs.
+type RingSink struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total int64
+}
+
+// NewRingSink returns a ring retaining the last `capacity` events.
+func NewRingSink(capacity int) *RingSink {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &RingSink{buf: make([]Event, 0, capacity)}
+}
+
+// Emit stores the event, evicting the oldest when full.
+func (r *RingSink) Emit(e Event) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (r *RingSink) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) == cap(r.buf) {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// Total reports how many events were emitted over the sink's lifetime
+// (including evicted ones).
+func (r *RingSink) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// jsonlEvent is the wire form of one trace line.
+type jsonlEvent struct {
+	AtMS  float64 `json:"at_ms"`
+	Node  int     `json:"node"`
+	Kind  string  `json:"kind"`
+	Value int64   `json:"value,omitempty"`
+	From  *int    `json:"from,omitempty"`
+}
+
+// JSONLSink writes one JSON object per event:
+//
+//	{"at_ms":152.4,"node":3,"kind":"broadcast-sent","value":8042}
+//
+// at_ms is the offset from run start in milliseconds; `from` appears only
+// on received-tour events. Write errors are sticky: the first one is kept
+// and later events are dropped.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink wraps w. The caller owns w's lifecycle (flush/close).
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes the event as one JSONL line.
+func (j *JSONLSink) Emit(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	we := jsonlEvent{
+		AtMS:  float64(e.At.Microseconds()) / 1000,
+		Node:  e.Node,
+		Kind:  e.Kind.String(),
+		Value: e.Value,
+	}
+	if e.From >= 0 {
+		from := e.From
+		we.From = &from
+	}
+	j.err = j.enc.Encode(we)
+}
+
+// Err returns the first write error, if any.
+func (j *JSONLSink) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+type filterSink struct {
+	next Sink
+	keep func(Kind) bool
+}
+
+func (f filterSink) Emit(e Event) {
+	if f.keep(e.Kind) {
+		f.next.Emit(e)
+	}
+}
+
+// Filter forwards only events whose kind satisfies keep.
+func Filter(next Sink, keep func(Kind) bool) Sink {
+	if next == nil {
+		return Nop
+	}
+	return filterSink{next: next, keep: keep}
+}
+
+// Multi fans every event out to all non-nil sinks.
+func Multi(sinks ...Sink) Sink {
+	var live []Sink
+	for _, s := range sinks {
+		if s != nil && s != Nop {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return Nop
+	case 1:
+		return live[0]
+	}
+	return multiSink(live)
+}
+
+type multiSink []Sink
+
+func (m multiSink) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
+// SortEvents orders events by offset (stable, so same-timestamp events
+// keep emission order).
+func SortEvents(events []Event) {
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+}

@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestKindNamesAndLevels(t *testing.T) {
+	seen := map[string]bool{}
+	for k := Kind(0); k < numKinds; k++ {
+		name := k.String()
+		if name == "" || name == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate kind name %q", name)
+		}
+		seen[name] = true
+	}
+	if Kind(200).String() != "unknown" {
+		t.Fatal("out-of-range kind must stringify as unknown")
+	}
+	for _, k := range []Kind{KindKickAccepted, KindKickReverted, KindLKImprove, KindPerturb} {
+		if k.EALevel() {
+			t.Fatalf("%v must be kick-level", k)
+		}
+	}
+	for _, k := range []Kind{KindImprove, KindImproveReceived, KindRestart, KindBroadcastSent, KindSnapshot} {
+		if !k.EALevel() {
+			t.Fatalf("%v must be EA-level", k)
+		}
+	}
+}
+
+func TestMemorySink(t *testing.T) {
+	m := NewMemorySink()
+	m.Emit(Event{Kind: KindRestart, Node: 1})
+	m.Emit(Event{Kind: KindImprove, Node: 2, Value: 42})
+	if m.Len() != 2 {
+		t.Fatalf("len = %d, want 2", m.Len())
+	}
+	events := m.Events()
+	events[0].Node = 99 // must not alias internal storage
+	if m.Events()[0].Node != 1 {
+		t.Fatal("Events() returned aliased slice")
+	}
+}
+
+func TestRingSinkEvicts(t *testing.T) {
+	r := NewRingSink(3)
+	for i := int64(0); i < 7; i++ {
+		r.Emit(Event{Value: i})
+	}
+	got := r.Events()
+	if len(got) != 3 {
+		t.Fatalf("retained %d, want 3", len(got))
+	}
+	for i, e := range got {
+		if e.Value != int64(4+i) {
+			t.Fatalf("ring[%d] = %d, want %d (oldest first)", i, e.Value, 4+i)
+		}
+	}
+	if r.Total() != 7 {
+		t.Fatalf("total = %d, want 7", r.Total())
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONLSink(&buf)
+	j.Emit(Event{At: 1500 * time.Microsecond, Node: 3, Kind: KindBroadcastSent, Value: 8042, From: -1})
+	j.Emit(Event{At: 2 * time.Millisecond, Node: 1, Kind: KindImproveReceived, Value: 8000, From: 3})
+	if j.Err() != nil {
+		t.Fatal(j.Err())
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad JSONL line: %v", err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2", len(lines))
+	}
+	if lines[0]["kind"] != "broadcast-sent" || lines[0]["at_ms"] != 1.5 {
+		t.Fatalf("line 0 = %v", lines[0])
+	}
+	if _, hasFrom := lines[0]["from"]; hasFrom {
+		t.Fatal("from must be omitted when -1")
+	}
+	if lines[1]["from"] != float64(3) {
+		t.Fatalf("line 1 from = %v, want 3", lines[1]["from"])
+	}
+}
+
+func TestFilterAndMulti(t *testing.T) {
+	a, b := NewMemorySink(), NewMemorySink()
+	s := Multi(Filter(a, Kind.EALevel), b)
+	s.Emit(Event{Kind: KindKickAccepted})
+	s.Emit(Event{Kind: KindRestart})
+	if a.Len() != 1 {
+		t.Fatalf("filtered sink got %d events, want 1", a.Len())
+	}
+	if b.Len() != 2 {
+		t.Fatalf("unfiltered sink got %d events, want 2", b.Len())
+	}
+	if Multi() != Nop || Multi(nil, Nop) != Nop {
+		t.Fatal("empty Multi must collapse to Nop")
+	}
+	if Multi(a) != Sink(a) {
+		t.Fatal("single-sink Multi must collapse to the sink itself")
+	}
+}
+
+func TestRecorderCountersAndBest(t *testing.T) {
+	sink := NewMemorySink()
+	r := NewRecorder(2, sink)
+	r.SetBest(100)
+	r.KickAccepted(95)
+	r.KickReverted()
+	r.LKImprove(90)
+	r.Perturb(3)
+	r.PerturbLevel(2)
+	r.Restart()
+	r.BroadcastSent(90)
+	r.BroadcastReceived(88, 1)
+	r.ImproveReceived(88, 1)
+	r.Improve(85)
+	r.Optimum(85)
+
+	s := r.Snapshot()
+	if s.Node != 2 || s.Kicks != 2 || s.KickAccepts != 1 || s.Improvements != 1 ||
+		s.Perturbations != 3 || s.Restarts != 1 || s.BroadcastsSent != 1 ||
+		s.BroadcastsReceived != 1 || s.BroadcastsAccepted != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.BestLength != 85 {
+		t.Fatalf("best = %d, want 85", s.BestLength)
+	}
+	r.SetBest(200) // worse: must not raise best
+	if r.Best() != 85 {
+		t.Fatalf("best raised to %d", r.Best())
+	}
+	events := sink.Events()
+	if len(events) != 11 {
+		t.Fatalf("emitted %d events, want 11", len(events))
+	}
+	for _, e := range events {
+		if e.Node != 2 {
+			t.Fatalf("event node = %d, want 2", e.Node)
+		}
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.KickAccepted(1)
+	r.KickReverted()
+	r.LKImprove(1)
+	r.Improve(1)
+	r.ImproveReceived(1, 0)
+	r.Perturb(1)
+	r.PerturbLevel(1)
+	r.Restart()
+	r.BroadcastSent(1)
+	r.BroadcastReceived(1, 0)
+	r.Optimum(1)
+	r.SetBest(1)
+	if r.Best() != 0 || r.Elapsed() != 0 {
+		t.Fatal("nil recorder must read as zero")
+	}
+	if r.Snapshot().Node != -1 {
+		t.Fatal("nil recorder snapshot must be node -1")
+	}
+}
+
+func TestObserverCollectsAcrossNodes(t *testing.T) {
+	extra := NewMemorySink()
+	o := NewObserver(3, extra)
+	o.Recorder(0).KickAccepted(50) // kick-level: extra only
+	o.Recorder(0).Improve(50)
+	o.Recorder(1).ImproveReceived(50, 0)
+	o.Recorder(2).Restart()
+
+	events := o.Events()
+	if len(events) != 3 {
+		t.Fatalf("collector has %d events, want 3 (kick-level excluded)", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Fatal("events not sorted by offset")
+		}
+	}
+	if extra.Len() != 4 {
+		t.Fatalf("extra sink got %d events, want all 4", extra.Len())
+	}
+	if o.BestLength() != 50 {
+		t.Fatalf("best = %d, want 50", o.BestLength())
+	}
+	counters := o.Counters()
+	if len(counters) != 3 || counters[1].BroadcastsAccepted != 1 {
+		t.Fatalf("counters = %+v", counters)
+	}
+	if best := o.Snapshot(); best != 50 {
+		t.Fatalf("snapshot best = %d, want 50", best)
+	}
+	snaps := 0
+	for _, e := range o.Events() {
+		if e.Kind == KindSnapshot {
+			snaps++
+			if e.Node != -1 {
+				t.Fatalf("snapshot node = %d, want -1", e.Node)
+			}
+		}
+	}
+	if snaps != 1 {
+		t.Fatalf("found %d snapshot events, want 1", snaps)
+	}
+}
+
+func TestNilObserverIsSafe(t *testing.T) {
+	var o *Observer
+	if o.Recorder(0) != nil {
+		t.Fatal("nil observer must hand out nil recorders")
+	}
+	if o.Nodes() != 0 || o.BestLength() != 0 || o.Snapshot() != 0 {
+		t.Fatal("nil observer must read as zero")
+	}
+	if o.Events() != nil || o.Counters() != nil {
+		t.Fatal("nil observer must return nil slices")
+	}
+}
+
+// TestConcurrentRecorders exercises the layer the way a cluster does: many
+// node goroutines hammering recorders that share one collector. Run under
+// -race this validates the locking story.
+func TestConcurrentRecorders(t *testing.T) {
+	o := NewObserver(8, NewRingSink(64))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(r *Recorder) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.KickAccepted(int64(1000 - j))
+				r.LKImprove(int64(1000 - j))
+				if j%100 == 0 {
+					r.BroadcastSent(int64(1000 - j))
+				}
+			}
+		}(o.Recorder(i))
+	}
+	stop := make(chan struct{})
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() { // concurrent reader, as a metrics endpoint would be
+		defer rwg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				o.BestLength()
+				o.Counters()
+				o.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+	for _, s := range o.Counters() {
+		if s.Kicks != 1000 || s.Improvements != 1000 || s.BroadcastsSent != 10 {
+			t.Fatalf("counters lost updates: %+v", s)
+		}
+	}
+	if o.BestLength() != 1 {
+		t.Fatalf("best = %d, want 1", o.BestLength())
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	o := NewObserver(2, nil)
+	o.Recorder(0).Improve(77)
+	h := MetricsHandler(func() any { return o.Counters() })
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("content type %q", ct)
+	}
+	var got []CounterSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].BestLength != 77 {
+		t.Fatalf("decoded %+v", got)
+	}
+}

@@ -1,0 +1,334 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Counters are the solver's hot-path tallies. All fields are atomics so a
+// metrics endpoint or progress pump can read them while the search mutates
+// them; each counter has a single writer (its node's recorder).
+type Counters struct {
+	Kicks              atomic.Int64 // double-bridge kicks attempted
+	KickAccepts        atomic.Int64 // kicks whose re-optimized tour was kept
+	Improvements       atomic.Int64 // strict LK chain improvements
+	Perturbations      atomic.Int64 // double bridges applied as EA perturbation
+	Restarts           atomic.Int64 // restart-rule firings (stagnation > c_r)
+	BroadcastsSent     atomic.Int64 // tours broadcast to neighbours
+	BroadcastsReceived atomic.Int64 // tours drained from the inbox
+	BroadcastsAccepted atomic.Int64 // received tours adopted as node best
+}
+
+// CounterSnapshot is a point-in-time copy of one node's counters, safe to
+// serialize.
+type CounterSnapshot struct {
+	Node               int   `json:"node"`
+	BestLength         int64 `json:"best_length"`
+	Kicks              int64 `json:"kicks"`
+	KickAccepts        int64 `json:"kick_accepts"`
+	Improvements       int64 `json:"improvements"`
+	Perturbations      int64 `json:"perturbations"`
+	Restarts           int64 `json:"restarts"`
+	BroadcastsSent     int64 `json:"broadcasts_sent"`
+	BroadcastsReceived int64 `json:"broadcasts_received"`
+	BroadcastsAccepted int64 `json:"broadcasts_accepted"`
+}
+
+// Recorder is one node's handle into the observability layer: it stamps
+// events with the node id and the shared run clock, bumps counters, and
+// tracks the node's best length. All methods are safe on a nil receiver —
+// solvers run unobserved at the cost of a nil check.
+type Recorder struct {
+	node  int
+	start time.Time
+	sink  Sink
+	best  atomic.Int64
+	c     Counters
+}
+
+// NewRecorder builds a recorder for `node` emitting into sink (nil means
+// discard). The run clock starts now; see Observer for recorders sharing
+// one clock.
+func NewRecorder(node int, sink Sink) *Recorder {
+	if sink == nil {
+		sink = Nop
+	}
+	return &Recorder{node: node, start: time.Now(), sink: sink}
+}
+
+func (r *Recorder) emit(k Kind, value int64, from int) {
+	r.sink.Emit(Event{
+		At:    time.Since(r.start),
+		Node:  r.node,
+		Kind:  k,
+		Value: value,
+		From:  from,
+	})
+}
+
+// KickAccepted records a kick whose re-optimized tour was kept.
+func (r *Recorder) KickAccepted(length int64) {
+	if r == nil {
+		return
+	}
+	r.c.Kicks.Add(1)
+	r.c.KickAccepts.Add(1)
+	r.emit(KindKickAccepted, length, -1)
+}
+
+// KickReverted records a kick that was undone.
+func (r *Recorder) KickReverted() {
+	if r == nil {
+		return
+	}
+	r.c.Kicks.Add(1)
+	r.emit(KindKickReverted, 0, -1)
+}
+
+// LKImprove records a strict chain-level improvement.
+func (r *Recorder) LKImprove(length int64) {
+	if r == nil {
+		return
+	}
+	r.c.Improvements.Add(1)
+	r.setBest(length)
+	r.emit(KindLKImprove, length, -1)
+}
+
+// Improve records a node-level best improvement produced locally.
+func (r *Recorder) Improve(length int64) {
+	if r == nil {
+		return
+	}
+	r.setBest(length)
+	r.emit(KindImprove, length, -1)
+}
+
+// ImproveReceived records the adoption of a neighbour's tour as node best.
+func (r *Recorder) ImproveReceived(length int64, from int) {
+	if r == nil {
+		return
+	}
+	r.c.BroadcastsAccepted.Add(1)
+	r.setBest(length)
+	r.emit(KindImproveReceived, length, from)
+}
+
+// Perturb records an applied perturbation of `count` double bridges.
+func (r *Recorder) Perturb(count int) {
+	if r == nil {
+		return
+	}
+	r.c.Perturbations.Add(int64(count))
+	r.emit(KindPerturb, int64(count), -1)
+}
+
+// PerturbLevel records a change of the variable perturbation strength.
+func (r *Recorder) PerturbLevel(level int) {
+	if r == nil {
+		return
+	}
+	r.emit(KindPerturbLevel, int64(level), -1)
+}
+
+// Restart records a restart-rule firing.
+func (r *Recorder) Restart() {
+	if r == nil {
+		return
+	}
+	r.c.Restarts.Add(1)
+	r.emit(KindRestart, 0, -1)
+}
+
+// BroadcastSent records a tour broadcast to the node's neighbours.
+func (r *Recorder) BroadcastSent(length int64) {
+	if r == nil {
+		return
+	}
+	r.c.BroadcastsSent.Add(1)
+	r.emit(KindBroadcastSent, length, -1)
+}
+
+// BroadcastReceived records a tour drained from the inbox.
+func (r *Recorder) BroadcastReceived(length int64, from int) {
+	if r == nil {
+		return
+	}
+	r.c.BroadcastsReceived.Add(1)
+	r.emit(KindBroadcastReceived, length, from)
+}
+
+// Optimum records that the node reached the target length.
+func (r *Recorder) Optimum(length int64) {
+	if r == nil {
+		return
+	}
+	r.setBest(length)
+	r.emit(KindOptimum, length, -1)
+}
+
+// setBest lowers the published best length. Single writer (the node's own
+// goroutine), so load-then-store is safe.
+func (r *Recorder) setBest(length int64) {
+	if cur := r.best.Load(); cur == 0 || length < cur {
+		r.best.Store(length)
+	}
+}
+
+// SetBest publishes the node's best-so-far length without emitting an
+// event (initial tours, adopted incumbents).
+func (r *Recorder) SetBest(length int64) {
+	if r == nil {
+		return
+	}
+	r.setBest(length)
+}
+
+// Best returns the node's best published length, 0 if none yet.
+func (r *Recorder) Best() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.best.Load()
+}
+
+// Elapsed returns time since the recorder's run clock started.
+func (r *Recorder) Elapsed() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Since(r.start)
+}
+
+// Snapshot copies the counters.
+func (r *Recorder) Snapshot() CounterSnapshot {
+	if r == nil {
+		return CounterSnapshot{Node: -1}
+	}
+	return CounterSnapshot{
+		Node:               r.node,
+		BestLength:         r.best.Load(),
+		Kicks:              r.c.Kicks.Load(),
+		KickAccepts:        r.c.KickAccepts.Load(),
+		Improvements:       r.c.Improvements.Load(),
+		Perturbations:      r.c.Perturbations.Load(),
+		Restarts:           r.c.Restarts.Load(),
+		BroadcastsSent:     r.c.BroadcastsSent.Load(),
+		BroadcastsReceived: r.c.BroadcastsReceived.Load(),
+		BroadcastsAccepted: r.c.BroadcastsAccepted.Load(),
+	}
+}
+
+// Observer owns the observability of one whole solve: a recorder per node,
+// all on a shared run clock, EA-level events funnelled into one collector
+// for post-run analysis, plus an optional extra sink receiving every event
+// unfiltered (JSONL traces, live listeners).
+type Observer struct {
+	start     time.Time
+	collector *MemorySink
+	recs      []*Recorder
+}
+
+// NewObserver builds an observer for `nodes` recorders. extra may be nil.
+func NewObserver(nodes int, extra Sink) *Observer {
+	o := &Observer{
+		start:     time.Now(),
+		collector: NewMemorySink(),
+		recs:      make([]*Recorder, nodes),
+	}
+	for i := range o.recs {
+		sink := Multi(Filter(o.collector, Kind.EALevel), extra)
+		o.recs[i] = &Recorder{node: i, start: o.start, sink: sink}
+	}
+	return o
+}
+
+// Recorder returns node i's recorder.
+func (o *Observer) Recorder(i int) *Recorder {
+	if o == nil {
+		return nil
+	}
+	return o.recs[i]
+}
+
+// Nodes returns the number of recorders.
+func (o *Observer) Nodes() int {
+	if o == nil {
+		return 0
+	}
+	return len(o.recs)
+}
+
+// Events returns all collected EA-level events ordered by run-clock offset.
+func (o *Observer) Events() []Event {
+	if o == nil {
+		return nil
+	}
+	events := o.collector.Events()
+	SortEvents(events)
+	return events
+}
+
+// Counters returns a per-node counter snapshot.
+func (o *Observer) Counters() []CounterSnapshot {
+	if o == nil {
+		return nil
+	}
+	out := make([]CounterSnapshot, len(o.recs))
+	for i, r := range o.recs {
+		out[i] = r.Snapshot()
+	}
+	return out
+}
+
+// BestLength returns the lowest published length across nodes, 0 if none.
+func (o *Observer) BestLength() int64 {
+	if o == nil {
+		return 0
+	}
+	var best int64
+	for _, r := range o.recs {
+		if l := r.Best(); l != 0 && (best == 0 || l < best) {
+			best = l
+		}
+	}
+	return best
+}
+
+// Elapsed returns time since the observer's run clock started.
+func (o *Observer) Elapsed() time.Duration {
+	if o == nil {
+		return 0
+	}
+	return time.Since(o.start)
+}
+
+// Snapshot records a whole-solve progress observation (Node = -1) into the
+// collector and returns the best length it captured.
+func (o *Observer) Snapshot() int64 {
+	if o == nil {
+		return 0
+	}
+	best := o.BestLength()
+	o.collector.Emit(Event{
+		At:    time.Since(o.start),
+		Node:  -1,
+		Kind:  KindSnapshot,
+		Value: best,
+		From:  -1,
+	})
+	return best
+}
+
+// MetricsHandler serves snap() as indented JSON — an expvar-style
+// endpoint for long-running binaries.
+func MetricsHandler(snap func() any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap())
+	})
+}
