@@ -1,6 +1,14 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race
+# bench: which benchmarks feed the perf snapshot, and where it lands.
+# Covers the LK hot-path trio: raw Flip cost, the zero-alloc
+# Optimize-after-kick acceptance benchmark, and full CLK kick throughput
+# on the synthetic E1k/C3k testbed instances.
+BENCH_PATTERN ?= ^(BenchmarkFlip|BenchmarkOptimizeAfterKick|BenchmarkCLKKicksPerSec)$$
+BENCH_OUT     ?= BENCH_PR2.json
+BENCH_TIME    ?= 1s
+
+.PHONY: check build vet fmt test race bench
 
 ## check: everything CI runs — vet, formatting, full tests, race tests
 check: vet fmt test race
@@ -24,3 +32,11 @@ test:
 ## race: the concurrency-heavy packages under the race detector
 race:
 	$(GO) test -race ./internal/dist/... ./internal/core/...
+
+## bench: run the hot-path benchmarks and emit the $(BENCH_OUT) snapshot
+## (ns/op, allocs/op, kicks/sec, seeded final tour length) for the perf
+## trajectory future PRs regress against
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_TIME) -count 1 -timeout 30m . > bench.out 2>&1 || { cat bench.out; rm -f bench.out; exit 1; }
+	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) < bench.out
+	@rm -f bench.out

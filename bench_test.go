@@ -129,6 +129,54 @@ func BenchmarkCLKKick(b *testing.B) {
 	}
 }
 
+// kickLoop is the shared body of the perf-trajectory benchmarks tracked in
+// BENCH_*.json: a fixed, seeded warm-up phase whose incumbent length is
+// reported as "tourlen" (bit-identical run over run and commit over
+// commit — the guard that a speed-up did not change the search), then a
+// timed steady-state phase reporting throughput as "kicks/sec".
+func kickLoop(b *testing.B, family tsp.Family, n int, fixedKicks int) {
+	in := tsp.Generate(family, n, 42)
+	s := clk.New(in, clk.DefaultParams(), 1)
+	for i := 0; i < fixedKicks; i++ {
+		s.KickOnce()
+	}
+	lenAtFixed := s.BestLength() // deterministic: seed 1, fixedKicks kicks
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.KickOnce()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "kicks/sec")
+	b.ReportMetric(float64(lenAtFixed), "tourlen")
+}
+
+// BenchmarkOptimizeAfterKick is the acceptance benchmark for the flattened
+// LK hot path: steady-state kicks on E1k (uniform 1000 cities). It must
+// run at 0 allocs/op — every scratch buffer is pre-sized at construction.
+func BenchmarkOptimizeAfterKick(b *testing.B) {
+	kickLoop(b, tsp.FamilyUniform, 1000, 200)
+}
+
+// BenchmarkCLKKicksPerSec tracks full-solver kick throughput on the two
+// synthetic testbed shapes used for the perf trajectory: E1k (uniform 1k,
+// the DIMACS E-family stand-in) and C3k (clustered 3k, the C-family).
+func BenchmarkCLKKicksPerSec(b *testing.B) {
+	cases := []struct {
+		name   string
+		family tsp.Family
+		n      int
+	}{
+		{"E1k", tsp.FamilyUniform, 1000},
+		{"C3k", tsp.FamilyClustered, 3000},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			kickLoop(b, tc.family, tc.n, 50)
+		})
+	}
+}
+
 // BenchmarkFlip measures ArrayTour segment reversal.
 func BenchmarkFlip(b *testing.B) {
 	tour := lk.NewArrayTour(tsp.IdentityTour(10000))

@@ -1,0 +1,164 @@
+// Command benchjson converts `go test -bench` output into a structured
+// JSON perf snapshot (the BENCH_*.json files tracked across PRs). It reads
+// benchmark output on stdin, echoes it to stdout unchanged (so it can sit
+// at the end of a pipeline without hiding results), and writes the parsed
+// snapshot to the -out path.
+//
+// Snapshot schema (BENCH_*.json):
+//
+//	{
+//	  "schema_version": 1,
+//	  "generated_at":   "RFC3339 timestamp",
+//	  "go_version":     "go1.24.0",
+//	  "goos":           "linux",   // from the benchmark preamble
+//	  "goarch":         "amd64",
+//	  "cpu":            "...",     // as printed by the testing package
+//	  "benchmarks": [
+//	    {
+//	      "name":          "BenchmarkOptimizeAfterKick",
+//	      "iterations":    1234,
+//	      "ns_per_op":     1054455,
+//	      "bytes_per_op":  0,        // present with -benchmem
+//	      "allocs_per_op": 0,        // present with -benchmem
+//	      "metrics":       {"kicks/sec": 948.2, "tourlen": 23456789}
+//	    }, ...
+//	  ]
+//	}
+//
+// ns_per_op/bytes_per_op/allocs_per_op are pulled out of the unit soup for
+// convenience; any custom b.ReportMetric unit (kicks/sec, tourlen, gap%)
+// lands in "metrics" verbatim.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type snapshot struct {
+	SchemaVersion int         `json:"schema_version"`
+	GeneratedAt   string      `json:"generated_at"`
+	GoVersion     string      `json:"go_version"`
+	GOOS          string      `json:"goos,omitempty"`
+	GOARCH        string      `json:"goarch,omitempty"`
+	CPU           string      `json:"cpu,omitempty"`
+	Benchmarks    []benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH.json", "path of the JSON snapshot to write")
+	flag.Parse()
+
+	snap := snapshot{
+		SchemaVersion: 1,
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+	}
+	failed := false
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			snap.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			snap.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "FAIL"):
+			failed = true
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line); ok {
+				snap.Benchmarks = append(snap.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal("benchjson: reading stdin: %v", err)
+	}
+	if failed {
+		fatal("benchjson: benchmark run FAILed; not writing %s", *out)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fatal("benchjson: no benchmark result lines found on stdin; not writing %s", *out)
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal("benchjson: %v", err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal("benchjson: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(snap.Benchmarks), *out)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkFlip-8  1332506  2357 ns/op  0 B/op  0 allocs/op  948 kicks/sec
+//
+// The trailing -8 (GOMAXPROCS) is kept out of the name so snapshots from
+// machines with different core counts compare by name.
+func parseBenchLine(line string) (benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchmark{}, false
+	}
+	b := benchmark{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			v := val
+			b.BytesPerOp = &v
+		case "allocs/op":
+			v := val
+			b.AllocsPerOp = &v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	return b, true
+}

@@ -163,6 +163,13 @@ func New(inst *tsp.Instance, p Params, seed int64) *Solver {
 		beta:     p.CloseBeta,
 		walkLen:  p.WalkLen,
 		dist:     inst.DistFunc(),
+		// Scratch is sized once here so the steady-state kick loop never
+		// allocates: the double-bridge rewrite needs at most n cities and
+		// the Close strategy's subset at most n-1.
+		segBuf: make([]int32, 0, inst.N()),
+	}
+	if p.Kick == KickClose {
+		s.kicker.subset = make([]int32, 0, inst.N())
 	}
 	initial := construct.Build(p.Construct, inst, nbr, rng)
 	s.opt = lk.NewOptimizer(inst, nbr, initial, p.LK)
@@ -224,7 +231,9 @@ func (s *Solver) KickOnce() bool { return s.kickOnce(nil) }
 // pass; an aborted pass still leaves a valid working tour, so acceptance
 // logic is unchanged.
 func (s *Solver) kickOnce(stop func() bool) bool {
-	delta, touched := DoubleBridge(s.opt.Tour, s.kicker.selectCities(s.Inst.N()), s.kicker.dist)
+	var delta int64
+	var touched [8]int32
+	delta, touched, s.kicker.segBuf = doubleBridge(s.opt.Tour, s.kicker.selectCities(s.Inst.N()), s.kicker.dist, s.kicker.segBuf)
 	s.opt.SetLength(s.bestLen + delta)
 	s.opt.QueueCities(touched[:])
 	s.opt.Optimize(stop)
@@ -275,7 +284,9 @@ func (s *Solver) Perturb(count int) {
 	s.opt.Tour.CopyFrom(s.best)
 	length := s.bestLen
 	for i := 0; i < count; i++ {
-		delta, touched := DoubleBridge(s.opt.Tour, s.kicker.selectCities(s.Inst.N()), s.kicker.dist)
+		var delta int64
+		var touched [8]int32
+		delta, touched, s.kicker.segBuf = doubleBridge(s.opt.Tour, s.kicker.selectCities(s.Inst.N()), s.kicker.dist, s.kicker.segBuf)
 		length += delta
 		s.opt.QueueCities(touched[:])
 	}

@@ -10,7 +10,6 @@ import (
 
 	"distclk/internal/lk"
 	"distclk/internal/neighbor"
-	"distclk/internal/tsp"
 )
 
 // KickStrategy selects how the four double-bridge cities are chosen.
@@ -58,7 +57,8 @@ func ParseKick(s string) (KickStrategy, error) {
 	return 0, fmt.Errorf("clk: unknown kick strategy %q", s)
 }
 
-// kicker selects double-bridge cities and applies the move.
+// kicker selects double-bridge cities and applies the move. All scratch
+// buffers live on the kicker so steady-state kicking allocates nothing.
 type kicker struct {
 	strategy KickStrategy
 	nbr      *neighbor.Lists
@@ -68,7 +68,10 @@ type kicker struct {
 	walkLen  int
 	dist     func(i, j int32) int64
 
-	subset []int32 // scratch for Close
+	subset []int32  // scratch for Close
+	perm   []int32  // scratch for pickDistinct's shuffle
+	six    [6]int32 // scratch for Close's nearest-subset selection
+	segBuf []int32  // scratch for the double-bridge segment rewrite
 }
 
 // selectCities returns four distinct cities per the strategy.
@@ -80,12 +83,12 @@ func (k *kicker) selectCities(n int) [4]int32 {
 	case KickGeometric:
 		v := int32(k.rng.Intn(n))
 		cs[0] = v
+		cand := k.nbr.Of(v)
 		kk := k.geomK
-		if kk > k.nbr.K() {
-			kk = k.nbr.K()
+		if kk > len(cand) {
+			kk = len(cand)
 		}
-		cand := k.nbr.Of(v)[:kk]
-		k.pickDistinct(cand, cs[:], n)
+		k.pickDistinct(cand[:kk], cs[:], n)
 	case KickClose:
 		v := int32(k.rng.Intn(n))
 		cs[0] = v
@@ -104,7 +107,7 @@ func (k *kicker) selectCities(n int) [4]int32 {
 			}
 		}
 		// Six subset members nearest to v.
-		six := nearestSix(k.subset, v, k.dist)
+		six := k.nearestSix(k.subset, v)
 		k.pickDistinct(six, cs[:], n)
 	case KickRandomWalk:
 		v := int32(k.rng.Intn(n))
@@ -138,10 +141,27 @@ func (k *kicker) distinctRandom(n int, out []int32) {
 	}
 }
 
+// shuffled returns a random permutation of 0..m-1 in a reusable buffer
+// (rand.Perm allocates; the kick loop must not).
+func (k *kicker) shuffled(m int) []int32 {
+	if cap(k.perm) < m {
+		k.perm = make([]int32, m)
+	}
+	p := k.perm[:m]
+	for i := range p {
+		p[i] = int32(i)
+	}
+	for i := m - 1; i > 0; i-- {
+		j := k.rng.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
 // pickDistinct fills out[1:] with distinct members of cand not equal to
 // out[0], topping up with random cities if cand is too small.
 func (k *kicker) pickDistinct(cand []int32, out []int32, n int) {
-	idx := k.rng.Perm(len(cand))
+	idx := k.shuffled(len(cand))
 	j := 0
 	for i := 1; i < len(out); i++ {
 		out[i] = -1
@@ -183,35 +203,32 @@ func contains(s []int32, v int32) bool {
 	return false
 }
 
-func nearestSix(subset []int32, v int32, dist func(i, j int32) int64) []int32 {
-	type cd struct {
-		c int32
-		d int64
-	}
-	best := make([]cd, 0, 7)
+// nearestSix selects the up-to-six subset members closest to v by
+// insertion into the kicker's fixed scratch arrays (no allocation).
+func (k *kicker) nearestSix(subset []int32, v int32) []int32 {
+	var d6 [6]int64
+	cnt := 0
 	for _, c := range subset {
 		if c == v {
 			continue
 		}
-		d := dist(v, c)
-		pos := len(best)
-		for pos > 0 && best[pos-1].d > d {
+		d := k.dist(v, c)
+		pos := cnt
+		for pos > 0 && d6[pos-1] > d {
 			pos--
 		}
-		if pos < 6 {
-			best = append(best, cd{})
-			copy(best[pos+1:], best[pos:])
-			best[pos] = cd{c, d}
-			if len(best) > 6 {
-				best = best[:6]
-			}
+		if pos >= 6 {
+			continue
 		}
+		if cnt < 6 {
+			cnt++
+		}
+		copy(k.six[pos+1:cnt], k.six[pos:cnt-1])
+		copy(d6[pos+1:cnt], d6[pos:cnt-1])
+		k.six[pos] = c
+		d6[pos] = d
 	}
-	out := make([]int32, len(best))
-	for i, b := range best {
-		out[i] = b.c
-	}
-	return out
+	return k.six[:cnt]
 }
 
 // DoubleBridge applies the Martin–Otto–Felten double-bridge move defined by
@@ -221,6 +238,16 @@ func nearestSix(subset []int32, v int32, dist func(i, j int32) int64) []int32 {
 // are exchanged and no segment is reversed. It returns the length delta
 // (new minus old) and the eight endpoint cities of the changed edges.
 func DoubleBridge(t *lk.ArrayTour, cities [4]int32, dist func(i, j int32) int64) (int64, [8]int32) {
+	delta, touched, _ := doubleBridge(t, cities, dist, nil)
+	return delta, touched
+}
+
+// doubleBridge is DoubleBridge with a caller-owned scratch buffer. Segment
+// A (the arc from the last cut back to the first) keeps its positions;
+// only the range (q1..q4] is rewritten in place as D·C·B, so the move
+// costs O(span of the cuts) instead of O(n) plus an allocation. The
+// (possibly grown) scratch buffer is returned for reuse.
+func doubleBridge(t *lk.ArrayTour, cities [4]int32, dist func(i, j int32) int64, scratch []int32) (int64, [8]int32, []int32) {
 	n := int32(t.N())
 	var q [4]int32
 	for i, c := range cities {
@@ -257,21 +284,25 @@ func DoubleBridge(t *lk.ArrayTour, cities [4]int32, dist func(i, j int32) int64)
 		o(q[3]), o(next(q[3])),
 	}
 
-	// Rebuild the order: A = (q4..q1], D = (q3..q4], C = (q2..q3],
-	// B = (q1..q2], emitted as A D C B.
-	newOrder := make([]int32, 0, n)
-	appendSeg := func(from, to int32) { // cities at positions (from..to] cyclic
-		for p := next(from); ; p = next(p) {
-			newOrder = append(newOrder, o(p))
+	// Positions are sorted, so the range (q1..q4] is contiguous (no wrap).
+	// A = (q4..q1] stays put; the range is rewritten as D = (q3..q4],
+	// C = (q2..q3], B = (q1..q2].
+	span := int(q[3] - q[0])
+	if cap(scratch) < span {
+		scratch = make([]int32, 0, int(n))
+	}
+	buf := scratch[:0]
+	appendSeg := func(from, to int32) { // cities at positions (from..to]
+		for p := from + 1; ; p++ {
+			buf = append(buf, t.At(p))
 			if p == to {
 				break
 			}
 		}
 	}
-	appendSeg(q[3], q[0]) // A
 	appendSeg(q[2], q[3]) // D
 	appendSeg(q[1], q[2]) // C
 	appendSeg(q[0], q[1]) // B
-	t.SetTour(tsp.Tour(newOrder))
-	return added - removed, touched
+	t.SetSeg(q[0]+1, buf)
+	return added - removed, touched, buf
 }

@@ -225,19 +225,16 @@ func quickBoruvka(in *tsp.Instance, nbr *neighbor.Lists) tsp.Tour {
 		})
 	}
 	f := newFragmentSet(n)
-	dist := in.DistFunc()
 	for pass := 0; pass < 2; pass++ {
 		for _, c := range order {
 			for f.deg[c] < 2 {
+				// Candidates are pre-sorted by distance, so the first
+				// addable one is the cheapest — no metric calls needed.
 				var best int32 = -1
-				var bestD int64
 				for _, o := range nbr.Of(c) {
-					if !f.canAdd(c, o) {
-						continue
-					}
-					d := dist(c, o)
-					if best < 0 || d < bestD {
-						best, bestD = o, d
+					if f.canAdd(c, o) {
+						best = o
+						break
 					}
 				}
 				if best < 0 {
@@ -254,16 +251,16 @@ func quickBoruvka(in *tsp.Instance, nbr *neighbor.Lists) tsp.Tour {
 // the structure a set of paths.
 func greedy(in *tsp.Instance, nbr *neighbor.Lists) tsp.Tour {
 	n := in.N()
-	dist := in.DistFunc()
 	type edge struct {
 		d    int64
 		a, b int32
 	}
 	edges := make([]edge, 0, n*nbr.K()/2)
 	for c := int32(0); c < int32(n); c++ {
-		for _, o := range nbr.Of(c) {
+		cand, cd := nbr.Cand(c)
+		for i, o := range cand {
 			if c < o {
-				edges = append(edges, edge{dist(c, o), c, o})
+				edges = append(edges, edge{cd[i], c, o})
 			}
 		}
 	}

@@ -42,7 +42,10 @@ type step struct {
 
 // Optimizer runs Lin-Kernighan over an ArrayTour. It maintains don't-look
 // bits and an active-city queue so that repeated optimization after a kick
-// only examines the perturbed region.
+// only examines the perturbed region. All scratch state is pre-sized at
+// NewOptimizer time; the steady-state kick→optimize loop allocates nothing
+// and reads candidate-edge distances from the neighbor.Lists table instead
+// of evaluating the instance metric.
 type Optimizer struct {
 	inst   *tsp.Instance
 	nbr    *neighbor.Lists
@@ -52,12 +55,12 @@ type Optimizer struct {
 	length int64
 
 	dist    func(i, j int32) int64
-	queue   []int32
+	queue   []int32 // FIFO backing array; live entries are queue[qhead:]
+	qhead   int
 	inQueue []bool
 
 	// chain state
 	t1       int32
-	depthCnt int
 	bestGain int64
 	bestLen  int
 	path     []step
@@ -70,14 +73,20 @@ type Optimizer struct {
 
 // NewOptimizer prepares an optimizer over the given tour. The tour is
 // adopted (copied into the internal array form); Optimize mutates it.
+// Every scratch buffer the search can need is allocated here, pre-sized
+// from the instance and MaxDepth, so Optimize never grows a slice.
 func NewOptimizer(inst *tsp.Instance, nbr *neighbor.Lists, tour tsp.Tour, params Params) *Optimizer {
 	o := &Optimizer{
-		inst:    inst,
-		nbr:     nbr,
-		params:  params,
-		Tour:    NewArrayTour(tour),
-		dist:    inst.DistFunc(),
-		inQueue: make([]bool, inst.N()),
+		inst:     inst,
+		nbr:      nbr,
+		params:   params,
+		Tour:     NewArrayTour(tour),
+		dist:     inst.DistFunc(),
+		inQueue:  make([]bool, inst.N()),
+		queue:    make([]int32, 0, inst.N()),
+		path:     make([]step, 0, params.MaxDepth),
+		bestPath: make([]step, 0, params.MaxDepth),
+		touched:  make([]int32, 0, 2*params.MaxDepth+2),
 	}
 	o.length = tour.Length(inst)
 	return o
@@ -94,17 +103,27 @@ func (o *Optimizer) SetTour(t tsp.Tour) {
 		o.inQueue[i] = false
 	}
 	o.queue = o.queue[:0]
+	o.qhead = 0
 }
 
 // SetLength overrides the cached length after the caller mutated the tour
 // externally with a known delta (used by kick moves).
 func (o *Optimizer) SetLength(l int64) { o.length = l }
 
+// push enqueues c unless already queued. The backing array never grows
+// past its initial capacity n: at most n-1 other cities can be live when a
+// new one arrives, so compacting the consumed prefix always makes room.
 func (o *Optimizer) push(c int32) {
-	if !o.inQueue[c] {
-		o.inQueue[c] = true
-		o.queue = append(o.queue, c)
+	if o.inQueue[c] {
+		return
 	}
+	o.inQueue[c] = true
+	if len(o.queue) == cap(o.queue) && o.qhead > 0 {
+		live := copy(o.queue, o.queue[o.qhead:])
+		o.queue = o.queue[:live]
+		o.qhead = 0
+	}
+	o.queue = append(o.queue, c)
 }
 
 // QueueAll enqueues every city for examination.
@@ -128,9 +147,13 @@ func (o *Optimizer) QueueCities(cities []int32) {
 func (o *Optimizer) Optimize(stop func() bool) int64 {
 	var total int64
 	checked := 0
-	for len(o.queue) > 0 {
-		c := o.queue[0]
-		o.queue = o.queue[1:]
+	for o.qhead < len(o.queue) {
+		c := o.queue[o.qhead]
+		o.qhead++
+		if o.qhead == len(o.queue) {
+			o.queue = o.queue[:0]
+			o.qhead = 0
+		}
 		o.inQueue[c] = false
 		for {
 			gain := o.improveCity(c)
@@ -233,11 +256,15 @@ func (o *Optimizer) dive(loose int32, G int64, depth int) {
 	t1 := o.t1
 	width := o.params.breadth(depth)
 	tried := 0
-	for _, y := range o.nbr.Of(loose) {
+	// Candidate distances come from the precomputed table: the gain test
+	// costs one array read, never a metric evaluation (the break below
+	// relies on the table's ascending order).
+	cands, cdist := o.nbr.Cand(loose)
+	for i, y := range cands {
 		if y == t1 || y == loose {
 			continue
 		}
-		g := G - o.dist(loose, y)
+		g := G - cdist[i]
 		if g <= 0 {
 			break // candidates sorted by distance: later ones fail too
 		}
@@ -256,18 +283,21 @@ func (o *Optimizer) dive(loose int32, G int64, depth int) {
 		closeGain := newG - o.dist(v, t1)
 
 		s := step{loose: loose, v: v}
-		o.applyStep(s)
 		o.path = append(o.path, s)
-
 		if closeGain > o.bestGain {
 			o.bestGain = closeGain
 			o.bestLen = len(o.path)
 			o.bestPath = append(o.bestPath[:0], o.path...)
 		}
-		o.dive(v, newG, depth+1)
-
+		if depth+1 < o.params.MaxDepth {
+			// The 2-opt flip is only needed so the deeper dive sees the
+			// updated cycle; at the last level the pair of flips would be
+			// pure wasted work, so it is skipped.
+			o.applyStep(s)
+			o.dive(v, newG, depth+1)
+			o.undoStep(s)
+		}
 		o.path = o.path[:len(o.path)-1]
-		o.undoStep(s)
 
 		tried++
 		if tried >= width {

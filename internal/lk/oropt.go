@@ -55,7 +55,8 @@ func OrOptPass(in *tsp.Instance, nbr *neighbor.Lists, tour tsp.Tour) (tsp.Tour, 
 				bestGain := int64(0)
 				var bestY int32 = -1
 				bestRev := false
-				for _, y := range nbr.Of(c0) {
+				ys, yd := nbr.Cand(c0)
+				for yi, y := range ys {
 					py := pos[y]
 					// y inside segment or adjacent-left?
 					dp := idx(py - p)
@@ -67,8 +68,9 @@ func OrOptPass(in *tsp.Instance, nbr *neighbor.Lists, tour tsp.Tour) (tsp.Tour, 
 						continue
 					}
 					base := removed - closeUp + dist(y, z)
-					// Forward: y -> c0 ... segEnd -> z
-					if g := base - dist(y, c0) - dist(segEnd, z); g > bestGain {
+					// Forward: y -> c0 ... segEnd -> z. The (c0,y) candidate
+					// edge reads its length from the precomputed table.
+					if g := base - yd[yi] - dist(segEnd, z); g > bestGain {
 						bestGain, bestY, bestRev = g, y, false
 					}
 					// Reversed: y -> segEnd ... c0 -> z

@@ -111,6 +111,18 @@ func (t *ArrayTour) Flip(a, b int32) {
 			return
 		}
 	}
+	if pa <= pb {
+		// Common case: the reversed range is contiguous in the array, so
+		// the two cursors never wrap — a tight loop with no modular
+		// arithmetic.
+		order, pos := t.order, t.pos
+		for i, j := pa, pb; i < j; i, j = i+1, j-1 {
+			ci, cj := order[i], order[j]
+			order[i], order[j] = cj, ci
+			pos[ci], pos[cj] = j, i
+		}
+		return
+	}
 	i, j := pa, pb
 	for k := inLen / 2; k > 0; k-- {
 		ci, cj := t.order[i], t.order[j]
@@ -124,6 +136,19 @@ func (t *ArrayTour) Flip(a, b int32) {
 		if j < 0 {
 			j = t.n - 1
 		}
+	}
+}
+
+// SetSeg overwrites the cities at consecutive positions start, start+1, …
+// (no wrap-around; start+len(cities) must be ≤ n) and refreshes the inverse
+// index for the rewritten range. The caller is responsible for the result
+// remaining a permutation — it is the allocation-free primitive behind the
+// double-bridge kick, which rewrites only the affected position range
+// instead of rebuilding the whole order array.
+func (t *ArrayTour) SetSeg(start int32, cities []int32) {
+	copy(t.order[start:], cities)
+	for i, c := range cities {
+		t.pos[c] = start + int32(i)
 	}
 }
 

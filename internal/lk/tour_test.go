@@ -165,6 +165,108 @@ func TestArrayTourBetween(t *testing.T) {
 	}
 }
 
+// naiveFlip reverses the forward segment a..b of perm by the textbook
+// definition, ignoring the shorter-side optimization — the oracle the
+// property tests compare Flip against.
+func naiveFlip(perm tsp.Tour, a, b int32) tsp.Tour {
+	ref := NewArrayTour(perm)
+	var seg []int32
+	for c := a; ; c = ref.Next(c) {
+		seg = append(seg, c)
+		if c == b {
+			break
+		}
+	}
+	out := perm.Clone()
+	pos := make(map[int32]int)
+	for i, c := range out {
+		pos[c] = i
+	}
+	for i, j := 0, len(seg)-1; i < j; i, j = i+1, j-1 {
+		pi, pj := pos[seg[i]], pos[seg[j]]
+		out[pi], out[pj] = out[pj], out[pi]
+		pos[seg[i]], pos[seg[j]] = pj, pi
+	}
+	return out
+}
+
+// TestArrayTourFlipWrapAround pins the cases the shorter-side substitution
+// must get right: segments crossing the array end, segments whose
+// complement is the shorter side (so the complement is reversed instead),
+// and the exact-half split where either side may be chosen.
+func TestArrayTourFlipWrapAround(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		a, b int32
+	}{
+		{"wraps-array-end", 8, 6, 2},     // forward segment 6,7,0,1,2 wraps
+		{"complement-shorter", 10, 1, 8}, // 8-city segment: complement side reversed
+		{"wrap-and-longer", 9, 7, 5},     // wrapping and longer than complement
+		{"exact-half", 8, 2, 5},          // both sides length 4
+		{"two-cities", 6, 5, 0},          // minimal wrapping segment
+		{"all-but-one", 7, 1, 6},         // complement is a single city
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			perm := tsp.IdentityTour(tc.n)
+			at := NewArrayTour(perm)
+			want := naiveFlip(perm, tc.a, tc.b)
+			at.Flip(tc.a, tc.b)
+			if !sameEdges(edgeSet(at), edgeSet(NewArrayTour(want))) {
+				t.Fatalf("Flip(%d,%d) on n=%d: got cycle %v, want %v", tc.a, tc.b, tc.n, at.Tour(), want)
+			}
+			for c := int32(0); c < int32(tc.n); c++ {
+				if at.At(at.Pos(c)) != c {
+					t.Fatalf("pos/order inconsistent for city %d", c)
+				}
+			}
+		})
+	}
+}
+
+// TestArrayTourFlipShorterSideProperty drives random flips whose forward
+// segment is deliberately the *longer* side, so every iteration exercises
+// the complement-reversal path, and checks the cycle against the naive
+// oracle.
+func TestArrayTourFlipShorterSideProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 500; trial++ {
+		n := 5 + rng.Intn(40)
+		perm := tsp.IdentityTour(n)
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		at := NewArrayTour(perm)
+		// Pick a forward segment longer than n/2 (position span > n/2).
+		pa := int32(rng.Intn(n))
+		span := int32(n/2 + 1 + rng.Intn(n-n/2-1))
+		pb := (pa + span) % int32(n)
+		a, b := at.At(pa), at.At(pb)
+		want := naiveFlip(perm, a, b)
+		at.Flip(a, b)
+		if !sameEdges(edgeSet(at), edgeSet(NewArrayTour(want))) {
+			t.Fatalf("long-side Flip(%d,%d) on %v: got %v, want %v", a, b, perm, at.Tour(), want)
+		}
+	}
+}
+
+func TestArrayTourSetSeg(t *testing.T) {
+	at := NewArrayTour(tsp.Tour{0, 1, 2, 3, 4, 5})
+	// Rewrite positions 1..4 with the same cities in a new order.
+	at.SetSeg(1, []int32{4, 3, 1, 2})
+	want := tsp.Tour{0, 4, 3, 1, 2, 5}
+	got := at.Tour()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SetSeg result %v, want %v", got, want)
+		}
+	}
+	for c := int32(0); c < 6; c++ {
+		if at.At(at.Pos(c)) != c {
+			t.Fatalf("pos/order inconsistent for city %d after SetSeg", c)
+		}
+	}
+}
+
 // TestFlipSequenceStaysPermutation is the property test: any sequence of
 // flips leaves a valid permutation with consistent pos/order arrays.
 func TestFlipSequenceStaysPermutation(t *testing.T) {

@@ -1,37 +1,171 @@
 // Package neighbor builds candidate edge sets for local search: k-nearest
 // neighbour lists (via k-d tree for geometric instances, brute force for
 // EXPLICIT ones) and quadrant neighbour lists as used by Concorde.
+//
+// Lists are stored in a flat CSR-style layout — one contiguous candidate
+// array with per-city offsets — together with a parallel table of
+// precomputed candidate distances. The distance of every (city, candidate)
+// pair is fixed the moment a list is built, so the Lin-Kernighan inner loop
+// reads distances from the table instead of re-evaluating the instance
+// metric (which for GEO/ATT means trigonometry) on every chain extension.
 package neighbor
 
 import (
+	"fmt"
 	"sort"
 
 	"distclk/internal/geom"
+	"distclk/internal/par"
 	"distclk/internal/tsp"
 )
 
-// Lists holds fixed-size candidate neighbour lists for every city, sorted by
-// increasing instance distance. Local search only considers candidate edges,
-// which is what makes Lin-Kernighan subquadratic in practice.
+// Lists holds candidate neighbour lists for every city in CSR form, each
+// list sorted by increasing instance distance (ties by city id). Local
+// search only considers candidate edges, which is what makes Lin-Kernighan
+// subquadratic in practice. Lists built by Build/BuildQuadrant are uniform
+// (every city has exactly K candidates); FromEdges lists are ragged.
+//
+// Invariants, asserted at build time: no self-edges, no duplicates, and
+// per-city distances ascending — dive()'s gain-criterion early break
+// depends on the ascending order.
 type Lists struct {
-	k    int
-	flat []int32
-	n    int
+	k    int     // maximum per-city list length
+	n    int     // number of cities
+	off  []int32 // len n+1; city c's candidates are flat[off[c]:off[c+1]]
+	flat []int32 // candidate cities, sorted by ascending distance per city
+	dist []int64 // dist[i] = instance distance(owner city, flat[i])
 }
 
-// K reports the per-city list length.
+// K reports the maximum per-city list length (the exact length for
+// Build/BuildQuadrant lists).
 func (l *Lists) K() int { return l.k }
 
 // N reports the number of cities.
 func (l *Lists) N() int { return l.n }
 
+// Len reports city's list length.
+func (l *Lists) Len(city int32) int { return int(l.off[city+1] - l.off[city]) }
+
 // Of returns city's candidates ordered by increasing distance. The returned
 // slice aliases internal storage; callers must not modify it.
 func (l *Lists) Of(city int32) []int32 {
-	return l.flat[int(city)*l.k : int(city)*l.k+l.k]
+	return l.flat[l.off[city]:l.off[city+1]]
 }
 
-// Build constructs k-nearest-neighbour candidate lists. k is clamped to n-1.
+// DistsOf returns the precomputed distances parallel to Of(city):
+// DistsOf(city)[i] == Instance.Dist(city, Of(city)[i]). The slice aliases
+// internal storage; callers must not modify it.
+func (l *Lists) DistsOf(city int32) []int64 {
+	return l.dist[l.off[city]:l.off[city+1]]
+}
+
+// Cand returns city's candidates and their precomputed distances in one
+// call — the hot-path accessor used by the LK inner loop.
+func (l *Lists) Cand(city int32) ([]int32, []int64) {
+	lo, hi := l.off[city], l.off[city+1]
+	return l.flat[lo:hi], l.dist[lo:hi]
+}
+
+// Validate checks every build-time invariant plus agreement of the stored
+// distance table with in.Dist for every stored pair. Builders assert the
+// structural part automatically; tests use Validate for the full check.
+func (l *Lists) Validate(in *tsp.Instance) error {
+	if err := l.validateStructure(); err != nil {
+		return err
+	}
+	for c := 0; c < l.n; c++ {
+		ci := int32(c)
+		cand, d := l.Cand(ci)
+		for i, o := range cand {
+			if want := in.Dist(c, int(o)); d[i] != want {
+				return fmt.Errorf("neighbor: city %d candidate %d: stored distance %d, instance says %d", c, o, d[i], want)
+			}
+		}
+	}
+	return nil
+}
+
+// validateStructure asserts offsets, self-edges, duplicates, bounds and
+// ascending distances in O(n + total candidates).
+func (l *Lists) validateStructure() error {
+	if len(l.off) != l.n+1 || len(l.flat) != len(l.dist) || int(l.off[l.n]) != len(l.flat) {
+		return fmt.Errorf("neighbor: inconsistent CSR arrays (n=%d off=%d flat=%d dist=%d)", l.n, len(l.off), len(l.flat), len(l.dist))
+	}
+	stamp := make([]int32, l.n) // stamp[o] == c+1 iff o already seen for city c
+	for c := 0; c < l.n; c++ {
+		ci := int32(c)
+		if l.off[c] > l.off[c+1] {
+			return fmt.Errorf("neighbor: city %d has negative list length", c)
+		}
+		cand, d := l.Cand(ci)
+		for i, o := range cand {
+			if o < 0 || int(o) >= l.n {
+				return fmt.Errorf("neighbor: city %d candidate %d out of range", c, o)
+			}
+			if o == ci {
+				return fmt.Errorf("neighbor: city %d lists itself", c)
+			}
+			if stamp[o] == ci+1 {
+				return fmt.Errorf("neighbor: city %d lists %d twice", c, o)
+			}
+			stamp[o] = ci + 1
+			if i > 0 && d[i] < d[i-1] {
+				return fmt.Errorf("neighbor: city %d candidates not ascending at rank %d", c, i)
+			}
+		}
+	}
+	return nil
+}
+
+func (l *Lists) mustValidate() {
+	if err := l.validateStructure(); err != nil {
+		panic(err.Error())
+	}
+}
+
+// candDist pairs a candidate with its precomputed instance distance.
+type candDist struct {
+	c int32
+	d int64
+}
+
+// sortCands orders by (distance, id) — the tie-break every builder uses.
+func sortCands(s []candDist) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].d != s[j].d {
+			return s[i].d < s[j].d
+		}
+		return s[i].c < s[j].c
+	})
+}
+
+// newUniform allocates a Lists where every city has exactly k candidates.
+func newUniform(n, k int) *Lists {
+	l := &Lists{
+		k:    k,
+		n:    n,
+		off:  make([]int32, n+1),
+		flat: make([]int32, n*k),
+		dist: make([]int64, n*k),
+	}
+	for c := 0; c <= n; c++ {
+		l.off[c] = int32(c * k)
+	}
+	return l
+}
+
+// fill writes city's sorted candidate pairs into the CSR arrays.
+func (l *Lists) fill(city int32, pairs []candDist) {
+	base := l.off[city]
+	for i, p := range pairs {
+		l.flat[base+int32(i)] = p.c
+		l.dist[base+int32(i)] = p.d
+	}
+}
+
+// Build constructs k-nearest-neighbour candidate lists with precomputed
+// distances. k is clamped to n-1. Construction is parallel across
+// GOMAXPROCS workers (the k-d tree is built once and queried read-only).
 func Build(in *tsp.Instance, k int) *Lists {
 	n := in.N()
 	if k > n-1 {
@@ -40,10 +174,24 @@ func Build(in *tsp.Instance, k int) *Lists {
 	if k < 1 {
 		k = 1
 	}
-	l := &Lists{k: k, n: n, flat: make([]int32, n*k)}
+	l := newUniform(n, k)
 	dist := in.DistFunc()
 	if in.Explicit() || n <= 64 {
-		buildBrute(l, n, k, dist)
+		par.For(n, func(lo, hi int) {
+			pairs := make([]candDist, 0, n-1)
+			for c := lo; c < hi; c++ {
+				ci := int32(c)
+				pairs = pairs[:0]
+				for j := 0; j < n; j++ {
+					if j != c {
+						pairs = append(pairs, candDist{int32(j), dist(ci, int32(j))})
+					}
+				}
+				sortCands(pairs)
+				l.fill(ci, pairs[:k])
+			}
+		})
+		l.mustValidate()
 		return l
 	}
 	tree := geom.NewKDTree(in.Pts)
@@ -53,40 +201,21 @@ func Build(in *tsp.Instance, k int) *Lists {
 	if fetch > n-1 {
 		fetch = n - 1
 	}
-	for c := 0; c < n; c++ {
-		cand := tree.KNearest(in.Pts[c], fetch, c)
-		ci := int32(c)
-		sort.Slice(cand, func(i, j int) bool {
-			di, dj := dist(ci, cand[i]), dist(ci, cand[j])
-			if di != dj {
-				return di < dj
+	par.For(n, func(lo, hi int) {
+		pairs := make([]candDist, 0, fetch)
+		for c := lo; c < hi; c++ {
+			ci := int32(c)
+			cand := tree.KNearest(in.Pts[c], fetch, c)
+			pairs = pairs[:0]
+			for _, o := range cand {
+				pairs = append(pairs, candDist{o, dist(ci, o)})
 			}
-			return cand[i] < cand[j]
-		})
-		copy(l.flat[c*k:(c+1)*k], cand[:k])
-	}
-	return l
-}
-
-func buildBrute(l *Lists, n, k int, dist func(i, j int32) int64) {
-	idx := make([]int32, 0, n-1)
-	for c := 0; c < n; c++ {
-		idx = idx[:0]
-		for j := 0; j < n; j++ {
-			if j != c {
-				idx = append(idx, int32(j))
-			}
+			sortCands(pairs)
+			l.fill(ci, pairs[:k])
 		}
-		ci := int32(c)
-		sort.Slice(idx, func(i, j int) bool {
-			di, dj := dist(ci, idx[i]), dist(ci, idx[j])
-			if di != dj {
-				return di < dj
-			}
-			return idx[i] < idx[j]
-		})
-		copy(l.flat[c*k:(c+1)*k], idx[:k])
-	}
+	})
+	l.mustValidate()
+	return l
 }
 
 // BuildQuadrant constructs quadrant neighbour lists: for each city, up to
@@ -102,107 +231,125 @@ func BuildQuadrant(in *tsp.Instance, perQuad int) *Lists {
 	if in.Explicit() {
 		return Build(in, k)
 	}
-	l := &Lists{k: k, n: n, flat: make([]int32, n*k)}
+	l := newUniform(n, k)
 	tree := geom.NewKDTree(in.Pts)
 	dist := in.DistFunc()
 	fetch := 4 * k
 	if fetch > n-1 {
 		fetch = n - 1
 	}
-	var quad [4][]int32
-	for c := 0; c < n; c++ {
-		cand := tree.KNearest(in.Pts[c], fetch, c)
-		for q := range quad {
-			quad[q] = quad[q][:0]
-		}
-		p := in.Pts[c]
-		chosen := make([]int32, 0, k)
+	par.For(n, func(lo, hi int) {
+		var quad [4][]int32
+		pairs := make([]candDist, 0, k)
 		seen := make(map[int32]bool, k)
-		for _, o := range cand {
-			op := in.Pts[o]
-			q := 0
-			if op.X >= p.X {
-				q |= 1
+		for c := lo; c < hi; c++ {
+			ci := int32(c)
+			cand := tree.KNearest(in.Pts[c], fetch, c)
+			for q := range quad {
+				quad[q] = quad[q][:0]
 			}
-			if op.Y >= p.Y {
-				q |= 2
+			for o := range seen {
+				delete(seen, o)
 			}
-			if len(quad[q]) < perQuad {
-				quad[q] = append(quad[q], o)
-				chosen = append(chosen, o)
-				seen[o] = true
+			p := in.Pts[c]
+			chosen := pairs[:0]
+			for _, o := range cand {
+				op := in.Pts[o]
+				q := 0
+				if op.X >= p.X {
+					q |= 1
+				}
+				if op.Y >= p.Y {
+					q |= 2
+				}
+				if len(quad[q]) < perQuad {
+					quad[q] = append(quad[q], o)
+					chosen = append(chosen, candDist{o, dist(ci, o)})
+					seen[o] = true
+				}
 			}
-		}
-		// Pad with nearest unused candidates.
-		for _, o := range cand {
-			if len(chosen) >= k {
-				break
+			// Pad with nearest unused candidates.
+			for _, o := range cand {
+				if len(chosen) >= k {
+					break
+				}
+				if !seen[o] {
+					chosen = append(chosen, candDist{o, dist(ci, o)})
+					seen[o] = true
+				}
 			}
-			if !seen[o] {
-				chosen = append(chosen, o)
-				seen[o] = true
-			}
-		}
-		ci := int32(c)
-		sort.Slice(chosen, func(i, j int) bool {
-			di, dj := dist(ci, chosen[i]), dist(ci, chosen[j])
-			if di != dj {
-				return di < dj
-			}
-			return chosen[i] < chosen[j]
-		})
-		copy(l.flat[c*k:], chosen)
-		// If still short (tiny n), fill from brute force.
-		for len(chosen) < k {
+			// If still short (tiny n), fill from brute force.
 			for j := 0; j < n && len(chosen) < k; j++ {
 				if int32(j) != ci && !seen[int32(j)] {
-					chosen = append(chosen, int32(j))
+					chosen = append(chosen, candDist{int32(j), dist(ci, int32(j))})
 					seen[int32(j)] = true
 				}
 			}
-			copy(l.flat[c*k:], chosen)
+			sortCands(chosen)
+			l.fill(ci, chosen[:k])
+			pairs = chosen
 		}
-	}
+	})
+	l.mustValidate()
 	return l
 }
 
-// FromEdges builds candidate lists from an explicit edge set (e.g. the union
-// graph in tour merging or alpha-nearness selections). adj maps each city to
-// candidate endpoints; lists are truncated/padded to the maximum degree and
-// sorted by instance distance. Cities with fewer candidates are padded by
-// repeating their nearest candidate, keeping the flat layout rectangular.
+// FromEdges builds candidate lists from an explicit edge set (e.g. the
+// union graph in tour merging or alpha-nearness selections). adj maps each
+// city to candidate endpoints; self-edges are dropped and duplicates
+// deduplicated, then each list is sorted by instance distance so the
+// dive() early-break assumption holds for edge-set candidate lists too.
+// The CSR layout keeps the lists ragged — no padding entries are invented.
+// A city with no usable candidates gets one arbitrary other city so random
+// walks over the candidate graph never strand.
 func FromEdges(in *tsp.Instance, adj [][]int32) *Lists {
 	n := in.N()
-	k := 1
-	for _, a := range adj {
-		if len(a) > k {
-			k = len(a)
-		}
-	}
 	dist := in.DistFunc()
-	l := &Lists{k: k, n: n, flat: make([]int32, n*k)}
-	for c := 0; c < n; c++ {
-		a := append([]int32(nil), adj[c]...)
-		ci := int32(c)
-		sort.Slice(a, func(i, j int) bool {
-			di, dj := dist(ci, a[i]), dist(ci, a[j])
-			if di != dj {
-				return di < dj
+	perCity := make([][]candDist, n)
+	par.For(n, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			ci := int32(c)
+			s := make([]candDist, 0, len(adj[c])+1)
+			for _, o := range adj[c] {
+				if o == ci || o < 0 || int(o) >= n {
+					continue
+				}
+				s = append(s, candDist{o, dist(ci, o)})
 			}
-			return a[i] < a[j]
-		})
-		if len(a) == 0 {
-			// Degenerate; point at an arbitrary different city.
-			other := int32(0)
-			if ci == 0 {
-				other = 1 % int32(n)
+			sortCands(s)
+			// Duplicates share (distance, id), so they are adjacent now.
+			w := 0
+			for i, p := range s {
+				if i > 0 && p.c == s[w-1].c {
+					continue
+				}
+				s[w] = p
+				w++
 			}
-			a = append(a, other)
+			s = s[:w]
+			if len(s) == 0 && n > 1 {
+				// Degenerate; point at an arbitrary different city.
+				other := int32((c + 1) % n)
+				s = append(s, candDist{other, dist(ci, other)})
+			}
+			perCity[c] = s
 		}
-		for len(a) < k {
-			a = append(a, a[len(a)-1])
+	})
+	l := &Lists{n: n, off: make([]int32, n+1)}
+	total := 0
+	for c, s := range perCity {
+		l.off[c] = int32(total)
+		total += len(s)
+		if len(s) > l.k {
+			l.k = len(s)
 		}
-		copy(l.flat[c*k:], a[:k])
 	}
+	l.off[n] = int32(total)
+	l.flat = make([]int32, total)
+	l.dist = make([]int64, total)
+	for c, s := range perCity {
+		l.fill(int32(c), s)
+	}
+	l.mustValidate()
 	return l
 }

@@ -1,8 +1,10 @@
 package neighbor
 
 import (
+	"math/rand"
 	"testing"
 
+	"distclk/internal/geom"
 	"distclk/internal/tsp"
 )
 
@@ -115,10 +117,16 @@ func TestFromEdges(t *testing.T) {
 	for i := int32(0); i < 20; i++ {
 		adj[i] = []int32{(i + 1) % 20, (i + 19) % 20}
 	}
-	adj[5] = append(adj[5], 10, 15) // one larger list forces padding
+	adj[5] = append(adj[5], 10, 15) // one larger list: the layout is ragged
 	l := FromEdges(in, adj)
 	if l.K() != 4 {
-		t.Fatalf("K = %d, want 4", l.K())
+		t.Fatalf("K = %d, want 4 (maximum degree)", l.K())
+	}
+	if got := l.Len(5); got != 4 {
+		t.Fatalf("Len(5) = %d, want 4", got)
+	}
+	if got := l.Len(3); got != 2 {
+		t.Fatalf("Len(3) = %d, want 2 (no padding entries)", got)
 	}
 	dist := in.DistFunc()
 	for c := int32(0); c < 20; c++ {
@@ -129,11 +137,74 @@ func TestFromEdges(t *testing.T) {
 			}
 		}
 	}
-	// Padded entries repeat but never list the city itself.
-	for _, o := range l.Of(3) {
-		if o == 3 {
-			t.Fatal("padding produced self-loop")
+	if err := l.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromEdgesDedupesAndDropsSelfEdges(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 12, 13)
+	adj := make([][]int32, 12)
+	for i := int32(0); i < 12; i++ {
+		// Duplicates, a self-edge, and shuffled order on every list.
+		adj[i] = []int32{(i + 1) % 12, i, (i + 2) % 12, (i + 1) % 12, (i + 2) % 12}
+	}
+	l := FromEdges(in, adj)
+	for c := int32(0); c < 12; c++ {
+		if got := l.Len(c); got != 2 {
+			t.Fatalf("city %d: Len = %d, want 2 after dedupe", c, got)
 		}
+		for _, o := range l.Of(c) {
+			if o == c {
+				t.Fatalf("city %d kept its self-edge", c)
+			}
+		}
+	}
+	if err := l.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDistanceTableMatchesInstance is the consistency check for the
+// precomputed candidate-distance table: for every stored (city, candidate)
+// pair, under every supported metric, the table must agree exactly with
+// Instance.Dist — dive()'s gain computation reads only the table.
+func TestDistanceTableMatchesInstance(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	metrics := []geom.MetricKind{geom.Euc2D, geom.Ceil2D, geom.Att, geom.Geo, geom.Man2D, geom.Max2D}
+	for _, m := range metrics {
+		t.Run(m.String(), func(t *testing.T) {
+			n := 150
+			pts := make([]geom.Point, n)
+			for i := range pts {
+				if m == geom.Geo {
+					// Latitude/longitude in TSPLIB DDD.MM encoding.
+					pts[i] = geom.Point{X: rng.Float64()*140 - 70, Y: rng.Float64()*300 - 150}
+				} else {
+					pts[i] = geom.Point{X: rng.Float64() * 10000, Y: rng.Float64() * 10000}
+				}
+			}
+			in := tsp.New("table-"+m.String(), m, pts)
+			for name, l := range map[string]*Lists{
+				"knn":      Build(in, 8),
+				"quadrant": BuildQuadrant(in, 2),
+			} {
+				if err := l.Validate(in); err != nil {
+					t.Errorf("%s: %v", name, err)
+				}
+				for c := int32(0); c < int32(n); c++ {
+					cand, d := l.Cand(c)
+					if len(cand) != len(d) {
+						t.Fatalf("%s: city %d: %d candidates, %d distances", name, c, len(cand), len(d))
+					}
+					for i, o := range cand {
+						if want := in.Dist(int(c), int(o)); d[i] != want {
+							t.Fatalf("%s: table dist(%d,%d) = %d, Instance.Dist = %d", name, c, o, d[i], want)
+						}
+					}
+				}
+			}
+		})
 	}
 }
 

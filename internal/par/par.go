@@ -1,0 +1,42 @@
+// Package par provides a minimal data-parallel loop helper used by setup
+// paths (candidate list construction, distance matrix caching). It is not
+// meant for the solver hot loop, which is single-threaded per node by
+// design — parallelism there comes from running many nodes.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// For splits [0, n) into contiguous chunks and runs fn(lo, hi) on up to
+// GOMAXPROCS goroutines. It returns when all chunks are done. For small n
+// (or a single-CPU machine) it degenerates to a direct call, so callers
+// can use it unconditionally without a size check.
+func For(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 || n < 256 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

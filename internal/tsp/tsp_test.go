@@ -28,7 +28,9 @@ func TestCacheMatrixAgreesWithMetric(t *testing.T) {
 			want = append(want, [3]int64{int64(i), int64(j), in.Dist(i, j)})
 		}
 	}
-	in.CacheMatrix()
+	if err := in.CacheMatrix(); err != nil {
+		t.Fatal(err)
+	}
 	if !in.DistCached() {
 		t.Fatal("cache not installed")
 	}
@@ -44,11 +46,26 @@ func TestCacheMatrixAgreesWithMetric(t *testing.T) {
 	}
 }
 
-func TestCacheMatrixSkipsLarge(t *testing.T) {
+func TestCacheMatrixRefusesLarge(t *testing.T) {
 	in := Generate(FamilyUniform, MaxCacheN+1, 3)
-	in.CacheMatrix()
+	err := in.CacheMatrix()
+	if err == nil {
+		t.Fatal("CacheMatrix accepted an instance beyond MaxCacheN")
+	}
 	if in.DistCached() {
 		t.Fatal("cache installed beyond MaxCacheN")
+	}
+	// The refusal must be non-fatal: Dist keeps working via the metric.
+	if in.Dist(0, 1) != in.Metric.Dist(in.Pts[0], in.Pts[1]) {
+		t.Fatal("Dist fallback broken after CacheMatrix refusal")
+	}
+	// Raising the per-instance limit lets the same instance cache.
+	in.CacheLimit = MaxCacheN + 1
+	if err := in.CacheMatrix(); err != nil {
+		t.Fatalf("CacheMatrix with raised CacheLimit: %v", err)
+	}
+	if !in.DistCached() {
+		t.Fatal("cache not installed after raising CacheLimit")
 	}
 }
 
