@@ -12,6 +12,11 @@
 //	hub     -listen :7070 -nodes 8 &
 //	distclk -tsp inst.tsp -hub host:7070 -listen :0 -time 600s
 //
+// Simnet mode replays the cluster on a deterministic virtual-time network
+// simulator — same seed, same result, any host — with injectable faults:
+//
+//	distclk -standin E1k.1 -simnet -nodes 16 -drop 0.05 -viters 200
+//
 // Every node writes its local best; collect the minimum across nodes, as
 // the paper does.
 //
@@ -34,6 +39,7 @@ import (
 	"distclk/internal/core"
 	"distclk/internal/dist"
 	"distclk/internal/obs"
+	"distclk/internal/simnet"
 	"distclk/internal/topology"
 	"distclk/internal/tsp"
 )
@@ -55,6 +61,10 @@ func main() {
 		kpc     = flag.Int64("kpc", 0, "CLK kicks per EA iteration (0 = n/10)")
 		hubAddr = flag.String("hub", "", "TCP mode: hub address (runs one node)")
 		listen  = flag.String("listen", "127.0.0.1:0", "TCP mode: this node's listen address")
+		simMode = flag.Bool("simnet", false, "simulate the cluster on a deterministic virtual-time network")
+		simDrop = flag.Float64("drop", 0, "simnet: per-message drop probability")
+		simLat  = flag.Duration("latency", 5*time.Millisecond, "simnet: median link latency")
+		simIter = flag.Int64("viters", 100, "simnet: EA iterations per node (virtual budget)")
 		tourOut = flag.String("tour", "", "write the best tour to this file")
 		pprofAd = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060)")
 		metrics = flag.String("metrics", "", "serve a JSON counter snapshot on this address at /metrics")
@@ -90,7 +100,9 @@ func main() {
 
 	var best tsp.Tour
 	var bestLen int64
-	if *hubAddr != "" {
+	if *simMode {
+		best, bestLen = runSimnet(ctx, in, kind, ea, *nodes, *target, *seed, *simDrop, *simLat, *simIter)
+	} else if *hubAddr != "" {
 		best, bestLen, err = runTCPNode(ctx, in, *hubAddr, *listen, ea, *target, *seed, *pprofAd, *metrics)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "distclk:", err)
@@ -132,6 +144,33 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runSimnet replays the cluster on simnet's virtual clock: deterministic
+// for a fixed seed, independent of host load, with injectable faults.
+func runSimnet(ctx context.Context, in *tsp.Instance, kind topology.Kind, ea core.Config, nodes int, target, seed int64, drop float64, latency time.Duration, viters int64) (tsp.Tour, int64) {
+	res := simnet.Run(ctx, in, simnet.Config{
+		Nodes:  nodes,
+		Topo:   kind,
+		EA:     ea,
+		Budget: core.Budget{Target: target, MaxIterations: viters},
+		Seed:   seed,
+		Link: simnet.Link{
+			Latency:  simnet.Latency{Kind: simnet.LatencyLognormal, Base: latency},
+			DropProb: drop,
+		},
+	})
+	fmt.Printf("simnet: %d nodes, %d broadcasts, best %d at virtual %.2fs (sent=%d delivered=%d dropped=%d)\n",
+		nodes, res.Broadcasts(), res.BestLength, res.VirtualElapsed.Seconds(),
+		res.Faults.Sent, res.Faults.Delivered, res.Faults.Drops())
+	if res.TargetReachedAt > 0 {
+		fmt.Printf("simnet: target reached at virtual %.2fs\n", res.TargetReachedAt.Seconds())
+	}
+	for _, s := range res.Stats {
+		fmt.Printf("  node %d: best=%d iters=%d kicks=%d sent=%d recv=%d accepted=%d restarts=%d\n",
+			s.NodeID, s.BestLength, s.Iterations, s.Kicks, s.Broadcasts, s.Received, s.Accepted, s.Restarts)
+	}
+	return res.BestTour, res.BestLength
 }
 
 func runTCPNode(ctx context.Context, in *tsp.Instance, hubAddr, listen string, ea core.Config, target, seed int64, pprofAd, metrics string) (tsp.Tour, int64, error) {

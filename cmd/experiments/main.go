@@ -7,6 +7,7 @@
 //	experiments -exp table3          # one experiment
 //	experiments -mode paper -runs 10 # paper-shaped scale (hours)
 //	experiments -csv results/        # also write figure traces as CSV
+//	experiments -simnet              # virtual-cluster speed-up table (JSONL)
 //
 // Experiments: table1 table2 table3 table4 table5 fig2 fig3 messages
 // variator. See DESIGN.md §3 for the experiment-to-paper mapping and
@@ -37,6 +38,7 @@ func main() {
 		csvDir = flag.String("csv", "", "write figure traces as CSV into this directory")
 		maxIns = flag.Int("instances", 0, "truncate each experiment's instance list (0 = all)")
 		trace  = flag.String("trace", "", "write every solver event as JSONL to this file")
+		simnet = flag.Bool("simnet", false, "run the simulated-cluster speed-up experiment (JSONL to stdout) and exit")
 	)
 	flag.Parse()
 
@@ -85,6 +87,13 @@ func main() {
 				fmt.Fprintf(os.Stderr, "experiments: trace write: %v\n", err)
 			}
 		}()
+	}
+	if *simnet {
+		if err := h.Simnet(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: simnet: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	all := []struct {
 		id  string

@@ -114,6 +114,10 @@ type Node struct {
 	noImprove    int
 	perturbLevel int
 
+	budget   Budget
+	sPrevLen int64
+	began    bool
+
 	stats Stats
 	start time.Time
 }
@@ -191,8 +195,24 @@ func (b Budget) done(ctx context.Context, iter int64, best int64, comm Comm) boo
 
 // Run executes the Figure 1 loop until the budget expires or ctx is done,
 // and returns the node's statistics. It must be called at most once per
-// Node.
+// Node. Callers that need one-iteration granularity (the simnet
+// discrete-event driver) use Begin/Step/Finish directly instead.
 func (n *Node) Run(ctx context.Context, b Budget) Stats {
+	n.Begin(ctx, b)
+	for n.Step(ctx) {
+	}
+	return n.Finish()
+}
+
+// Begin runs the first line of the Figure 1 pseudocode — the initial
+// chained LK pass and broadcast — and arms the budget for Step. It must be
+// called exactly once, before any Step.
+func (n *Node) Begin(ctx context.Context, b Budget) {
+	if n.began {
+		panic("core: Node.Begin called twice")
+	}
+	n.began = true
+	n.budget = b
 	n.start = time.Now()
 
 	// s_prev := INITIALTOUR; s_best := CHAINEDLINKERNIGHAN(s_prev).
@@ -203,76 +223,93 @@ func (n *Node) Run(ctx context.Context, b Budget) Stats {
 	n.rec.Improve(n.sBestLen)
 	n.broadcast(n.sBest, n.sBestLen)
 	n.perturbLevel = 1
+	n.sPrevLen = n.sBestLen
+}
 
-	sPrevLen := n.sBestLen
-	for !b.done(ctx, n.stats.Iterations, n.sBestLen, n.comm) {
-		n.stats.Iterations++
+// Step executes one EA iteration: perturb, chained LK, drain the inbox,
+// SELECTBESTTOUR, broadcast on improvement. It reports false — without
+// running an iteration — once the budget expired, the target was reached,
+// ctx was cancelled, or the network announced shutdown.
+func (n *Node) Step(ctx context.Context) bool {
+	b := n.budget
+	if b.done(ctx, n.stats.Iterations, n.sBestLen, n.comm) {
+		return false
+	}
+	n.stats.Iterations++
 
-		// s := CHAINEDLINKERNIGHAN(PERTURBATE(s_best))
-		n.perturbate()
-		res := n.runCLK(ctx, b)
-		s, sLen := res.Tour, res.Length
+	// s := CHAINEDLINKERNIGHAN(PERTURBATE(s_best))
+	n.perturbate()
+	res := n.runCLK(ctx, b)
+	s, sLen := res.Tour, res.Length
 
-		// S_received := ALLRECEIVEDTOURS
-		received := n.comm.Drain()
-		n.stats.Received += int64(len(received))
-		for _, in := range received {
-			n.rec.BroadcastReceived(in.Length, in.From)
-		}
-
-		// s_best := SELECTBESTTOUR(S_received ∪ {s} ∪ {s_prev})
-		bestLen := sLen
-		bestTour := s
-		fromLocal := true
-		bestFrom := -1
-		for _, in := range received {
-			if in.Length < bestLen {
-				bestLen = in.Length
-				bestTour = in.Tour
-				fromLocal = false
-				bestFrom = in.From
-			}
-		}
-		if n.sBestLen < bestLen {
-			bestLen = n.sBestLen
-			bestTour = n.sBest
-			fromLocal = false
-			bestFrom = -1
-		} else if n.sBestLen == bestLen && !fromLocal {
-			// Tie with the previous best: keep it, no broadcast.
-			bestTour = n.sBest
-			bestFrom = -1
-		}
-
-		if bestLen == sPrevLen {
-			n.noImprove++
-		} else if bestLen < sPrevLen {
-			// Counter resets when a better tour is found or received.
-			n.noImprove = 0
-			n.setPerturbLevel(1)
-			if fromLocal {
-				n.rec.Improve(bestLen)
-				n.broadcast(bestTour, bestLen)
-			} else {
-				if bestFrom >= 0 {
-					n.stats.Accepted++
-				}
-				n.rec.ImproveReceived(bestLen, bestFrom)
-			}
-		} else {
-			// Perturbation made things worse and nothing received beats
-			// s_prev: keep the previous best as incumbent.
-			bestLen = sPrevLen
-			bestTour = n.sBest
-			n.noImprove++
-		}
-
-		n.sBest = bestTour.Clone()
-		n.sBestLen = bestLen
-		sPrevLen = bestLen
+	// S_received := ALLRECEIVEDTOURS
+	received := n.comm.Drain()
+	n.stats.Received += int64(len(received))
+	for _, in := range received {
+		n.rec.BroadcastReceived(in.Length, in.From)
 	}
 
-	if b.Target > 0 && n.sBestLen <= b.Target {
+	// s_best := SELECTBESTTOUR(S_received ∪ {s} ∪ {s_prev})
+	bestLen := sLen
+	bestTour := s
+	fromLocal := true
+	bestFrom := -1
+	for _, in := range received {
+		if in.Length < bestLen {
+			bestLen = in.Length
+			bestTour = in.Tour
+			fromLocal = false
+			bestFrom = in.From
+		}
+	}
+	if n.sBestLen < bestLen {
+		bestLen = n.sBestLen
+		bestTour = n.sBest
+		fromLocal = false
+		bestFrom = -1
+	} else if n.sBestLen == bestLen && !fromLocal {
+		// Tie with the previous best: keep it, no broadcast.
+		bestTour = n.sBest
+		bestFrom = -1
+	}
+
+	if bestLen == n.sPrevLen {
+		n.noImprove++
+	} else if bestLen < n.sPrevLen {
+		// Counter resets when a better tour is found or received.
+		n.noImprove = 0
+		n.setPerturbLevel(1)
+		if fromLocal {
+			n.rec.Improve(bestLen)
+			n.broadcast(bestTour, bestLen)
+		} else {
+			if bestFrom >= 0 {
+				n.stats.Accepted++
+			}
+			n.rec.ImproveReceived(bestLen, bestFrom)
+		}
+	} else {
+		// Perturbation made things worse and nothing received beats
+		// s_prev: keep the previous best as incumbent.
+		bestLen = n.sPrevLen
+		bestTour = n.sBest
+		n.noImprove++
+	}
+
+	n.sBest = bestTour.Clone()
+	n.sBestLen = bestLen
+	n.sPrevLen = bestLen
+	return true
+}
+
+// Finish announces the optimum when the target was reached and returns the
+// node's final statistics. Call once, after the last Step. On a node whose
+// Begin never ran (aborted before its first event) it is a no-op.
+func (n *Node) Finish() Stats {
+	if !n.began {
+		return n.stats
+	}
+	if n.budget.Target > 0 && n.sBestLen <= n.budget.Target {
 		n.rec.Optimum(n.sBestLen)
 		n.comm.AnnounceOptimum(n.sBestLen)
 	}
@@ -280,6 +317,21 @@ func (n *Node) Run(ctx context.Context, b Budget) Stats {
 	n.stats.Kicks = n.solver.Kicks()
 	n.stats.Elapsed = time.Since(n.start)
 	return n.stats
+}
+
+// CrashRecover simulates a process restart with lost volatile state: the
+// incumbent is discarded and the search resumes from a freshly constructed,
+// LK-optimized tour, as a rejoining machine would. Stagnation counters
+// reset and the event is recorded like a stagnation restart. Call between
+// Steps only (the simnet churn scheduler does).
+func (n *Node) CrashRecover() {
+	n.noImprove = 0
+	n.setPerturbLevel(1)
+	n.stats.Restarts++
+	n.rec.Restart()
+	n.solver.Reconstruct(n.cfg.RestartConstruct)
+	n.sBest, n.sBestLen = n.solver.Best()
+	n.sPrevLen = n.sBestLen
 }
 
 func (n *Node) broadcast(t tsp.Tour, length int64) {

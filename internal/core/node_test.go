@@ -232,6 +232,92 @@ func TestBudgetMaxIterations(t *testing.T) {
 	}
 }
 
+// TestSteppingAPIMatchesRun drives one node through Begin/Step/Finish and
+// another identically-seeded node through Run; the trajectories must be
+// identical — the simnet event loop depends on that equivalence.
+func TestSteppingAPIMatchesRun(t *testing.T) {
+	in := smallInstance(100, 21)
+	cfg := DefaultConfig()
+	cfg.KicksPerCall = 5
+	ctx := testCtx(t, 30*time.Second)
+	b := Budget{MaxIterations: 8}
+
+	ran := NewNode(0, in, cfg, NopComm{}, 77)
+	want := ran.Run(ctx, b)
+
+	stepped := NewNode(0, in, cfg, NopComm{}, 77)
+	stepped.Begin(ctx, b)
+	steps := 0
+	for stepped.Step(ctx) {
+		steps++
+	}
+	got := stepped.Finish()
+
+	if got.BestLength != want.BestLength || got.Iterations != want.Iterations {
+		t.Fatalf("stepped run diverged: best %d/%d, iterations %d/%d",
+			got.BestLength, want.BestLength, got.Iterations, want.Iterations)
+	}
+	if int64(steps) != got.Iterations {
+		t.Fatalf("Step returned true %d times for %d iterations", steps, got.Iterations)
+	}
+}
+
+func TestBeginTwicePanics(t *testing.T) {
+	in := smallInstance(40, 23)
+	node := NewNode(0, in, DefaultConfig(), NopComm{}, 1)
+	ctx := testCtx(t, 10*time.Second)
+	node.Begin(ctx, Budget{MaxIterations: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Begin did not panic")
+		}
+	}()
+	node.Begin(ctx, Budget{MaxIterations: 1})
+}
+
+func TestCrashRecoverRebuildsState(t *testing.T) {
+	in := smallInstance(80, 25)
+	cfg := DefaultConfig()
+	cfg.KicksPerCall = 3
+	node := NewNode(0, in, cfg, NopComm{}, 5)
+	sink := observe(node)
+	ctx := testCtx(t, 20*time.Second)
+	node.Begin(ctx, Budget{MaxIterations: 6})
+	for i := 0; i < 2; i++ {
+		if !node.Step(ctx) {
+			t.Fatal("budget expired prematurely")
+		}
+	}
+	node.ForceNoImprove(3)
+	node.CrashRecover()
+	if node.NoImprove() != 0 {
+		t.Errorf("stagnation counter survived the crash: %d", node.NoImprove())
+	}
+	// The node must keep stepping on the rebuilt state.
+	for node.Step(ctx) {
+	}
+	stats := node.Finish()
+	if stats.Restarts == 0 {
+		t.Error("crash recovery not counted as a restart")
+	}
+	restarts := 0
+	for _, e := range sink.Events() {
+		if e.Kind == obs.KindRestart {
+			restarts++
+		}
+	}
+	if restarts == 0 {
+		t.Error("crash recovery emitted no restart event")
+	}
+	tour, l := node.Best()
+	if err := tour.Validate(80); err != nil {
+		t.Fatal(err)
+	}
+	if tour.Length(in) != l {
+		t.Fatalf("best length mismatch after recovery: %d vs %d", tour.Length(in), l)
+	}
+}
+
 func TestContextCancellationStopsRun(t *testing.T) {
 	in := smallInstance(400, 19)
 	node := NewNode(0, in, DefaultConfig(), NopComm{}, 10)

@@ -1,10 +1,10 @@
 package dist
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"distclk/internal/core"
+	"distclk/internal/obs"
 	"distclk/internal/topology"
 	"distclk/internal/tsp"
 )
@@ -21,9 +21,11 @@ type ChanNetwork struct {
 	topo    topology.Kind
 	inboxes []chan core.Incoming
 	stopped atomic.Bool
+	drops   atomic.Int64
 
-	mu    sync.Mutex
-	drops int64
+	// obs, when set, receives an event (and bumps the receiver's MsgDrops
+	// counter) for every inbox-full drop. Set before handing out Comms.
+	obs *obs.Observer
 }
 
 // InboxCapacity is the per-node buffered channel size. The EA drains its
@@ -50,12 +52,13 @@ func (nw *ChanNetwork) Comm(id int) core.Comm {
 	return &chanComm{nw: nw, id: id, neighbors: topology.Neighbors(nw.topo, nw.n, id)}
 }
 
+// SetObserver attaches the run's observer so inbox-full drops surface as
+// obs events instead of only a counter. The observer must have at least n
+// recorders. Call before any Comm is used.
+func (nw *ChanNetwork) SetObserver(o *obs.Observer) { nw.obs = o }
+
 // Drops reports how many tours were discarded on full inboxes.
-func (nw *ChanNetwork) Drops() int64 {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	return nw.drops
-}
+func (nw *ChanNetwork) Drops() int64 { return nw.drops.Load() }
 
 type chanComm struct {
 	nw        *ChanNetwork
@@ -70,9 +73,12 @@ func (c *chanComm) Broadcast(t tsp.Tour, length int64) {
 		select {
 		case c.nw.inboxes[o] <- msg:
 		default:
-			c.nw.mu.Lock()
-			c.nw.drops++
-			c.nw.mu.Unlock()
+			c.nw.drops.Add(1)
+			if c.nw.obs != nil {
+				// Attribute the drop to the receiver whose inbox is full;
+				// MsgDropped is safe from the sender's goroutine.
+				c.nw.obs.Recorder(o).MsgDropped(length, c.id)
+			}
 		}
 	}
 }

@@ -2,11 +2,11 @@ package dist
 
 import (
 	"context"
-	"sync"
 	"testing"
 	"time"
 
 	"distclk/internal/core"
+	"distclk/internal/simnet"
 	"distclk/internal/topology"
 	"distclk/internal/tsp"
 )
@@ -14,45 +14,39 @@ import (
 // TestHeterogeneousNodeLifetimes reproduces the paper's end-of-run
 // degeneration: "due to different running times on the nodes at the end of
 // a simulation more and more nodes might become inactive" — remaining
-// nodes must keep working as their neighbourhood drains.
+// nodes must keep working as their neighbourhood drains. It runs on
+// simnet's virtual clock, so the lifetimes are exact iteration counts
+// instead of wall-clock races.
 func TestHeterogeneousNodeLifetimes(t *testing.T) {
 	in := tsp.Generate(tsp.FamilyUniform, 150, 31)
-	nw := NewChanNetwork(4, topology.Hypercube)
+	cfg := func() core.Config {
+		c := core.DefaultConfig()
+		c.KicksPerCall = 5
+		return c
+	}()
+	res := simnet.Run(testCtx(t, 60*time.Second), in, simnet.Config{
+		Nodes:  4,
+		Topo:   topology.Hypercube,
+		EA:     cfg,
+		Budget: core.Budget{MaxIterations: 12},
+		// Nodes 0 and 1 stop after 2 iterations; 2 and 3 run the full 12.
+		NodeIterations: []int64{2, 2, 0, 0},
+		Seed:           1,
+	})
 
-	var wg sync.WaitGroup
-	results := make([]core.Stats, 4)
-	for i := 0; i < 4; i++ {
-		cfg := core.DefaultConfig()
-		cfg.KicksPerCall = 5
-		node := core.NewNode(i, in, cfg, nw.Comm(i), int64(i+1))
-		// Nodes 0 and 1 stop after 2 iterations; 2 and 3 run 12.
-		iters := int64(2)
-		if i >= 2 {
-			iters = 12
-		}
-		wg.Add(1)
-		go func(idx int, n *core.Node, maxIters int64) {
-			defer wg.Done()
-			results[idx] = n.Run(testCtx(t, 60*time.Second), core.Budget{
-				MaxIterations: maxIters,
-			})
-		}(i, node, iters)
-	}
-	wg.Wait()
-
-	for i, s := range results {
+	for i, s := range res.Stats {
 		if s.BestLength == 0 {
 			t.Fatalf("node %d produced no result", i)
 		}
 	}
-	if results[2].Iterations != 12 || results[3].Iterations != 12 {
+	if res.Stats[2].Iterations != 12 || res.Stats[3].Iterations != 12 {
 		t.Fatalf("long-lived nodes cut short: %d, %d iterations",
-			results[2].Iterations, results[3].Iterations)
+			res.Stats[2].Iterations, res.Stats[3].Iterations)
 	}
 	// Messages to inactive nodes pile up in their inboxes harmlessly (the
-	// paper's nodes simply stop reading); the network must not deadlock.
-	if nw.Drops() > 0 && results[2].BestLength == 0 {
-		t.Fatal("network degraded fatally under churn")
+	// paper's nodes simply stop reading); the network must not drop them.
+	if res.Faults.Drops() != 0 {
+		t.Fatalf("network dropped %d messages under churn", res.Faults.Drops())
 	}
 }
 
@@ -61,24 +55,32 @@ func TestHeterogeneousNodeLifetimes(t *testing.T) {
 func TestTCPPeerDeath(t *testing.T) {
 	const nodes = 3
 	in := tsp.Generate(tsp.FamilyUniform, 40, 33)
+	ctx := testCtx(t, 30*time.Second)
 
 	hub, err := NewHub("127.0.0.1:0", nodes, topology.Complete)
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Short I/O timeout so the write to the dead peer errors quickly.
+	hub.SetIOTimeout(2 * time.Second)
 	go hub.Serve(context.Background())
 	defer hub.Close()
 
 	tcpNodes := make([]*TCPNode, nodes)
 	for i := range tcpNodes {
-		n, err := JoinTCP(context.Background(), hub.Addr(), "127.0.0.1:0", in.N())
+		n, err := JoinTCPConfig(ctx, hub.Addr(), "127.0.0.1:0", in.N(),
+			TCPConfig{IOTimeout: 2 * time.Second})
 		if err != nil {
 			t.Fatal(err)
 		}
 		tcpNodes[i] = n
 	}
 	hub.Wait()
-	waitPeers(t, tcpNodes, nodes-1)
+	for i, n := range tcpNodes {
+		if err := n.WaitPeers(ctx, nodes-1); err != nil {
+			t.Fatalf("node %d peers never connected: %v", i, err)
+		}
+	}
 
 	// Kill node 2.
 	tcpNodes[2].Close()
@@ -86,16 +88,13 @@ func TestTCPPeerDeath(t *testing.T) {
 	// Broadcast from node 0: node 1 receives; the write to the dead peer
 	// eventually errors and removes it without wedging the sender.
 	tour := tsp.IdentityTour(in.N())
-	deadline := time.Now().Add(5 * time.Second)
-	got := false
-	for !got && time.Now().Before(deadline) {
-		tcpNodes[0].Broadcast(tour, 7)
-		time.Sleep(20 * time.Millisecond)
-		if msgs := tcpNodes[1].Drain(); len(msgs) > 0 {
-			got = true
+	tcpNodes[0].Broadcast(tour, 7)
+	select {
+	case msg := <-tcpNodes[1].Incoming():
+		if msg.From != tcpNodes[0].ID || msg.Length != 7 {
+			t.Fatalf("survivor got unexpected message %v", msg)
 		}
-	}
-	if !got {
+	case <-ctx.Done():
 		t.Fatal("survivor stopped receiving after peer death")
 	}
 	tcpNodes[0].Close()
@@ -106,6 +105,7 @@ func TestTCPPeerDeath(t *testing.T) {
 // announcements must not loop forever.
 func TestTCPDuplicateOptimumAnnouncements(t *testing.T) {
 	const nodes = 3
+	ctx := testCtx(t, 30*time.Second)
 	hub, err := NewHub("127.0.0.1:0", nodes, topology.Complete)
 	if err != nil {
 		t.Fatal(err)
@@ -115,7 +115,7 @@ func TestTCPDuplicateOptimumAnnouncements(t *testing.T) {
 
 	tcpNodes := make([]*TCPNode, nodes)
 	for i := range tcpNodes {
-		n, err := JoinTCP(context.Background(), hub.Addr(), "127.0.0.1:0", 10)
+		n, err := JoinTCP(ctx, hub.Addr(), "127.0.0.1:0", 10)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -123,41 +123,20 @@ func TestTCPDuplicateOptimumAnnouncements(t *testing.T) {
 		tcpNodes[i] = n
 	}
 	hub.Wait()
-	waitPeers(t, tcpNodes, nodes-1)
+	for i, n := range tcpNodes {
+		if err := n.WaitPeers(ctx, nodes-1); err != nil {
+			t.Fatalf("node %d peers never connected: %v", i, err)
+		}
+	}
 
 	// Two nodes announce simultaneously.
 	tcpNodes[0].AnnounceOptimum(100)
 	tcpNodes[1].AnnounceOptimum(100)
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		all := true
-		for _, n := range tcpNodes {
-			if !n.Stopped() {
-				all = false
-			}
+	for i, n := range tcpNodes {
+		select {
+		case <-n.StoppedChan():
+		case <-ctx.Done():
+			t.Fatalf("optimum flood did not reach node %d", i)
 		}
-		if all {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
 	}
-	t.Fatal("optimum flood did not converge")
-}
-
-func waitPeers(t *testing.T, ns []*TCPNode, want int) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		done := true
-		for _, n := range ns {
-			if n.PeerCount() < want {
-				done = false
-			}
-		}
-		if done {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	t.Fatal("peers never connected")
 }

@@ -31,6 +31,11 @@ type ClusterConfig struct {
 	// Nodes recorders). When nil, RunCluster creates one internally so
 	// events and counters are always available on the result.
 	Obs *obs.Observer
+	// Net, when set, supplies the transport. It must be safe for concurrent
+	// goroutine-per-node use (ChanNetwork is; simnet.Network is not — its
+	// virtual clock needs simnet.Run's single-threaded event loop). When
+	// nil, a ChanNetwork over Topo is created.
+	Net Network
 }
 
 // ClusterResult aggregates a distributed run.
@@ -84,7 +89,13 @@ func RunCluster(ctx context.Context, inst *tsp.Instance, cfg ClusterConfig) Clus
 	if observer == nil {
 		observer = obs.NewObserver(cfg.Nodes, nil)
 	}
-	nw := NewChanNetwork(cfg.Nodes, cfg.Topo)
+	nw := cfg.Net
+	if nw == nil {
+		nw = NewChanNetwork(cfg.Nodes, cfg.Topo)
+	}
+	if on, ok := nw.(ObservableNetwork); ok {
+		on.SetObserver(observer)
+	}
 
 	nodes := make([]*core.Node, cfg.Nodes)
 	stats := make([]core.Stats, cfg.Nodes)

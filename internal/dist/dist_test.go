@@ -148,6 +148,8 @@ func TestChanNetworkOptimumStopsEveryone(t *testing.T) {
 
 func TestChanNetworkDropsWhenFull(t *testing.T) {
 	nw := NewChanNetwork(2, topology.Complete)
+	observer := obs.NewObserver(2, nil)
+	nw.SetObserver(observer)
 	a := nw.Comm(0)
 	tour := tsp.IdentityTour(3)
 	for i := 0; i < InboxCapacity+10; i++ {
@@ -158,6 +160,24 @@ func TestChanNetworkDropsWhenFull(t *testing.T) {
 	}
 	if got := nw.Comm(1).Drain(); len(got) != InboxCapacity {
 		t.Errorf("drained %d, want %d", len(got), InboxCapacity)
+	}
+	// Overflow drops are observable: counter on the receiver plus one
+	// msg-dropped event per lost tour, attributed receiver<-sender.
+	counters := observer.Counters()
+	if counters[1].MsgDrops != 10 {
+		t.Errorf("receiver counted %d drops, want 10", counters[1].MsgDrops)
+	}
+	dropped := 0
+	for _, e := range observer.Events() {
+		if e.Kind == obs.KindMsgDropped {
+			dropped++
+			if e.Node != 1 || e.From != 0 {
+				t.Errorf("drop event misattributed: %+v", e)
+			}
+		}
+	}
+	if dropped != 10 {
+		t.Errorf("%d msg-dropped events, want 10", dropped)
 	}
 }
 
@@ -257,64 +277,64 @@ func TestTCPClusterIntegration(t *testing.T) {
 
 	// Wait for contact-back connections to settle: every node in a 2-bit
 	// hypercube has exactly 2 peers.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		done := true
-		for _, n := range tcpNodes {
-			if n.PeerCount() < 2 {
-				done = false
-			}
-		}
-		if done || time.Now().After(deadline) {
-			break
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	ctx := testCtx(t, 30*time.Second)
 	for i, n := range tcpNodes {
+		if err := n.WaitPeers(ctx, 2); err != nil {
+			t.Fatalf("node %d peers never connected: %v", i, err)
+		}
 		if n.PeerCount() != 2 {
 			t.Fatalf("node %d has %d peers, want 2", i, n.PeerCount())
 		}
 	}
 
-	// Broadcast a tour from node 0; its hypercube neighbours must get it.
+	// Broadcast a tour from node 0; exactly its hypercube neighbours must
+	// get it, signalled on their inbox channels (no polling).
 	tour := tsp.IdentityTour(in.N())
-	tcpNodes[0].Broadcast(tour, 999)
-	time.Sleep(100 * time.Millisecond)
-	gotCount := 0
-	for i := 1; i < nodes; i++ {
-		msgs := tcpNodes[i].Drain()
-		for _, m := range msgs {
-			if m.From != tcpNodes[0].ID || m.Length != 999 {
-				t.Fatalf("node %d got unexpected message %v", i, m)
-			}
-			if err := m.Tour.Validate(in.N()); err != nil {
-				t.Fatal(err)
-			}
-			gotCount++
-		}
+	sender := tcpNodes[0].ID
+	wantRecv := map[int]bool{}
+	for _, o := range topology.Neighbors(topology.Hypercube, nodes, sender) {
+		wantRecv[o] = true
 	}
-	if gotCount != 2 {
-		t.Fatalf("%d deliveries, want 2 (hypercube degree of node 0)", gotCount)
+	tcpNodes[0].Broadcast(tour, 999)
+	need := len(wantRecv)
+	for got := 0; got < need; got++ {
+		select {
+		case m := <-tcpNodes[1].Incoming():
+			checkDelivery(t, tcpNodes[1].ID, m, sender, wantRecv, in.N())
+		case m := <-tcpNodes[2].Incoming():
+			checkDelivery(t, tcpNodes[2].ID, m, sender, wantRecv, in.N())
+		case m := <-tcpNodes[3].Incoming():
+			checkDelivery(t, tcpNodes[3].ID, m, sender, wantRecv, in.N())
+		case <-ctx.Done():
+			t.Fatalf("only %d of %d neighbour deliveries arrived", got, need)
+		}
 	}
 
 	// Optimum notification floods to every node.
 	tcpNodes[1].AnnounceOptimum(12345)
-	deadline = time.Now().Add(5 * time.Second)
-	for {
-		all := true
-		for _, n := range tcpNodes {
-			if !n.Stopped() {
-				all = false
-			}
+	for i, n := range tcpNodes {
+		select {
+		case <-n.StoppedChan():
+		case <-ctx.Done():
+			t.Fatalf("optimum notification did not flood to node %d", i)
 		}
-		if all {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("optimum notification did not flood to all nodes")
-		}
-		time.Sleep(5 * time.Millisecond)
 	}
+}
+
+// checkDelivery asserts one broadcast landed on an expected neighbour and
+// marks it received.
+func checkDelivery(t *testing.T, id int, m core.Incoming, sender int, want map[int]bool, instN int) {
+	t.Helper()
+	if !want[id] {
+		t.Fatalf("unexpected delivery to node %d: %v", id, m)
+	}
+	if m.From != sender || m.Length != 999 {
+		t.Fatalf("node %d got unexpected message %v", id, m)
+	}
+	if err := m.Tour.Validate(instN); err != nil {
+		t.Fatal(err)
+	}
+	delete(want, id)
 }
 
 func TestTCPNodesRunDistributedEA(t *testing.T) {

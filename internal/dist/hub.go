@@ -17,9 +17,10 @@ import (
 // directly, which adds the reverse edges — after the last join the overlay
 // is the full topology and the hub is idle (paper §2.2).
 type Hub struct {
-	ln       net.Listener
-	expected int
-	topo     topology.Kind
+	ln        net.Listener
+	expected  int
+	topo      topology.Kind
+	ioTimeout time.Duration
 
 	mu     sync.Mutex
 	joined []string // addr by node id, in join order
@@ -36,7 +37,15 @@ func NewHub(addr string, expected int, topo topology.Kind) (*Hub, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Hub{ln: ln, expected: expected, topo: topo, done: make(chan struct{})}, nil
+	return &Hub{ln: ln, expected: expected, topo: topo, ioTimeout: DefaultIOTimeout, done: make(chan struct{})}, nil
+}
+
+// SetIOTimeout overrides the per-join handshake deadline (default
+// DefaultIOTimeout). Call before Serve.
+func (h *Hub) SetIOTimeout(d time.Duration) {
+	if d > 0 {
+		h.ioTimeout = d
+	}
 }
 
 // Addr returns the hub's listen address for nodes to dial.
@@ -82,7 +91,7 @@ func (h *Hub) Serve(ctx context.Context) error {
 }
 
 func (h *Hub) handle(conn net.Conn) error {
-	conn.SetDeadline(time.Now().Add(tcpIOTimeout))
+	conn.SetDeadline(time.Now().Add(h.ioTimeout))
 	typ, payload, err := readFrame(conn)
 	if err != nil {
 		return err

@@ -1,0 +1,30 @@
+package dist
+
+import (
+	"distclk/internal/core"
+	"distclk/internal/obs"
+)
+
+// Network hands out per-node Comm endpoints over a shared overlay and
+// reports how many tours it had to drop. Three transports exist:
+// ChanNetwork (in-process, goroutine-per-node real time), the TCP path
+// (Hub + TCPNode, one endpoint per process, so no single Network value),
+// and simnet.Network (virtual-time, fault-injecting, driven by simnet.Run's
+// discrete-event loop). ChanNetwork and simnet.Network satisfy this
+// interface directly.
+type Network interface {
+	// Comm returns node id's view of the network.
+	Comm(id int) core.Comm
+	// Drops reports how many tours were discarded in transit.
+	Drops() int64
+}
+
+// ObservableNetwork is satisfied by networks that can report
+// transport-level events (inbox overflows, link faults) through a run's
+// observer. SetObserver must be called before any Comm is used.
+type ObservableNetwork interface {
+	Network
+	SetObserver(*obs.Observer)
+}
+
+var _ ObservableNetwork = (*ChanNetwork)(nil)

@@ -13,10 +13,26 @@ import (
 	"distclk/internal/tsp"
 )
 
-// tcpIOTimeout bounds handshake reads and every frame write. A peer that
-// stops reading cannot wedge a broadcaster: the write deadline fires, the
-// send errors, and the peer is dropped (P2P churn tolerance).
-const tcpIOTimeout = 10 * time.Second
+// DefaultIOTimeout bounds handshake reads and every frame write unless
+// TCPConfig (or Hub.SetIOTimeout) overrides it. A peer that stops reading
+// cannot wedge a broadcaster: the write deadline fires, the send errors,
+// and the peer is dropped (P2P churn tolerance).
+const DefaultIOTimeout = 10 * time.Second
+
+// TCPConfig tunes a TCP node. The zero value gives defaults.
+type TCPConfig struct {
+	// IOTimeout bounds handshake reads and frame writes (0 = the package
+	// DefaultIOTimeout). Tests shorten it to fail fast; deployments over
+	// slow links raise it.
+	IOTimeout time.Duration
+}
+
+func (c TCPConfig) ioTimeout() time.Duration {
+	if c.IOTimeout > 0 {
+		return c.IOTimeout
+	}
+	return DefaultIOTimeout
+}
 
 // TCPNode is a core.Comm over real TCP connections. Nodes form a
 // peer-to-peer overlay: each maintains persistent connections to its
@@ -26,28 +42,33 @@ type TCPNode struct {
 	ID    int
 	Total int
 
-	instN int
-	ln    net.Listener
+	instN     int
+	ln        net.Listener
+	ioTimeout time.Duration
 
-	mu    sync.Mutex
-	peers map[int]*tcpPeer
+	mu       sync.Mutex
+	peerCond *sync.Cond // broadcast on every peer add/remove
+	peers    map[int]*tcpPeer
 
 	inbox     chan core.Incoming
 	stopped   atomic.Bool
+	stoppedCh chan struct{}
+	stopOnce  sync.Once
 	forwarded atomic.Bool
 	closed    atomic.Bool
 }
 
 type tcpPeer struct {
-	id   int
-	conn net.Conn
-	wmu  sync.Mutex
+	id      int
+	conn    net.Conn
+	timeout time.Duration
+	wmu     sync.Mutex
 }
 
 func (p *tcpPeer) send(typ byte, payload []byte) error {
 	p.wmu.Lock()
 	defer p.wmu.Unlock()
-	p.conn.SetWriteDeadline(time.Now().Add(tcpIOTimeout))
+	p.conn.SetWriteDeadline(time.Now().Add(p.timeout))
 	err := writeFrame(p.conn, typ, payload)
 	p.conn.SetWriteDeadline(time.Time{})
 	return err
@@ -59,16 +80,24 @@ func (p *tcpPeer) send(typ byte, payload []byte) error {
 // incoming tours. ctx bounds the bootstrap (hub dial + handshake + peer
 // dials); once joined, the node lives until Close.
 func JoinTCP(ctx context.Context, hubAddr, listenAddr string, instN int) (*TCPNode, error) {
+	return JoinTCPConfig(ctx, hubAddr, listenAddr, instN, TCPConfig{})
+}
+
+// JoinTCPConfig is JoinTCP with explicit tuning.
+func JoinTCPConfig(ctx context.Context, hubAddr, listenAddr string, instN int, cfg TCPConfig) (*TCPNode, error) {
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, err
 	}
 	n := &TCPNode{
-		instN: instN,
-		ln:    ln,
-		peers: make(map[int]*tcpPeer),
-		inbox: make(chan core.Incoming, InboxCapacity),
+		instN:     instN,
+		ln:        ln,
+		ioTimeout: cfg.ioTimeout(),
+		peers:     make(map[int]*tcpPeer),
+		inbox:     make(chan core.Incoming, InboxCapacity),
+		stoppedCh: make(chan struct{}),
 	}
+	n.peerCond = sync.NewCond(&n.mu)
 	go n.acceptLoop()
 
 	var d net.Dialer
@@ -78,7 +107,7 @@ func JoinTCP(ctx context.Context, hubAddr, listenAddr string, instN int) (*TCPNo
 		return nil, err
 	}
 	defer hub.Close()
-	hub.SetDeadline(handshakeDeadline(ctx))
+	hub.SetDeadline(handshakeDeadline(ctx, n.ioTimeout))
 	if err := writeFrame(hub, msgJoin, []byte(ln.Addr().String())); err != nil {
 		ln.Close()
 		return nil, err
@@ -109,9 +138,9 @@ func JoinTCP(ctx context.Context, hubAddr, listenAddr string, instN int) (*TCPNo
 	return n, nil
 }
 
-// handshakeDeadline clips the default IO timeout by the context deadline.
-func handshakeDeadline(ctx context.Context) time.Time {
-	dl := time.Now().Add(tcpIOTimeout)
+// handshakeDeadline clips the IO timeout by the context deadline.
+func handshakeDeadline(ctx context.Context, timeout time.Duration) time.Time {
+	dl := time.Now().Add(timeout)
 	if ctxDL, ok := ctx.Deadline(); ok && ctxDL.Before(dl) {
 		dl = ctxDL
 	}
@@ -128,6 +157,27 @@ func (n *TCPNode) PeerCount() int {
 	return len(n.peers)
 }
 
+// WaitPeers blocks until at least `want` peer connections are live or ctx
+// is done — the event-driven replacement for PeerCount polling loops.
+func (n *TCPNode) WaitPeers(ctx context.Context, want int) error {
+	// Wake the cond wait when ctx fires; sync.Cond has no context form.
+	stop := context.AfterFunc(ctx, func() {
+		n.mu.Lock()
+		n.peerCond.Broadcast()
+		n.mu.Unlock()
+	})
+	defer stop()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for len(n.peers) < want {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n.peerCond.Wait()
+	}
+	return nil
+}
+
 func (n *TCPNode) dialPeer(ctx context.Context, id int, addr string) error {
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
@@ -136,7 +186,7 @@ func (n *TCPNode) dialPeer(ctx context.Context, id int, addr string) error {
 	}
 	var hello [4]byte
 	binary.LittleEndian.PutUint32(hello[:], uint32(n.ID))
-	conn.SetWriteDeadline(handshakeDeadline(ctx))
+	conn.SetWriteDeadline(handshakeDeadline(ctx, n.ioTimeout))
 	if err := writeFrame(conn, msgHello, hello[:]); err != nil {
 		conn.Close()
 		return err
@@ -147,12 +197,13 @@ func (n *TCPNode) dialPeer(ctx context.Context, id int, addr string) error {
 }
 
 func (n *TCPNode) addPeer(id int, conn net.Conn) {
-	p := &tcpPeer{id: id, conn: conn}
+	p := &tcpPeer{id: id, conn: conn, timeout: n.ioTimeout}
 	n.mu.Lock()
 	if old, ok := n.peers[id]; ok {
 		old.conn.Close()
 	}
 	n.peers[id] = p
+	n.peerCond.Broadcast()
 	n.mu.Unlock()
 	go n.readLoop(p)
 }
@@ -162,6 +213,7 @@ func (n *TCPNode) removePeer(p *tcpPeer) {
 	if n.peers[p.id] == p {
 		delete(n.peers, p.id)
 	}
+	n.peerCond.Broadcast()
 	n.mu.Unlock()
 	p.conn.Close()
 }
@@ -173,7 +225,7 @@ func (n *TCPNode) acceptLoop() {
 			return
 		}
 		go func(c net.Conn) {
-			c.SetReadDeadline(time.Now().Add(tcpIOTimeout))
+			c.SetReadDeadline(time.Now().Add(n.ioTimeout))
 			typ, payload, err := readFrame(c)
 			if err != nil || typ != msgHello || len(payload) != 4 {
 				c.Close()
@@ -205,7 +257,7 @@ func (n *TCPNode) readLoop(p *tcpPeer) {
 				// Inbox full: drop; fresher tours will follow.
 			}
 		case msgOptimum:
-			n.stopped.Store(true)
+			n.setStopped()
 			n.forwardOptimum(payload)
 		}
 	}
@@ -261,12 +313,26 @@ func (n *TCPNode) Drain() []core.Incoming {
 func (n *TCPNode) AnnounceOptimum(length int64) {
 	var payload [8]byte
 	binary.LittleEndian.PutUint64(payload[:], uint64(length))
-	n.stopped.Store(true)
+	n.setStopped()
 	n.forwardOptimum(payload[:])
+}
+
+func (n *TCPNode) setStopped() {
+	n.stopped.Store(true)
+	n.stopOnce.Do(func() { close(n.stoppedCh) })
 }
 
 // Stopped implements core.Comm.
 func (n *TCPNode) Stopped() bool { return n.stopped.Load() }
+
+// StoppedChan is closed when an optimum/shutdown notice arrives — the
+// event-driven form of polling Stopped.
+func (n *TCPNode) StoppedChan() <-chan struct{} { return n.stoppedCh }
+
+// Incoming exposes the receive channel for event-driven consumers (select
+// with a timeout instead of Drain-and-sleep polling). Consume either via
+// this channel or via Drain, not both concurrently.
+func (n *TCPNode) Incoming() <-chan core.Incoming { return n.inbox }
 
 // Close tears the node down.
 func (n *TCPNode) Close() error {

@@ -59,6 +59,28 @@ const (
 	// KindSnapshot: a periodic progress observation. Value = best length so
 	// far; Node is -1 (whole-solve scope).
 	KindSnapshot
+	// KindMsgDropped: a tour in transit was lost — full inbox, link loss,
+	// partition, or dead receiver. Node = intended receiver, From = sender,
+	// Value = tour length.
+	KindMsgDropped
+	// KindMsgDelivered: the network placed a tour into a node's inbox
+	// (link-level; distinct from KindBroadcastReceived, which fires when the
+	// node drains it). Node = receiver, From = sender, Value = length.
+	KindMsgDelivered
+	// KindMsgDuplicated: a link duplicated a frame in transit. Node =
+	// receiver, From = sender, Value = length.
+	KindMsgDuplicated
+	// KindPartitionStart: a network partition activated; traffic between
+	// groups is dropped until it heals. Node = -1, Value = group count.
+	KindPartitionStart
+	// KindPartitionHeal: the partition healed. Node = -1.
+	KindPartitionHeal
+	// KindNodeCrash: a node crashed — it stops working and its queued inbox
+	// is lost. Node = the crashed node.
+	KindNodeCrash
+	// KindNodeRestart: a crashed node came back. Node = restarted node,
+	// Value = 1 when it restarted with freshly reconstructed search state.
+	KindNodeRestart
 
 	numKinds
 )
@@ -76,6 +98,13 @@ var kindNames = [numKinds]string{
 	"broadcast-received",
 	"optimum",
 	"snapshot",
+	"msg-dropped",
+	"msg-delivered",
+	"msg-duplicated",
+	"partition-start",
+	"partition-heal",
+	"node-crash",
+	"node-restart",
 }
 
 // String names the kind; these names are the JSONL trace vocabulary.

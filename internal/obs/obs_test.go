@@ -308,3 +308,77 @@ func TestMetricsHandler(t *testing.T) {
 		t.Fatalf("decoded %+v", got)
 	}
 }
+
+func TestNetworkKindsAreNamedAndEALevel(t *testing.T) {
+	kinds := []Kind{
+		KindMsgDropped, KindMsgDelivered, KindMsgDuplicated,
+		KindPartitionStart, KindPartitionHeal, KindNodeCrash, KindNodeRestart,
+	}
+	for _, k := range kinds {
+		if k.String() == "unknown" || k.String() == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		// Network faults are rare relative to kicks; they belong in the
+		// collected EA-level stream.
+		if !k.EALevel() {
+			t.Fatalf("%v must be EA-level", k)
+		}
+	}
+}
+
+func TestRecorderMsgDropAccounting(t *testing.T) {
+	sink := NewMemorySink()
+	r := NewRecorder(3, sink)
+	r.MsgDropped(4012, 1)
+	r.MsgDropped(4012, 2)
+	r.MsgDelivered(4012, 1)
+	r.MsgDuplicated(4012, 2)
+
+	if got := r.Snapshot().MsgDrops; got != 2 {
+		t.Fatalf("MsgDrops = %d, want 2", got)
+	}
+	events := sink.Events()
+	if len(events) != 4 {
+		t.Fatalf("%d events, want 4", len(events))
+	}
+	if e := events[0]; e.Kind != KindMsgDropped || e.Node != 3 || e.From != 1 || e.Value != 4012 {
+		t.Fatalf("bad drop event %+v", e)
+	}
+	if e := events[2]; e.Kind != KindMsgDelivered || e.From != 1 {
+		t.Fatalf("bad delivery event %+v", e)
+	}
+	// Nil recorders swallow everything, as elsewhere in the package.
+	var nilRec *Recorder
+	nilRec.MsgDropped(1, 0)
+	nilRec.MsgDelivered(1, 0)
+	nilRec.MsgDuplicated(1, 0)
+}
+
+func TestVirtualObserverStampsWithInjectedClock(t *testing.T) {
+	now := 5 * time.Second
+	o := NewVirtualObserver(2, nil, func() time.Duration { return now })
+	o.Recorder(0).Improve(100)
+	now = 9 * time.Second
+	o.Recorder(1).MsgDropped(100, 0)
+	o.Record(KindPartitionStart, -1, 2, -1)
+
+	events := o.Events()
+	if len(events) != 3 {
+		t.Fatalf("%d events, want 3", len(events))
+	}
+	if events[0].At != 5*time.Second {
+		t.Fatalf("first event at %v, want the injected 5s", events[0].At)
+	}
+	if events[1].At != 9*time.Second || events[2].At != 9*time.Second {
+		t.Fatalf("later events at %v/%v, want 9s", events[1].At, events[2].At)
+	}
+	if events[2].Node != -1 || events[2].Kind != KindPartitionStart {
+		t.Fatalf("network-scoped event misrecorded: %+v", events[2])
+	}
+	if o.Elapsed() != 9*time.Second {
+		t.Fatalf("Elapsed = %v, want virtual 9s", o.Elapsed())
+	}
+	if o.Counters()[1].MsgDrops != 1 {
+		t.Fatalf("MsgDrops snapshot = %d, want 1", o.Counters()[1].MsgDrops)
+	}
+}

@@ -9,7 +9,9 @@ import (
 
 // Counters are the solver's hot-path tallies. All fields are atomics so a
 // metrics endpoint or progress pump can read them while the search mutates
-// them; each counter has a single writer (its node's recorder).
+// them; each counter has a single writer (its node's recorder), except
+// MsgDrops, which the transport bumps on the *receiver's* recorder from
+// whatever goroutine detected the loss (atomic adds keep that safe).
 type Counters struct {
 	Kicks              atomic.Int64 // double-bridge kicks attempted
 	KickAccepts        atomic.Int64 // kicks whose re-optimized tour was kept
@@ -19,6 +21,7 @@ type Counters struct {
 	BroadcastsSent     atomic.Int64 // tours broadcast to neighbours
 	BroadcastsReceived atomic.Int64 // tours drained from the inbox
 	BroadcastsAccepted atomic.Int64 // received tours adopted as node best
+	MsgDrops           atomic.Int64 // tours lost in transit to this node
 }
 
 // CounterSnapshot is a point-in-time copy of one node's counters, safe to
@@ -34,6 +37,7 @@ type CounterSnapshot struct {
 	BroadcastsSent     int64 `json:"broadcasts_sent"`
 	BroadcastsReceived int64 `json:"broadcasts_received"`
 	BroadcastsAccepted int64 `json:"broadcasts_accepted"`
+	MsgDrops           int64 `json:"msg_drops"`
 }
 
 // Recorder is one node's handle into the observability layer: it stamps
@@ -43,6 +47,7 @@ type CounterSnapshot struct {
 type Recorder struct {
 	node  int
 	start time.Time
+	clock func() time.Duration // overrides wall time when set (virtual clocks)
 	sink  Sink
 	best  atomic.Int64
 	c     Counters
@@ -58,9 +63,16 @@ func NewRecorder(node int, sink Sink) *Recorder {
 	return &Recorder{node: node, start: time.Now(), sink: sink}
 }
 
+func (r *Recorder) now() time.Duration {
+	if r.clock != nil {
+		return r.clock()
+	}
+	return time.Since(r.start)
+}
+
 func (r *Recorder) emit(k Kind, value int64, from int) {
 	r.sink.Emit(Event{
-		At:    time.Since(r.start),
+		At:    r.now(),
 		Node:  r.node,
 		Kind:  k,
 		Value: value,
@@ -160,6 +172,34 @@ func (r *Recorder) BroadcastReceived(length int64, from int) {
 	r.emit(KindBroadcastReceived, length, from)
 }
 
+// MsgDropped records a tour lost on its way to this node — full inbox,
+// link loss, partition, or a dead receiver. from is the sending node. The
+// transport calls this on the receiver's recorder, possibly from a sender's
+// goroutine; the counter is atomic and sinks serialize, so that is safe.
+func (r *Recorder) MsgDropped(length int64, from int) {
+	if r == nil {
+		return
+	}
+	r.c.MsgDrops.Add(1)
+	r.emit(KindMsgDropped, length, from)
+}
+
+// MsgDelivered records a tour placed into this node's inbox by the network.
+func (r *Recorder) MsgDelivered(length int64, from int) {
+	if r == nil {
+		return
+	}
+	r.emit(KindMsgDelivered, length, from)
+}
+
+// MsgDuplicated records a frame duplicated in transit to this node.
+func (r *Recorder) MsgDuplicated(length int64, from int) {
+	if r == nil {
+		return
+	}
+	r.emit(KindMsgDuplicated, length, from)
+}
+
 // Optimum records that the node reached the target length.
 func (r *Recorder) Optimum(length int64) {
 	if r == nil {
@@ -194,12 +234,13 @@ func (r *Recorder) Best() int64 {
 	return r.best.Load()
 }
 
-// Elapsed returns time since the recorder's run clock started.
+// Elapsed returns time on the recorder's run clock (wall time since start,
+// or the virtual clock's reading for virtual observers).
 func (r *Recorder) Elapsed() time.Duration {
 	if r == nil {
 		return 0
 	}
-	return time.Since(r.start)
+	return r.now()
 }
 
 // Snapshot copies the counters.
@@ -218,6 +259,7 @@ func (r *Recorder) Snapshot() CounterSnapshot {
 		BroadcastsSent:     r.c.BroadcastsSent.Load(),
 		BroadcastsReceived: r.c.BroadcastsReceived.Load(),
 		BroadcastsAccepted: r.c.BroadcastsAccepted.Load(),
+		MsgDrops:           r.c.MsgDrops.Load(),
 	}
 }
 
@@ -227,20 +269,34 @@ func (r *Recorder) Snapshot() CounterSnapshot {
 // unfiltered (JSONL traces, live listeners).
 type Observer struct {
 	start     time.Time
+	clock     func() time.Duration // virtual clock; nil = wall time
+	sink      Sink                 // shared recorder sink: EA-filtered collector + extra
 	collector *MemorySink
 	recs      []*Recorder
 }
 
 // NewObserver builds an observer for `nodes` recorders. extra may be nil.
 func NewObserver(nodes int, extra Sink) *Observer {
+	return newObserver(nodes, extra, nil)
+}
+
+// NewVirtualObserver builds an observer whose recorders stamp events with
+// the supplied clock instead of wall time — the simnet event loop passes
+// its virtual clock so event logs replay byte-identically across runs.
+func NewVirtualObserver(nodes int, extra Sink, clock func() time.Duration) *Observer {
+	return newObserver(nodes, extra, clock)
+}
+
+func newObserver(nodes int, extra Sink, clock func() time.Duration) *Observer {
 	o := &Observer{
 		start:     time.Now(),
+		clock:     clock,
 		collector: NewMemorySink(),
 		recs:      make([]*Recorder, nodes),
 	}
+	o.sink = Multi(Filter(o.collector, Kind.EALevel), extra)
 	for i := range o.recs {
-		sink := Multi(Filter(o.collector, Kind.EALevel), extra)
-		o.recs[i] = &Recorder{node: i, start: o.start, sink: sink}
+		o.recs[i] = &Recorder{node: i, start: o.start, clock: clock, sink: o.sink}
 	}
 	return o
 }
@@ -297,10 +353,14 @@ func (o *Observer) BestLength() int64 {
 	return best
 }
 
-// Elapsed returns time since the observer's run clock started.
+// Elapsed returns time on the observer's run clock (wall time since start,
+// or the virtual clock's reading).
 func (o *Observer) Elapsed() time.Duration {
 	if o == nil {
 		return 0
+	}
+	if o.clock != nil {
+		return o.clock()
 	}
 	return time.Since(o.start)
 }
@@ -313,13 +373,29 @@ func (o *Observer) Snapshot() int64 {
 	}
 	best := o.BestLength()
 	o.collector.Emit(Event{
-		At:    time.Since(o.start),
+		At:    o.Elapsed(),
 		Node:  -1,
 		Kind:  KindSnapshot,
 		Value: best,
 		From:  -1,
 	})
 	return best
+}
+
+// Record emits a network- or harness-scoped event (partitions, crashes,
+// deliveries) through the observer's shared sink, stamped with its clock.
+// Use node = -1 for whole-network scope and from = -1 when no peer applies.
+func (o *Observer) Record(k Kind, node int, value int64, from int) {
+	if o == nil {
+		return
+	}
+	o.sink.Emit(Event{
+		At:    o.Elapsed(),
+		Node:  node,
+		Kind:  k,
+		Value: value,
+		From:  from,
+	})
 }
 
 // MetricsHandler serves snap() as indented JSON — an expvar-style

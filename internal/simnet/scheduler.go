@@ -1,0 +1,73 @@
+package simnet
+
+import (
+	"container/heap"
+	"time"
+)
+
+// event is one scheduled callback on the virtual clock.
+type event struct {
+	at  time.Duration
+	seq uint64 // insertion order; breaks timestamp ties so replay is exact
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// scheduler is the discrete-event core: a priority queue of callbacks keyed
+// by (virtual time, insertion order). Everything in a simulation — node EA
+// steps, message deliveries, partitions, crashes — runs as one of these
+// callbacks on a single goroutine, so a fixed seed replays the whole run
+// byte-identically: no wall clocks, no goroutine interleaving.
+type scheduler struct {
+	h   eventHeap
+	now time.Duration
+	seq uint64
+}
+
+// Now reads the virtual clock. It only advances between events.
+func (s *scheduler) Now() time.Duration { return s.now }
+
+// schedule queues fn at absolute virtual time `at` (clamped to now:
+// the past is immutable).
+func (s *scheduler) schedule(at time.Duration, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.h, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// after queues fn `d` after the current virtual time.
+func (s *scheduler) after(d time.Duration, fn func()) { s.schedule(s.now+d, fn) }
+
+// run pops and executes events in (time, seq) order until the queue drains
+// or stop reports true (checked before each event).
+func (s *scheduler) run(stop func() bool) {
+	for len(s.h) > 0 {
+		if stop != nil && stop() {
+			return
+		}
+		ev := heap.Pop(&s.h).(*event)
+		s.now = ev.at
+		ev.fn()
+	}
+}

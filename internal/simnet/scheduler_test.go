@@ -1,0 +1,79 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// The heap must order by virtual time, then by insertion sequence — FIFO
+// among ties is what makes replays exact.
+func TestSchedulerOrdering(t *testing.T) {
+	s := &scheduler{}
+	var got []int
+	s.schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	s.schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	s.schedule(10*time.Millisecond, func() { got = append(got, 2) }) // tie: after 1
+	s.schedule(20*time.Millisecond, func() {
+		got = append(got, 4)
+		// Nested scheduling in the past is clamped to now, not dropped.
+		s.schedule(5*time.Millisecond, func() { got = append(got, 5) })
+	})
+	s.run(nil)
+
+	want := []int{1, 2, 4, 5, 3}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d (%v)", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("clock = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := &scheduler{}
+	n := 0
+	for i := 0; i < 10; i++ {
+		s.schedule(time.Duration(i)*time.Millisecond, func() { n++ })
+	}
+	s.run(func() bool { return n >= 3 })
+	if n != 3 {
+		t.Fatalf("executed %d events past the stop condition, want 3", n)
+	}
+}
+
+func TestLatencySampling(t *testing.T) {
+	rng := newTestRNG()
+	fixed := Latency{Kind: LatencyFixed, Base: 7 * time.Millisecond}
+	for i := 0; i < 10; i++ {
+		if d := fixed.sample(rng); d != 7*time.Millisecond {
+			t.Fatalf("fixed latency = %v, want 7ms", d)
+		}
+	}
+	uni := Latency{Kind: LatencyUniform, Base: 5 * time.Millisecond, Spread: 10 * time.Millisecond}
+	for i := 0; i < 1000; i++ {
+		d := uni.sample(rng)
+		if d < 5*time.Millisecond || d >= 15*time.Millisecond {
+			t.Fatalf("uniform latency %v outside [5ms, 15ms)", d)
+		}
+	}
+	logn := Latency{Kind: LatencyLognormal, Base: 5 * time.Millisecond, Sigma: 0.5}
+	var above int
+	for i := 0; i < 1000; i++ {
+		d := logn.sample(rng)
+		if d <= 0 {
+			t.Fatalf("lognormal latency %v not positive", d)
+		}
+		if d > 5*time.Millisecond {
+			above++
+		}
+	}
+	// Base is the median; both tails must be populated.
+	if above < 300 || above > 700 {
+		t.Fatalf("lognormal: %d/1000 samples above the median, want ~500", above)
+	}
+}

@@ -1,0 +1,301 @@
+// Package simnet is a deterministic, fault-injecting network simulator for
+// the distributed EA. It is the third transport next to dist.ChanNetwork
+// and the TCP path: Network hands out the same core.Comm surface, but the
+// whole cluster runs on a seeded discrete-event scheduler with a virtual
+// clock — per-link latency distributions, probabilistic loss, duplication,
+// reordering, bandwidth-proportional delivery delay, scripted partitions
+// that heal, and node crash/restart churn, every draw taken from one
+// rand.Source. A (topology, fault schedule, seed) triple therefore replays
+// byte-identically, which makes the paper's 8–64 node experiments and the
+// EA's degradation under faults reproducible on one machine, in CI.
+//
+// Unlike the other transports, Network is single-threaded by design: only
+// Run's event loop may touch it, so there are no locks and no
+// interleavings. Faults surface through internal/obs (msg-dropped,
+// msg-delivered, partition-start, node-crash, ...) and are tallied in
+// FaultStats.
+package simnet
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"distclk/internal/core"
+	"distclk/internal/obs"
+	"distclk/internal/topology"
+	"distclk/internal/tsp"
+)
+
+// LatencyKind selects a per-message latency distribution.
+type LatencyKind int
+
+const (
+	// LatencyFixed delivers every message after exactly Base.
+	LatencyFixed LatencyKind = iota
+	// LatencyUniform draws uniformly from [Base, Base+Spread).
+	LatencyUniform
+	// LatencyLognormal draws Base·exp(σ·N(0,1)) — median Base with the
+	// heavy right tail measured on real WANs.
+	LatencyLognormal
+)
+
+// Latency is a samplable one-way link delay.
+type Latency struct {
+	Kind   LatencyKind
+	Base   time.Duration // fixed value / uniform lower bound / lognormal median
+	Spread time.Duration // uniform width (ignored otherwise)
+	Sigma  float64       // lognormal shape; <= 0 means 0.5
+}
+
+func (l Latency) sample(rng *rand.Rand) time.Duration {
+	switch l.Kind {
+	case LatencyUniform:
+		if l.Spread <= 0 {
+			return l.Base
+		}
+		return l.Base + time.Duration(rng.Int63n(int64(l.Spread)))
+	case LatencyLognormal:
+		sigma := l.Sigma
+		if sigma <= 0 {
+			sigma = 0.5
+		}
+		return time.Duration(float64(l.Base) * math.Exp(rng.NormFloat64()*sigma))
+	default:
+		return l.Base
+	}
+}
+
+// Link is the fault model applied to every directed overlay edge.
+type Link struct {
+	// Latency delays each delivery.
+	Latency Latency
+	// DropProb loses each copy independently.
+	DropProb float64
+	// DupProb delivers a second copy of the frame.
+	DupProb float64
+	// ReorderProb adds a second latency sample to a message, letting later
+	// sends overtake it even under near-fixed latency.
+	ReorderProb float64
+	// Bandwidth, in bytes per virtual second, adds a transfer delay
+	// proportional to the tour payload (16 header + 4 bytes/city, the TCP
+	// frame shape). 0 = infinite.
+	Bandwidth int64
+}
+
+// Partition isolates node groups from each other during [At, Heal):
+// messages crossing a group boundary are dropped at send time. Nodes not
+// listed in Groups form one implicit extra group. Heal <= At means the
+// partition never heals.
+type Partition struct {
+	At, Heal time.Duration
+	Groups   [][]int
+}
+
+// Crash stops a node at At: it stops stepping, its queued inbox is lost,
+// and traffic to it is dropped. Restart > At revives it then; Fresh makes
+// it come back with reconstructed search state (a real process restart)
+// instead of resuming from its checkpoint.
+type Crash struct {
+	Node    int
+	At      time.Duration
+	Restart time.Duration
+	Fresh   bool
+}
+
+// FaultStats tallies what the simulated network did to traffic. The
+// distributed EA is designed to tolerate loss, so honest counters — not
+// silent drops — are the whole point.
+type FaultStats struct {
+	Sent             int64 `json:"sent"`
+	Delivered        int64 `json:"delivered"`
+	Duplicated       int64 `json:"duplicated"`
+	Reordered        int64 `json:"reordered"`
+	DroppedLink      int64 `json:"dropped_link"`
+	DroppedPartition int64 `json:"dropped_partition"`
+	DroppedCrash     int64 `json:"dropped_crash"`
+	DroppedInbox     int64 `json:"dropped_inbox"`
+}
+
+// Drops sums every drop class.
+func (f FaultStats) Drops() int64 {
+	return f.DroppedLink + f.DroppedPartition + f.DroppedCrash + f.DroppedInbox
+}
+
+// Network is the virtual-time transport. It satisfies dist.Network
+// structurally (Comm + Drops) but must only be touched from Run's event
+// loop — it is deliberately lock-free and single-threaded.
+type Network struct {
+	n    int
+	topo topology.Kind
+	link Link
+	cap  int
+
+	sched *scheduler
+	rng   *rand.Rand
+	obs   *obs.Observer
+
+	inboxes     [][]core.Incoming
+	crashed     []bool
+	partitioned bool
+	groupOf     []int
+
+	stopped   bool
+	stoppedAt time.Duration
+
+	stats FaultStats
+}
+
+func newNetwork(n int, topo topology.Kind, link Link, capacity int, sched *scheduler, rng *rand.Rand, o *obs.Observer) *Network {
+	return &Network{
+		n:       n,
+		topo:    topo,
+		link:    link,
+		cap:     capacity,
+		sched:   sched,
+		rng:     rng,
+		obs:     o,
+		inboxes: make([][]core.Incoming, n),
+		crashed: make([]bool, n),
+		groupOf: make([]int, n),
+	}
+}
+
+// Comm returns node id's view of the network.
+func (nw *Network) Comm(id int) core.Comm {
+	return &comm{nw: nw, id: id, neighbors: topology.Neighbors(nw.topo, nw.n, id)}
+}
+
+// Drops reports how many tours were discarded in transit, all causes.
+func (nw *Network) Drops() int64 { return nw.stats.Drops() }
+
+// Stats returns the fault tallies so far.
+func (nw *Network) Stats() FaultStats { return nw.stats }
+
+// send pushes one copy of the tour onto the from→to edge, applying the
+// fault model in a fixed draw order (partition, loss, latency, bandwidth,
+// reorder) so replays consume the rand stream identically.
+func (nw *Network) send(from, to int, t tsp.Tour, length int64) {
+	if nw.partitioned && nw.groupOf[from] != nw.groupOf[to] {
+		nw.stats.DroppedPartition++
+		nw.obs.Recorder(to).MsgDropped(length, from)
+		return
+	}
+	if nw.link.DropProb > 0 && nw.rng.Float64() < nw.link.DropProb {
+		nw.stats.DroppedLink++
+		nw.obs.Recorder(to).MsgDropped(length, from)
+		return
+	}
+	delay := nw.link.Latency.sample(nw.rng)
+	if nw.link.Bandwidth > 0 {
+		bytes := int64(16 + 4*len(t))
+		delay += time.Duration(bytes * int64(time.Second) / nw.link.Bandwidth)
+	}
+	if nw.link.ReorderProb > 0 && nw.rng.Float64() < nw.link.ReorderProb {
+		delay += nw.link.Latency.sample(nw.rng)
+		nw.stats.Reordered++
+	}
+	msg := core.Incoming{From: from, Tour: t.Clone(), Length: length}
+	nw.sched.after(delay, func() { nw.deliver(to, msg) })
+}
+
+// deliver lands a message at its (possibly meanwhile crashed or congested)
+// destination.
+func (nw *Network) deliver(to int, msg core.Incoming) {
+	switch {
+	case nw.crashed[to]:
+		nw.stats.DroppedCrash++
+		nw.obs.Recorder(to).MsgDropped(msg.Length, msg.From)
+	case len(nw.inboxes[to]) >= nw.cap:
+		nw.stats.DroppedInbox++
+		nw.obs.Recorder(to).MsgDropped(msg.Length, msg.From)
+	default:
+		nw.inboxes[to] = append(nw.inboxes[to], msg)
+		nw.stats.Delivered++
+		nw.obs.Recorder(to).MsgDelivered(msg.Length, msg.From)
+	}
+}
+
+// applyPartition activates a scripted split. Listed groups get ids 1..k;
+// everyone else shares group 0.
+func (nw *Network) applyPartition(p Partition) {
+	nw.partitioned = true
+	for i := range nw.groupOf {
+		nw.groupOf[i] = 0
+	}
+	groups := 1
+	for g, nodes := range p.Groups {
+		for _, id := range nodes {
+			if id >= 0 && id < nw.n {
+				nw.groupOf[id] = g + 1
+			}
+		}
+		groups++
+	}
+	nw.obs.Record(obs.KindPartitionStart, -1, int64(groups), -1)
+}
+
+func (nw *Network) healPartition() {
+	nw.partitioned = false
+	nw.obs.Record(obs.KindPartitionHeal, -1, 0, -1)
+}
+
+// crash kills a node: pending inbox lost, future traffic dropped.
+func (nw *Network) crash(id int) {
+	nw.crashed[id] = true
+	nw.inboxes[id] = nil
+	nw.obs.Record(obs.KindNodeCrash, id, 0, -1)
+}
+
+func (nw *Network) restart(id int, fresh bool) {
+	nw.crashed[id] = false
+	v := int64(0)
+	if fresh {
+		v = 1
+	}
+	nw.obs.Record(obs.KindNodeRestart, id, v, -1)
+}
+
+// comm is one node's endpoint.
+type comm struct {
+	nw        *Network
+	id        int
+	neighbors []int
+}
+
+// Broadcast sends a copy of the tour toward every topology neighbour,
+// running each copy through the link fault model.
+func (c *comm) Broadcast(t tsp.Tour, length int64) {
+	nw := c.nw
+	for _, o := range c.neighbors {
+		nw.stats.Sent++
+		copies := 1
+		if nw.link.DupProb > 0 && nw.rng.Float64() < nw.link.DupProb {
+			copies = 2
+			nw.stats.Duplicated++
+			nw.obs.Recorder(o).MsgDuplicated(length, c.id)
+		}
+		for k := 0; k < copies; k++ {
+			nw.send(c.id, o, t, length)
+		}
+	}
+}
+
+// Drain empties the node's inbox.
+func (c *comm) Drain() []core.Incoming {
+	out := c.nw.inboxes[c.id]
+	c.nw.inboxes[c.id] = nil
+	return out
+}
+
+// AnnounceOptimum stops the whole network (the paper's criterion (2)). The
+// virtual timestamp of the first announcement is the run's time-to-target.
+func (c *comm) AnnounceOptimum(int64) {
+	if !c.nw.stopped {
+		c.nw.stopped = true
+		c.nw.stoppedAt = c.nw.sched.now
+	}
+}
+
+// Stopped reports whether any node announced the optimum.
+func (c *comm) Stopped() bool { return c.nw.stopped }

@@ -92,3 +92,66 @@ func TestHypercubeNonPowerOfTwoStaysConnected(t *testing.T) {
 		}
 	}
 }
+
+// TestHypercubeDegradedExactAdjacency pins the exact neighbour sets of the
+// degraded (non-power-of-two) hypercube — the shape simnet exercises at
+// n=6 and n=12 — so a refactor cannot silently reroute the overlay.
+func TestHypercubeDegradedExactAdjacency(t *testing.T) {
+	cases := []struct {
+		n    int
+		want map[int][]int
+	}{
+		{6, map[int][]int{
+			0: {1, 2, 4},
+			1: {0, 3, 5},
+			2: {0, 3},
+			3: {1, 2},
+			4: {0, 5},
+			5: {1, 4},
+		}},
+		{12, map[int][]int{
+			0:  {1, 2, 4, 8},
+			3:  {1, 2, 7, 11},
+			7:  {3, 5, 6},
+			11: {3, 9, 10},
+		}},
+	}
+	for _, c := range cases {
+		for id, w := range c.want {
+			got := Neighbors(Hypercube, c.n, id)
+			sort.Ints(got)
+			if len(got) != len(w) {
+				t.Fatalf("n=%d node %d: neighbours %v, want %v", c.n, id, got, w)
+			}
+			for i := range w {
+				if got[i] != w[i] {
+					t.Fatalf("n=%d node %d: neighbours %v, want %v", c.n, id, got, w)
+				}
+			}
+		}
+	}
+}
+
+// TestHypercubeDegradedSymmetric: dropped links must be dropped on both
+// ends, or the TCP contact-back handshake would wedge.
+func TestHypercubeDegradedSymmetric(t *testing.T) {
+	for n := 3; n <= 16; n++ {
+		adj := make([]map[int]bool, n)
+		for id := 0; id < n; id++ {
+			adj[id] = map[int]bool{}
+			for _, o := range Neighbors(Hypercube, n, id) {
+				if o < 0 || o >= n {
+					t.Fatalf("n=%d node %d: neighbour %d out of range", n, id, o)
+				}
+				adj[id][o] = true
+			}
+		}
+		for id := 0; id < n; id++ {
+			for o := range adj[id] {
+				if !adj[o][id] {
+					t.Fatalf("n=%d: edge %d->%d not symmetric", n, id, o)
+				}
+			}
+		}
+	}
+}
