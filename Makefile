@@ -8,7 +8,7 @@ BENCH_PATTERN ?= ^(BenchmarkFlip|BenchmarkOptimizeAfterKick|BenchmarkCLKKicksPer
 BENCH_OUT     ?= BENCH_PR2.json
 BENCH_TIME    ?= 1s
 
-.PHONY: check build vet fmt test race bench
+.PHONY: check build vet fmt test race bench repro repro-smoke doc-links
 
 ## check: everything CI runs — vet, formatting, full tests, race tests
 check: vet fmt test race
@@ -40,3 +40,17 @@ bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_TIME) -count 1 -timeout 30m . > bench.out 2>&1 || { cat bench.out; rm -f bench.out; exit 1; }
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) < bench.out
 	@rm -f bench.out
+
+## repro: regenerate the deterministic smoke tier — the marked sections of
+## EXPERIMENTS.md, results/smoke/*.csv, and REPRODUCTION.md
+repro:
+	$(GO) run ./cmd/repro
+
+## repro-smoke: CI drift gate — regenerate in memory and fail on any byte
+## difference against the committed artifacts
+repro-smoke:
+	$(GO) run ./cmd/repro -check
+
+## doc-links: fail on dead intra-repo links in the markdown docs
+doc-links:
+	$(GO) run ./cmd/repro -links

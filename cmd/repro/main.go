@@ -1,0 +1,147 @@
+// Command repro regenerates the repository's reproduction artifacts from
+// the experiment manifest (internal/report): the smoke-tier sections of
+// EXPERIMENTS.md, the results/smoke/*.csv files, and REPRODUCTION.md.
+//
+// Modes:
+//
+//	repro            regenerate the artifacts in place
+//	repro -check     regenerate in memory and fail on any byte difference
+//	                 against the committed files (CI drift gate)
+//	repro -links     check intra-repo markdown links instead of running
+//	                 experiments
+//
+// Everything the command writes is deterministic: experiments run seeded
+// kick-budgeted CLK loops and simnet virtual-clock clusters, never wall
+// clocks, so -check is a meaningful byte-level comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"distclk/internal/report"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "repository root (EXPERIMENTS.md and results/ live here)")
+	check := flag.Bool("check", false, "verify committed artifacts match regeneration; exit 1 on drift")
+	links := flag.Bool("links", false, "check intra-repo markdown links and exit")
+	flag.Parse()
+
+	if *links {
+		os.Exit(runLinks(*dir))
+	}
+	os.Exit(run(*dir, *check))
+}
+
+func runLinks(dir string) int {
+	files := report.DocFiles(dir)
+	broken, err := report.CheckLinks(dir, files)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		return 1
+	}
+	for _, b := range broken {
+		fmt.Fprintf(os.Stderr, "broken link: %s\n", b)
+	}
+	if len(broken) > 0 {
+		fmt.Fprintf(os.Stderr, "repro: %d broken links in %d files\n", len(broken), len(files))
+		return 1
+	}
+	fmt.Printf("repro: links OK (%d files)\n", len(files))
+	return 0
+}
+
+// outputs maps artifact paths (relative to the repo root) to their
+// regenerated contents.
+func outputs(dir string) (map[string]string, error) {
+	expPath := filepath.Join(dir, "EXPERIMENTS.md")
+	doc, err := os.ReadFile(expPath)
+	if err != nil {
+		return nil, err
+	}
+
+	r := report.NewRunner()
+	var sections []report.Section
+	var arts []*report.Artifact
+	out := map[string]string{}
+	for _, e := range report.Manifest() {
+		fmt.Fprintf(os.Stderr, "repro: running %s (%s)...\n", e.ID, e.Paper)
+		a, err := e.Run(r)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if len(a.Deltas) != len(e.Baselines) {
+			return nil, fmt.Errorf("%s: %d deltas for %d baselines", e.ID, len(a.Deltas), len(e.Baselines))
+		}
+		arts = append(arts, a)
+		sections = append(sections, report.Section{ID: e.ID, Body: a.Body})
+		for _, c := range a.CSVs {
+			out[filepath.Join("results", c.Name)] = c.Render()
+		}
+	}
+
+	spliced, err := report.SpliceAll(string(doc), sections)
+	if err != nil {
+		return nil, err
+	}
+	out["EXPERIMENTS.md"] = spliced
+	out["REPRODUCTION.md"] = report.ReproductionMD(arts)
+	return out, nil
+}
+
+func run(dir string, check bool) int {
+	out, err := outputs(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		return 1
+	}
+
+	// Deterministic file order for logs and drift reports.
+	paths := make([]string, 0, len(out))
+	for p := range out {
+		paths = append(paths, p)
+	}
+	sortStrings(paths)
+
+	drift := 0
+	for _, p := range paths {
+		full := filepath.Join(dir, p)
+		if check {
+			got, err := os.ReadFile(full)
+			if err != nil || string(got) != out[p] {
+				fmt.Fprintf(os.Stderr, "drift: %s differs from regeneration\n", p)
+				drift++
+			}
+			continue
+		}
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(full, []byte(out[p]), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", p)
+	}
+	if check {
+		if drift > 0 {
+			fmt.Fprintf(os.Stderr, "repro: %d artifacts drifted — run `make repro` and commit\n", drift)
+			return 1
+		}
+		fmt.Printf("repro: %d artifacts byte-identical\n", len(paths))
+	}
+	return 0
+}
+
+// sortStrings is an allocation-free insertion sort; the path list is tiny.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}

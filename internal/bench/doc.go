@@ -1,0 +1,18 @@
+// Package bench is the experiment harness: it re-runs every table and
+// figure of the paper's evaluation (§3 "Distributed Optimization Results",
+// §4 "Analysis of the Algorithm") on the synthetic testbed, records
+// quality-versus-time traces, and renders paper-style tables. Absolute
+// numbers differ from the paper (different hardware, scaled budgets,
+// synthetic instances); the reproduction targets are the *shapes*: who
+// wins, by what factor, and where crossovers fall. EXPERIMENTS.md records
+// paper-versus-measured for every experiment. (The deterministic smoke
+// tier that CI regenerates lives in internal/report, not here: this
+// package's traces are wall-clock-denominated and vary between hosts.)
+//
+// Invariants:
+//   - Run r of any configuration derives its seed as Seed + 101*r, so
+//     adding runs never reshuffles earlier ones.
+//   - Table/figure renderers iterate slices in declared order, never maps.
+//   - Paper instance names resolve through Options.SpecByName; a scaled
+//     spec keeps the paper name with a "-standin" suffix on the instance.
+package bench

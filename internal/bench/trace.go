@@ -1,10 +1,3 @@
-// Package bench is the experiment harness: it re-runs every table and
-// figure of the paper's evaluation on the synthetic testbed, records
-// quality-versus-time traces, and renders paper-style tables. Absolute
-// numbers differ from the paper (different hardware, scaled budgets,
-// synthetic instances); the reproduction targets are the *shapes*: who
-// wins, by what factor, and where crossovers fall. EXPERIMENTS.md records
-// paper-versus-measured for every experiment.
 package bench
 
 import (

@@ -1,6 +1,3 @@
-// Package cli holds shared helpers for the cmd/ binaries: instance
-// resolution from the common -tsp/-standin/-family flag triple and tour
-// output.
 package cli
 
 import (

@@ -1,0 +1,7 @@
+// Package cli holds shared helpers for the cmd/ binaries: instance
+// resolution from the common -tsp/-standin/-family flag triple and tour
+// output. It exists so every binary resolves instances identically —
+// a TSPLIB path, a paper stand-in name (bench testbed), or a generator
+// family string always mean the same thing across cmd/clk, cmd/distclk,
+// cmd/tspgen and cmd/tspstat.
+package cli

@@ -1,0 +1,15 @@
+// Package clk implements Chained Lin-Kernighan (paper §2.1): Lin-Kernighan
+// local search restarted from double-bridge perturbations ("kicks") of the
+// incumbent tour, with the four kicking strategies of Applegate, Cook &
+// Rohe (Random, Geometric, Close, Random-walk — compared in the paper's
+// Tables 3-5) and accept-if-not-worse chaining.
+//
+// Invariants:
+//   - A Solver is a pure function of (instance, Params, seed): KickOnce
+//     sequences are deterministic and single-goroutine.
+//   - BestLength never increases; KickOnce reports true only when it
+//     strictly improved the incumbent.
+//   - The kick loop is allocation-free after New (verified by an
+//     allocation test), so budgets measured in kicks are comparable
+//     across configurations.
+package clk

@@ -1,7 +1,3 @@
-// Package clk implements Chained Lin-Kernighan: Lin-Kernighan local search
-// restarted from double-bridge perturbations ("kicks") of the incumbent
-// tour, with the four kicking strategies of Applegate, Cook & Rohe
-// (Random, Geometric, Close, Random-walk) and accept-if-not-worse chaining.
 package clk
 
 import (

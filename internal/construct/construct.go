@@ -1,6 +1,3 @@
-// Package construct provides tour construction heuristics: Quick-Borůvka
-// (the constructor used by Concorde's linkern and by the paper), greedy edge
-// matching, nearest neighbour, space-filling curve, and random tours.
 package construct
 
 import (

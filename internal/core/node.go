@@ -1,11 +1,3 @@
-// Package core implements the paper's primary contribution: the distributed
-// evolutionary algorithm of Fischer & Merz (Figure 1) that embeds Chained
-// Lin-Kernighan on every node, perturbs the incumbent with a
-// variable-strength double-bridge move, exchanges improved tours with
-// neighbouring nodes, and restarts from a fresh tour after prolonged
-// stagnation. The package is transport-agnostic: networking is behind the
-// Comm interface, implemented by internal/dist. Search telemetry flows
-// through an optional obs.Recorder.
 package core
 
 import (

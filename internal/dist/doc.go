@@ -1,0 +1,15 @@
+// Package dist provides the distributed runtime for the EA in
+// internal/core: an in-process channel network for simulation and
+// benchmarking, and a real TCP transport with a bootstrap hub that
+// assembles the hypercube exactly as described in the paper (§2.2: nodes
+// join the hub, receive a neighbour list over the already-joined nodes,
+// then contact neighbours directly, forming a peer-to-peer network in
+// which the hub plays no further role).
+//
+// Invariants:
+//   - Both transports satisfy core.Comm with the same semantics: best-
+//     effort broadcast to overlay neighbours, non-blocking receive.
+//   - Message framing is versioned and symmetric (Encode/Decode round-
+//     trip); a malformed frame drops the connection, never the process.
+//   - The hub is bootstrap-only: after join, no data path touches it.
+package dist

@@ -1,9 +1,3 @@
-// Package dist provides the distributed runtime for the EA in internal/core:
-// an in-process channel network for simulation and benchmarking, and a real
-// TCP transport with a bootstrap hub that assembles the hypercube exactly as
-// described in the paper (nodes join the hub, receive a neighbour list over
-// the already-joined nodes, then contact neighbours directly, forming a
-// peer-to-peer network in which the hub plays no further role).
 package dist
 
 import (

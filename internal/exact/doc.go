@@ -1,0 +1,6 @@
+// Package exact provides exact TSP solvers for tiny instances, used as
+// test oracles: Held-Karp dynamic programming (n <= ~20) and brute-force
+// enumeration (n <= ~10). The heuristic stack (LK, CLK, the distributed
+// EA) is validated against these optima in the test suite, anchoring the
+// reproduction's quality measurements to ground truth.
+package exact

@@ -1,6 +1,3 @@
-// Package exact provides exact TSP solvers for tiny instances, used as test
-// oracles: Held-Karp dynamic programming (n <= ~20) and brute-force
-// enumeration (n <= ~10).
 package exact
 
 import (

@@ -1,6 +1,3 @@
-// Package geom provides geometric primitives for TSP instances: points,
-// TSPLIB distance metrics, a k-d tree for nearest-neighbour queries, and a
-// Hilbert space-filling curve used by construction heuristics.
 package geom
 
 import "math"

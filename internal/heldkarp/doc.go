@@ -1,0 +1,14 @@
+// Package heldkarp computes the Held-Karp lower bound via 1-tree
+// subgradient ascent. The paper measures tour quality against this bound
+// for instances without a known optimum (fi10639, pla33810, pla85900, §3.1);
+// this reproduction uses it as the quality denominator throughout Tables
+// 4-5 and the figures. The LKH-style baseline also reuses the ascent's
+// node potentials for alpha-nearness candidate generation.
+//
+// Invariants:
+//   - LowerBound is deterministic for (instance, Options) — fixed
+//     iteration count, no time-based stopping.
+//   - The returned bound never exceeds the optimal tour length; it is
+//     exact on n <= 3 and within a few percent on uniform geometry
+//     (validated against exact optima in tests).
+package heldkarp

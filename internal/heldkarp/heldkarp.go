@@ -1,8 +1,3 @@
-// Package heldkarp computes the Held-Karp lower bound via 1-tree subgradient
-// ascent. The paper measures tour quality against this bound for instances
-// without a known optimum (fi10639, pla33810, pla85900); the LKH-style
-// baseline also reuses the ascent's node potentials for alpha-nearness
-// candidate generation.
 package heldkarp
 
 import (

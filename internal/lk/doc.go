@@ -1,0 +1,14 @@
+// Package lk implements the Lin-Kernighan local search (paper §2.1's
+// inner engine): an array-based tour with O(1) neighbour queries and
+// segment-reversal flips, plus the variable-depth sequential edge exchange
+// with candidate lists, don't-look bits, and a backtracking breadth
+// schedule.
+//
+// Invariants:
+//   - Optimize never worsens the tour: every accepted chain has positive
+//     total gain.
+//   - The tour array and its position index stay mutually consistent
+//     across flips (City(Pos(c)) == c).
+//   - Search order is deterministic for a fixed (instance, candidates,
+//     Params, seed).
+package lk

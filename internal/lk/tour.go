@@ -1,7 +1,3 @@
-// Package lk implements the Lin-Kernighan local search: an array-based tour
-// with O(1) neighbour queries and segment-reversal flips, plus the
-// variable-depth sequential edge exchange with candidate lists, don't-look
-// bits, and a backtracking breadth schedule.
 package lk
 
 import "distclk/internal/tsp"

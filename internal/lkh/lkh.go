@@ -1,10 +1,3 @@
-// Package lkh is a reduced-fidelity stand-in for Helsgaun's LKH solver
-// (Table 2 comparison in the paper). It reproduces LKH's two distinctive
-// ingredients — alpha-nearness candidate sets derived from Held-Karp
-// 1-trees and a deeper Lin-Kernighan search over those candidates — on top
-// of this repository's LK engine. Helsgaun's sequential 5-opt step is
-// approximated by a wider/deeper breadth schedule; DESIGN.md records the
-// substitution.
 package lkh
 
 import (

@@ -1,0 +1,13 @@
+// Package multilevel implements a Walshaw-style multilevel Chained
+// Lin-Kernighan (the ML-C(N)LK row in the paper's Table 2): the instance
+// is repeatedly coarsened by matching nearby city pairs, the coarsest
+// instance is solved with CLK, and each uncoarsening step expands matched
+// pairs back into the tour and refines it with a CLK pass whose kick
+// budget scales with the level size.
+//
+// Invariants:
+//   - Every uncoarsening step yields a valid tour over its level's
+//     cities; the final tour visits every original city exactly once.
+//   - Solve with a zero deadline is deterministic for (instance, Params,
+//     seed) (the smoke tier depends on this).
+package multilevel

@@ -1,9 +1,3 @@
-// Package multilevel implements a Walshaw-style multilevel Chained
-// Lin-Kernighan (the MLC(N)LK comparison row in the paper's Table 2): the
-// instance is repeatedly coarsened by matching nearby city pairs, the
-// coarsest instance is solved with CLK, and each uncoarsening step expands
-// matched pairs back into the tour and refines it with a CLK pass whose
-// kick budget scales with the level size.
 package multilevel
 
 import (

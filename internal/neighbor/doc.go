@@ -1,0 +1,19 @@
+// Package neighbor builds candidate edge sets for local search (paper
+// §2.1 runs LK over nearest-neighbour candidates): k-nearest neighbour
+// lists (via k-d tree for geometric instances, brute force for EXPLICIT
+// ones) and quadrant neighbour lists as used by Concorde.
+//
+// Lists are stored in a flat CSR-style layout — one contiguous candidate
+// array with per-city offsets — together with a parallel table of
+// precomputed candidate distances. The distance of every (city, candidate)
+// pair is fixed the moment a list is built, so the Lin-Kernighan inner
+// loop reads distances from the table instead of re-evaluating the
+// instance metric (which for GEO/ATT means trigonometry) on every chain
+// extension.
+//
+// Invariants:
+//   - Candidate lists are symmetric-free CSR: for city c, candidates are
+//     Cand[Off[c]:Off[c+1]], sorted by distance, self-loops excluded.
+//   - The distance table is exact: Dist[i] == instance distance of the
+//     i-th (city, candidate) pair, for every metric.
+package neighbor

@@ -1,7 +1,3 @@
-// Package par provides a minimal data-parallel loop helper used by setup
-// paths (candidate list construction, distance matrix caching). It is not
-// meant for the solver hot loop, which is single-threaded per node by
-// design — parallelism there comes from running many nodes.
 package par
 
 import (

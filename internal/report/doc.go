@@ -1,0 +1,23 @@
+// Package report is the manifest-driven reproduction pipeline behind
+// cmd/repro (paper §3 "Distributed Optimization Results" and §4
+// "Analysis of the Algorithm").
+//
+// Manifest() declares one Experiment per paper table/figure — instances,
+// node counts, seeds, budgets, and the paper baseline values — and a
+// Runner executes them through the repository's deterministic entry
+// points: seeded clk.Solver kick loops and simnet virtual-clock clusters.
+// Rendered output is spliced into EXPERIMENTS.md between
+// `<!-- repro:begin ID -->` markers, written to results/smoke/*.csv, and
+// diffed against the paper in REPRODUCTION.md.
+//
+// Invariants:
+//   - No wall clocks: trace axes are kick counts (plain CLK) and simnet
+//     virtual microseconds (clusters), so regeneration is byte-identical
+//     for a fixed manifest. CI enforces this via `make repro-smoke`.
+//   - Run r of any config uses seed Seed+101*r; instance geometry uses
+//     its own fixed seed, independent of run seeds.
+//   - Every Experiment's run hook emits exactly one Delta per Baseline,
+//     in manifest order.
+//   - Rendering never iterates a map: tables, CSVs, and deltas are built
+//     from slices in declared order with fixed-precision formatting.
+package report

@@ -1,0 +1,115 @@
+package report
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// linkRE matches inline markdown links [text](target). Reference-style links
+// and autolinks are out of scope — the repo's docs use inline links only.
+var linkRE = regexp.MustCompile(`\[[^\]\n]*\]\(([^)\s]+)\)`)
+
+// headingRE matches ATX headings for anchor extraction.
+var headingRE = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*$`)
+
+// slugRE strips characters GitHub drops when slugging a heading.
+var slugRE = regexp.MustCompile(`[^\p{L}\p{N} \-_]`)
+
+// slugify reproduces GitHub's heading-anchor slugs closely enough for this
+// repo's docs: lowercase, punctuation stripped, spaces to hyphens.
+func slugify(heading string) string {
+	// Drop inline code/link markup before slugging.
+	h := strings.NewReplacer("`", "", "*", "").Replace(heading)
+	if m := linkRE.FindStringSubmatch(h); m != nil {
+		h = linkRE.ReplaceAllString(h, "$1")
+	}
+	h = strings.ToLower(h)
+	h = slugRE.ReplaceAllString(h, "")
+	h = strings.ReplaceAll(h, " ", "-")
+	return h
+}
+
+// anchors returns the set of heading anchors a markdown file defines.
+func anchors(content string) map[string]bool {
+	out := map[string]bool{}
+	seen := map[string]int{}
+	for _, m := range headingRE.FindAllStringSubmatch(content, -1) {
+		s := slugify(m[1])
+		if n := seen[s]; n > 0 {
+			out[fmt.Sprintf("%s-%d", s, n)] = true
+		} else {
+			out[s] = true
+		}
+		seen[s]++
+	}
+	return out
+}
+
+// CheckLinks verifies every intra-repo link in the given markdown files:
+// relative targets must exist on disk (resolved against the linking file's
+// directory), and fragment links into markdown files must name a real
+// heading anchor. External (http/https/mailto) links are skipped. Returns
+// one message per broken link, sorted, as "file: target (reason)".
+func CheckLinks(root string, files []string) ([]string, error) {
+	var broken []string
+	for _, rel := range files {
+		path := filepath.Join(root, rel)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		content := string(data)
+		for _, m := range linkRE.FindAllStringSubmatch(content, -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			file, frag, _ := strings.Cut(target, "#")
+			dest := path // pure fragment links point into the same file
+			if file != "" {
+				dest = filepath.Join(filepath.Dir(path), file)
+				if _, err := os.Stat(dest); err != nil {
+					broken = append(broken, fmt.Sprintf("%s: %s (missing file)", rel, target))
+					continue
+				}
+			}
+			if frag == "" {
+				continue
+			}
+			if !strings.HasSuffix(dest, ".md") {
+				continue // anchors into non-markdown files are browser-defined
+			}
+			destData, err := os.ReadFile(dest)
+			if err != nil {
+				return nil, err
+			}
+			if !anchors(string(destData))[frag] {
+				broken = append(broken, fmt.Sprintf("%s: %s (missing anchor)", rel, target))
+			}
+		}
+	}
+	sort.Strings(broken)
+	return broken, nil
+}
+
+// DocFiles lists the markdown files the repo's link check covers, relative
+// to the repository root. Only files that exist are returned, so the check
+// works before the first `make repro` generates REPRODUCTION.md.
+func DocFiles(root string) []string {
+	candidates := []string{
+		"README.md", "DESIGN.md", "EXPERIMENTS.md", "REPRODUCTION.md",
+		"ROADMAP.md", "results/README.md",
+	}
+	var out []string
+	for _, f := range candidates {
+		if _, err := os.Stat(filepath.Join(root, f)); err == nil {
+			out = append(out, f)
+		}
+	}
+	return out
+}

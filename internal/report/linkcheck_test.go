@@ -1,0 +1,82 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDoc(t *testing.T, dir, name, content string) {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckLinks(t *testing.T) {
+	dir := t.TempDir()
+	writeDoc(t, dir, "a.md", `# Doc A
+
+## Some Heading
+
+[good file](b.md) [good anchor](b.md#target-heading) [self](#some-heading)
+[external](https://example.com/x) [sub](sub/c.md)
+[bad file](missing.md) [bad anchor](b.md#nope) [bad self](#absent)
+`)
+	writeDoc(t, dir, "b.md", "# Doc B\n\n## Target Heading\n\ntext\n")
+	writeDoc(t, dir, "sub/c.md", "# C\n\n[up](../a.md)\n")
+
+	broken, err := CheckLinks(dir, []string{"a.md", "b.md", "sub/c.md"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"a.md: #absent (missing anchor)",
+		"a.md: b.md#nope (missing anchor)",
+		"a.md: missing.md (missing file)",
+	}
+	if len(broken) != len(want) {
+		t.Fatalf("got %d broken links %v, want %d", len(broken), broken, len(want))
+	}
+	for i := range want {
+		if broken[i] != want[i] {
+			t.Errorf("broken[%d] = %q, want %q", i, broken[i], want[i])
+		}
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"Some Heading":                  "some-heading",
+		"§4.2.1 variator strength":      "421-variator-strength",
+		"Table 4 / Table 5 — checkmark": "table-4--table-5--checkmark",
+		"`code` in heading":             "code-in-heading",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestRepoDocLinks runs the real link check over the repository's documents
+// — the same gate `make doc-links` applies in CI.
+func TestRepoDocLinks(t *testing.T) {
+	root := filepath.Join("..", "..")
+	files := DocFiles(root)
+	if len(files) < 3 {
+		t.Fatalf("expected repo docs at %s, found %v", root, files)
+	}
+	broken, err := CheckLinks(root, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken) > 0 {
+		t.Errorf("broken intra-repo links:\n%s", strings.Join(broken, "\n"))
+	}
+}

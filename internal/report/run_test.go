@@ -1,0 +1,48 @@
+package report
+
+import "testing"
+
+// findExp pulls one experiment out of the manifest by ID.
+func findExp(t *testing.T, id string) *Experiment {
+	t.Helper()
+	for _, e := range Manifest() {
+		if e.ID == id {
+			return e
+		}
+	}
+	t.Fatalf("experiment %s not in manifest", id)
+	return nil
+}
+
+// TestExperimentDeterminism runs the cheapest manifest experiment twice with
+// fresh runners and requires byte-identical artifacts — the property
+// `make repro-smoke` enforces for the whole manifest in CI.
+func TestExperimentDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simnet cluster; skipped in -short")
+	}
+	e := findExp(t, "variator")
+	first, err := e.Run(NewRunner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Run(NewRunner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Body != second.Body {
+		t.Errorf("markdown body differs between identical runs:\n--- first ---\n%s\n--- second ---\n%s",
+			first.Body, second.Body)
+	}
+	if len(first.CSVs) != len(second.CSVs) {
+		t.Fatalf("CSV count differs: %d vs %d", len(first.CSVs), len(second.CSVs))
+	}
+	for i := range first.CSVs {
+		if first.CSVs[i].Render() != second.CSVs[i].Render() {
+			t.Errorf("CSV %s differs between identical runs", first.CSVs[i].Name)
+		}
+	}
+	if len(first.Deltas) != len(e.Baselines) {
+		t.Errorf("got %d deltas for %d baselines", len(first.Deltas), len(e.Baselines))
+	}
+}

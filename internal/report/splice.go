@@ -1,0 +1,70 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Markers bracketing a generated region inside a committed document:
+//
+//	<!-- repro:begin ID -->
+//	(generated content, owned by cmd/repro)
+//	<!-- repro:end ID -->
+//
+// Everything outside marker pairs is hand-written and never touched.
+func beginMarker(id string) string { return fmt.Sprintf("<!-- repro:begin %s -->", id) }
+func endMarker(id string) string   { return fmt.Sprintf("<!-- repro:end %s -->", id) }
+
+// Splice replaces the region between the id's begin/end markers in doc with
+// body, keeping the marker lines themselves. The operation is idempotent:
+// splicing the same body twice yields the same document. It fails if the
+// markers are missing, duplicated, or out of order — a damaged marker must
+// break the pipeline rather than silently orphan a section.
+func Splice(doc, id, body string) (string, error) {
+	begin, end := beginMarker(id), endMarker(id)
+	bi := strings.Index(doc, begin)
+	if bi < 0 {
+		return "", fmt.Errorf("report: marker %q not found", begin)
+	}
+	if strings.Index(doc[bi+len(begin):], begin) >= 0 {
+		return "", fmt.Errorf("report: marker %q appears more than once", begin)
+	}
+	ei := strings.Index(doc, end)
+	if ei < 0 {
+		return "", fmt.Errorf("report: marker %q not found", end)
+	}
+	if strings.Index(doc[ei+len(end):], end) >= 0 {
+		return "", fmt.Errorf("report: marker %q appears more than once", end)
+	}
+	if ei < bi {
+		return "", fmt.Errorf("report: end marker for %q precedes its begin marker", id)
+	}
+	body = strings.TrimRight(body, "\n")
+	var out strings.Builder
+	out.WriteString(doc[:bi+len(begin)])
+	out.WriteString("\n")
+	if body != "" {
+		out.WriteString(body)
+		out.WriteString("\n")
+	}
+	out.WriteString(doc[ei:])
+	return out.String(), nil
+}
+
+// SpliceAll applies Splice for every (id, body) pair in order.
+func SpliceAll(doc string, sections []Section) (string, error) {
+	var err error
+	for _, s := range sections {
+		doc, err = Splice(doc, s.ID, s.Body)
+		if err != nil {
+			return "", err
+		}
+	}
+	return doc, nil
+}
+
+// Section is one generated region destined for a marker pair.
+type Section struct {
+	ID   string
+	Body string
+}

@@ -1,0 +1,98 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+const spliceDoc = `# Title
+
+prose before
+
+<!-- repro:begin t1 -->
+old generated content
+<!-- repro:end t1 -->
+
+prose between
+
+<!-- repro:begin t2 -->
+<!-- repro:end t2 -->
+
+prose after
+`
+
+func TestSpliceReplacesRegion(t *testing.T) {
+	out, err := Splice(spliceDoc, "t1", "new body\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "old generated content") {
+		t.Error("old content survived the splice")
+	}
+	if !strings.Contains(out, "<!-- repro:begin t1 -->\nnew body\n<!-- repro:end t1 -->") {
+		t.Errorf("body not spliced between markers:\n%s", out)
+	}
+	for _, keep := range []string{"# Title", "prose before", "prose between", "prose after",
+		"<!-- repro:begin t2 -->"} {
+		if !strings.Contains(out, keep) {
+			t.Errorf("surrounding text %q lost", keep)
+		}
+	}
+}
+
+func TestSpliceIdempotent(t *testing.T) {
+	once, err := Splice(spliceDoc, "t1", "body\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := Splice(once, "t1", "body\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if once != twice {
+		t.Errorf("splice not idempotent:\n--- once ---\n%s\n--- twice ---\n%s", once, twice)
+	}
+}
+
+func TestSpliceEmptyRegion(t *testing.T) {
+	out, err := Splice(spliceDoc, "t2", "filled\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "<!-- repro:begin t2 -->\nfilled\n<!-- repro:end t2 -->") {
+		t.Errorf("empty marker region not filled:\n%s", out)
+	}
+}
+
+func TestSpliceErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		id   string
+	}{
+		{"missing begin", "<!-- repro:end x -->\n", "x"},
+		{"missing end", "<!-- repro:begin x -->\n", "x"},
+		{"absent id", spliceDoc, "nope"},
+		{"duplicate begin", "<!-- repro:begin x -->\n<!-- repro:begin x -->\n<!-- repro:end x -->\n", "x"},
+		{"duplicate end", "<!-- repro:begin x -->\n<!-- repro:end x -->\n<!-- repro:end x -->\n", "x"},
+		{"end before begin", "<!-- repro:end x -->\n<!-- repro:begin x -->\n", "x"},
+	}
+	for _, c := range cases {
+		if _, err := Splice(c.doc, c.id, "body"); err == nil {
+			t.Errorf("%s: expected error, got none", c.name)
+		}
+	}
+}
+
+func TestSpliceAll(t *testing.T) {
+	out, err := SpliceAll(spliceDoc, []Section{{ID: "t1", Body: "one\n"}, {ID: "t2", Body: "two\n"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "one") || !strings.Contains(out, "two") {
+		t.Errorf("sections not spliced:\n%s", out)
+	}
+	if _, err := SpliceAll(spliceDoc, []Section{{ID: "missing", Body: "x"}}); err == nil {
+		t.Error("SpliceAll with unknown id: expected error")
+	}
+}

@@ -1,0 +1,21 @@
+// Package simnet is a deterministic, fault-injecting network simulator
+// for the distributed EA (it stands in for the paper's eight-machine
+// cluster, §3.1, and powers the smoke-tier reproduction in
+// internal/report). It is the third transport next to dist.ChanNetwork
+// and the TCP path: Network hands out the same core.Comm surface, but the
+// whole cluster runs on a seeded discrete-event scheduler with a virtual
+// clock — per-link latency distributions, probabilistic loss, duplication,
+// reordering, bandwidth-proportional delivery delay, scripted partitions
+// that heal, and node crash/restart churn, every draw taken from one
+// rand.Source.
+//
+// Invariants:
+//   - Replay: a (topology, fault schedule, seed) triple replays
+//     byte-identically — same event log, same result. CI's repro-smoke
+//     gate and the §3 experiments depend on this.
+//   - Single-threaded by design: only Run's event loop may touch a
+//     Network, so there are no locks and no interleavings.
+//   - Faults surface through internal/obs (msg-dropped, msg-delivered,
+//     partition-start, node-crash, ...) and are tallied in FaultStats;
+//     nothing is silently lost.
+package simnet

@@ -1,19 +1,3 @@
-// Package simnet is a deterministic, fault-injecting network simulator for
-// the distributed EA. It is the third transport next to dist.ChanNetwork
-// and the TCP path: Network hands out the same core.Comm surface, but the
-// whole cluster runs on a seeded discrete-event scheduler with a virtual
-// clock — per-link latency distributions, probabilistic loss, duplication,
-// reordering, bandwidth-proportional delivery delay, scripted partitions
-// that heal, and node crash/restart churn, every draw taken from one
-// rand.Source. A (topology, fault schedule, seed) triple therefore replays
-// byte-identically, which makes the paper's 8–64 node experiments and the
-// EA's degradation under faults reproducible on one machine, in CI.
-//
-// Unlike the other transports, Network is single-threaded by design: only
-// Run's event loop may touch it, so there are no locks and no
-// interleavings. Faults surface through internal/obs (msg-dropped,
-// msg-delivered, partition-start, node-crash, ...) and are tallied in
-// FaultStats.
 package simnet
 
 import (

@@ -1,6 +1,3 @@
-// Package stats provides the summary statistics the experiment harness
-// reports: mean, median, standard deviation, and min/max over run samples
-// (the paper averages each configuration over 10 runs).
 package stats
 
 import (
@@ -65,6 +62,25 @@ func MinMax(xs []float64) (min, max float64) {
 		}
 	}
 	return min, max
+}
+
+// ExcessPercent returns the relative excess of value over a reference in
+// percent, (value-ref)/ref*100 — the "distance to optimum/HK bound" metric
+// of the paper's quality tables. NaN for a non-positive reference.
+func ExcessPercent(value, ref float64) float64 {
+	if ref <= 0 {
+		return math.NaN()
+	}
+	return (value - ref) / ref * 100
+}
+
+// Ratio returns num/den, the speed-up ratio of the paper's Table 1
+// (e.g. time(1 node) / time(n nodes)); 0 when den is 0.
+func Ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
 }
 
 // Ints converts integer samples for the helpers above.

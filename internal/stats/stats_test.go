@@ -57,6 +57,27 @@ func TestMinMax(t *testing.T) {
 	}
 }
 
+func TestExcessPercent(t *testing.T) {
+	if !approx(ExcessPercent(101, 100), 1) {
+		t.Errorf("ExcessPercent(101,100) = %v", ExcessPercent(101, 100))
+	}
+	if !approx(ExcessPercent(100, 100), 0) {
+		t.Error("zero excess")
+	}
+	if !math.IsNaN(ExcessPercent(5, 0)) {
+		t.Error("non-positive reference must yield NaN")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if !approx(Ratio(10, 4), 2.5) {
+		t.Errorf("Ratio = %v", Ratio(10, 4))
+	}
+	if Ratio(1, 0) != 0 {
+		t.Error("zero denominator")
+	}
+}
+
 func TestInts(t *testing.T) {
 	got := Ints([]int64{1, -2, 3})
 	if len(got) != 3 || got[1] != -2 {

@@ -1,0 +1,9 @@
+// Package topology defines the static overlay networks the distributed
+// algorithm runs on. The paper arranges eight nodes in a hypercube (§2.2);
+// ring, torus grid, and complete graphs are provided for ablation.
+//
+// Invariants:
+//   - Neighbour lists are symmetric (i lists j iff j lists i), self-free,
+//     and deterministic for (kind, n) — overlay shape never depends on
+//     join order.
+package topology

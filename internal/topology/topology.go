@@ -1,6 +1,3 @@
-// Package topology defines the static overlay networks the distributed
-// algorithm runs on. The paper arranges eight nodes in a hypercube; ring,
-// torus grid, and complete graphs are provided for ablation.
 package topology
 
 import (

@@ -1,6 +1,3 @@
-// Package tsp defines TSP instances and tours: distance evaluation with
-// optional matrix caching, TSPLIB file input/output, and seeded synthetic
-// instance generators mirroring the families used in the paper's testbed.
 package tsp
 
 import (
