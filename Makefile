@@ -8,10 +8,10 @@ BENCH_PATTERN ?= ^(BenchmarkFlip|BenchmarkOptimizeAfterKick|BenchmarkCLKKicksPer
 BENCH_OUT     ?= BENCH_PR2.json
 BENCH_TIME    ?= 1s
 
-.PHONY: check build vet fmt test race bench repro repro-smoke doc-links
+.PHONY: check build vet fmt lint distlint test race bench repro repro-smoke doc-links
 
-## check: everything CI runs — vet, formatting, full tests, race tests
-check: vet fmt test race
+## check: everything CI runs — lint, full tests, race tests
+check: lint test race
 
 build:
 	$(GO) build ./...
@@ -26,12 +26,21 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+## distlint: the repo's own invariant analyzers (determinism, hot-path
+## allocations, context hygiene, no library panics) — see DESIGN.md §8
+distlint:
+	$(GO) run ./cmd/distlint ./...
+
+## lint: the one static gate CI runs — invariant analyzers + vet + gofmt
+lint: distlint vet fmt
+
 test:
 	$(GO) test ./...
 
-## race: the concurrency-heavy packages under the race detector
+## race: the full suite under the race detector (latency assertions widen
+## via the raceSlack build-tag constant)
 race:
-	$(GO) test -race ./internal/dist/... ./internal/core/...
+	$(GO) test -race ./...
 
 ## bench: run the hot-path benchmarks and emit the $(BENCH_OUT) snapshot
 ## (ns/op, allocs/op, kicks/sec, seeded final tour length) for the perf

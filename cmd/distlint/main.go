@@ -1,0 +1,77 @@
+// Command distlint runs the repository's invariant analyzers
+// (internal/lint) over the given package patterns and exits 1 on any
+// finding. It is the static half of the determinism / zero-alloc / context
+// hygiene contracts; `make lint` and the CI lint job run it as
+//
+//	go run ./cmd/distlint ./...
+//
+// Output is one `file:line:col: rule: message` line per finding, sorted
+// and stable. -json emits the same findings as a JSON array for tooling.
+// Suppress an intentional finding at its line (or the line above) with
+// `//lint:ignore <rule> <reason>` — the reason is mandatory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"distclk/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text lines")
+	rules := flag.Bool("rules", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: distlint [-json] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *rules {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "distlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, p := range pkgs {
+		for _, te := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "distlint: warning: %s: %v\n", p.Path, te)
+		}
+	}
+
+	diags := lint.Check(pkgs, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "distlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "distlint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

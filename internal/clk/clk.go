@@ -230,6 +230,8 @@ func (s *Solver) KickOnce() bool { return s.kickOnce(nil) }
 // kickOnce is KickOnce with an abort hook threaded into the embedded LK
 // pass; an aborted pass still leaves a valid working tour, so acceptance
 // logic is unchanged.
+//
+//distlint:hotpath
 func (s *Solver) kickOnce(stop func() bool) bool {
 	var delta int64
 	var touched [8]int32
@@ -256,6 +258,7 @@ func (s *Solver) kickOnce(stop func() bool) bool {
 // the incumbent. Cancellation is responsive mid-kick: the context is also
 // polled inside the LK pass.
 func (s *Solver) Run(ctx context.Context, b Budget) Result {
+	//lint:ignore nodeterminism Elapsed is reporting-only; it never feeds back into the seeded search
 	start := time.Now()
 	startKicks := s.kicks
 	stop := cancelPoll(ctx)
@@ -272,7 +275,8 @@ func (s *Solver) Run(ctx context.Context, b Budget) Result {
 		Length:   l,
 		Kicks:    s.kicks - startKicks,
 		Improves: improves,
-		Elapsed:  time.Since(start),
+		//lint:ignore nodeterminism Elapsed is reporting-only; it never feeds back into the seeded search
+		Elapsed: time.Since(start),
 	}
 }
 
@@ -300,6 +304,7 @@ func (s *Solver) Perturb(count int) {
 // incumbent result can still be adopted — the EA decides what to keep.
 // It returns the best tour reached from the perturbed start.
 func (s *Solver) RunPerturbed(ctx context.Context, b Budget) Result {
+	//lint:ignore nodeterminism Elapsed is reporting-only; it never feeds back into the seeded search
 	start := time.Now()
 	s.opt.Optimize(cancelPoll(ctx))
 	// Adopt the re-optimized perturbed tour as the chain incumbent even if
@@ -307,6 +312,7 @@ func (s *Solver) RunPerturbed(ctx context.Context, b Budget) Result {
 	s.bestLen = s.opt.Length()
 	s.best.CopyFrom(s.opt.Tour)
 	res := s.Run(ctx, b)
+	//lint:ignore nodeterminism Elapsed is reporting-only; it never feeds back into the seeded search
 	res.Elapsed = time.Since(start)
 	return res
 }

@@ -12,4 +12,6 @@
 //   - The kick loop is allocation-free after New (verified by an
 //     allocation test), so budgets measured in kicks are comparable
 //     across configurations.
+//
+//distlint:deterministic
 package clk

@@ -71,6 +71,8 @@ type kicker struct {
 }
 
 // selectCities returns four distinct cities per the strategy.
+//
+//distlint:hotpath
 func (k *kicker) selectCities(n int) [4]int32 {
 	var cs [4]int32
 	switch k.strategy {
@@ -125,6 +127,8 @@ func (k *kicker) selectCities(n int) [4]int32 {
 }
 
 // distinctRandom fills out with distinct random cities.
+//
+//distlint:hotpath
 func (k *kicker) distinctRandom(n int, out []int32) {
 	for i := range out {
 		for {
@@ -139,8 +143,11 @@ func (k *kicker) distinctRandom(n int, out []int32) {
 
 // shuffled returns a random permutation of 0..m-1 in a reusable buffer
 // (rand.Perm allocates; the kick loop must not).
+//
+//distlint:hotpath
 func (k *kicker) shuffled(m int) []int32 {
 	if cap(k.perm) < m {
+		//lint:ignore hotpathalloc one-time growth to the largest candidate list; steady-state kicks reuse the buffer
 		k.perm = make([]int32, m)
 	}
 	p := k.perm[:m]
@@ -156,6 +163,8 @@ func (k *kicker) shuffled(m int) []int32 {
 
 // pickDistinct fills out[1:] with distinct members of cand not equal to
 // out[0], topping up with random cities if cand is too small.
+//
+//distlint:hotpath
 func (k *kicker) pickDistinct(cand []int32, out []int32, n int) {
 	idx := k.shuffled(len(cand))
 	j := 0
@@ -181,6 +190,7 @@ func (k *kicker) pickDistinct(cand []int32, out []int32, n int) {
 	}
 }
 
+//distlint:hotpath
 func (k *kicker) walk(from int32) int32 {
 	c := from
 	for i := 0; i < k.walkLen; i++ {
@@ -201,6 +211,8 @@ func contains(s []int32, v int32) bool {
 
 // nearestSix selects the up-to-six subset members closest to v by
 // insertion into the kicker's fixed scratch arrays (no allocation).
+//
+//distlint:hotpath
 func (k *kicker) nearestSix(subset []int32, v int32) []int32 {
 	var d6 [6]int64
 	cnt := 0
@@ -243,6 +255,8 @@ func DoubleBridge(t *lk.ArrayTour, cities [4]int32, dist func(i, j int32) int64)
 // only the range (q1..q4] is rewritten in place as D·C·B, so the move
 // costs O(span of the cuts) instead of O(n) plus an allocation. The
 // (possibly grown) scratch buffer is returned for reuse.
+//
+//distlint:hotpath
 func doubleBridge(t *lk.ArrayTour, cities [4]int32, dist func(i, j int32) int64, scratch []int32) (int64, [8]int32, []int32) {
 	n := int32(t.N())
 	var q [4]int32
@@ -255,29 +269,30 @@ func doubleBridge(t *lk.ArrayTour, cities [4]int32, dist func(i, j int32) int64,
 			q[j-1], q[j] = q[j], q[j-1]
 		}
 	}
-	next := func(p int32) int32 {
+	// s[i] is the wrapped successor position of cut q[i].
+	var s [4]int32
+	for i, p := range q {
 		p++
 		if p == n {
 			p = 0
 		}
-		return p
+		s[i] = p
 	}
-	o := func(p int32) int32 { return t.At(p) }
 	// Old boundary edges (q_i, q_i+1); new boundaries per A·D·C·B.
-	removed := dist(o(q[0]), o(next(q[0]))) +
-		dist(o(q[1]), o(next(q[1]))) +
-		dist(o(q[2]), o(next(q[2]))) +
-		dist(o(q[3]), o(next(q[3])))
-	added := dist(o(q[0]), o(next(q[2]))) + // end A -> start D
-		dist(o(q[3]), o(next(q[1]))) + // end D -> start C
-		dist(o(q[2]), o(next(q[0]))) + // end C -> start B
-		dist(o(q[1]), o(next(q[3]))) // end B -> start A
+	removed := dist(t.At(q[0]), t.At(s[0])) +
+		dist(t.At(q[1]), t.At(s[1])) +
+		dist(t.At(q[2]), t.At(s[2])) +
+		dist(t.At(q[3]), t.At(s[3]))
+	added := dist(t.At(q[0]), t.At(s[2])) + // end A -> start D
+		dist(t.At(q[3]), t.At(s[1])) + // end D -> start C
+		dist(t.At(q[2]), t.At(s[0])) + // end C -> start B
+		dist(t.At(q[1]), t.At(s[3])) // end B -> start A
 
 	touched := [8]int32{
-		o(q[0]), o(next(q[0])),
-		o(q[1]), o(next(q[1])),
-		o(q[2]), o(next(q[2])),
-		o(q[3]), o(next(q[3])),
+		t.At(q[0]), t.At(s[0]),
+		t.At(q[1]), t.At(s[1]),
+		t.At(q[2]), t.At(s[2]),
+		t.At(q[3]), t.At(s[3]),
 	}
 
 	// Positions are sorted, so the range (q1..q4] is contiguous (no wrap).
@@ -285,20 +300,23 @@ func doubleBridge(t *lk.ArrayTour, cities [4]int32, dist func(i, j int32) int64,
 	// C = (q2..q3], B = (q1..q2].
 	span := int(q[3] - q[0])
 	if cap(scratch) < span {
+		//lint:ignore hotpathalloc one-time growth to the instance size; New pre-sizes segBuf so steady-state kicks never land here
 		scratch = make([]int32, 0, int(n))
 	}
-	buf := scratch[:0]
-	appendSeg := func(from, to int32) { // cities at positions (from..to]
-		for p := from + 1; ; p++ {
-			buf = append(buf, t.At(p))
-			if p == to {
-				break
-			}
-		}
+	buf := scratch[:span]
+	w := 0
+	for p := q[2] + 1; p <= q[3]; p++ { // D
+		buf[w] = t.At(p)
+		w++
 	}
-	appendSeg(q[2], q[3]) // D
-	appendSeg(q[1], q[2]) // C
-	appendSeg(q[0], q[1]) // B
+	for p := q[1] + 1; p <= q[2]; p++ { // C
+		buf[w] = t.At(p)
+		w++
+	}
+	for p := q[0] + 1; p <= q[1]; p++ { // B
+		buf[w] = t.At(p)
+		w++
+	}
 	t.SetSeg(q[0]+1, buf)
 	return added - removed, touched, buf
 }

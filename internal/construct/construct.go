@@ -71,6 +71,7 @@ func Build(m Method, in *tsp.Instance, nbr *neighbor.Lists, rng *rand.Rand) tsp.
 	case Christofides:
 		return christofides(in)
 	}
+	//lint:ignore nopanic Method is a closed enum; a value outside it is a programming error with no recovery, and Build's signature has no error path
 	panic("construct: unknown method")
 }
 

@@ -16,4 +16,6 @@
 //     restart when the no-improvement counter exceeds c_r (§4.2.1).
 //   - Budgets are expressed in EA iterations or a target length
 //     (core.Budget); deadlines are the caller's concern.
+//
+//distlint:deterministic
 package core

@@ -201,10 +201,12 @@ func (n *Node) Run(ctx context.Context, b Budget) Stats {
 // called exactly once, before any Step.
 func (n *Node) Begin(ctx context.Context, b Budget) {
 	if n.began {
+		//lint:ignore nopanic API-misuse invariant: a second Begin would silently corrupt budget accounting, and no error path exists
 		panic("core: Node.Begin called twice")
 	}
 	n.began = true
 	n.budget = b
+	//lint:ignore nodeterminism Stats.Elapsed is reporting-only; simnet replays run on the virtual clock and never read it
 	n.start = time.Now()
 
 	// s_prev := INITIALTOUR; s_best := CHAINEDLINKERNIGHAN(s_prev).
@@ -307,6 +309,7 @@ func (n *Node) Finish() Stats {
 	}
 	n.stats.BestLength = n.sBestLen
 	n.stats.Kicks = n.solver.Kicks()
+	//lint:ignore nodeterminism Stats.Elapsed is reporting-only; simnet replays run on the virtual clock and never read it
 	n.stats.Elapsed = time.Since(n.start)
 	return n.stats
 }

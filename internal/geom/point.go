@@ -70,6 +70,7 @@ func (m MetricKind) Dist(a, b Point) int64 {
 	case Max2D:
 		return int64(math.Max(math.Abs(a.X-b.X), math.Abs(a.Y-b.Y)) + 0.5)
 	}
+	//lint:ignore nopanic Metric is a closed enum fixed at instance construction; Dist sits on the distance hot path and cannot return an error
 	panic("geom: unknown metric")
 }
 

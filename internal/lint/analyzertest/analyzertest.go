@@ -1,0 +1,139 @@
+// Package analyzertest runs lint analyzers over fixture packages and
+// checks their diagnostics against golden `// want` comments, the same
+// way go/analysis' analysistest does for x/tools analyzers — but built on
+// internal/lint's own loader, so fixtures get full type information.
+//
+// A fixture line asserts its findings with one or more quoted regular
+// expressions:
+//
+//	return time.Now() // want `nodeterminism: time\.Now`
+//
+// Every diagnostic must be matched by a want on its line and every want
+// must match exactly one diagnostic, so fixtures pin both the positives
+// and (by omission) the negatives. Both backquoted and double-quoted
+// regexps are accepted. The regexp is matched against "rule: message".
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"distclk/internal/lint"
+)
+
+// want is one expected-diagnostic assertion parsed from a fixture.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package named by pattern (a path relative to the
+// test's working directory, e.g. "./testdata/src/nopanic"), runs the
+// analyzers through the full lint.Check pipeline — suppressions included —
+// and compares the surviving diagnostics against the fixture's want
+// comments.
+func Run(t *testing.T, pattern string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	pkgs, err := lint.Load(".", pattern)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pattern, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: loaded %d packages, want 1", pattern, len(pkgs))
+	}
+	pkg := pkgs[0]
+	for _, te := range pkg.TypeErrors {
+		t.Errorf("fixture %s does not type-check: %v", pattern, te)
+	}
+
+	wants := parseWants(t, pkg)
+	for _, d := range lint.Check(pkgs, analyzers) {
+		if !match(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// match marks and reports the first unmatched want on the diagnostic's
+// line whose regexp matches "rule: message".
+func match(wants []*want, d lint.Diagnostic) bool {
+	text := fmt.Sprintf("%s: %s", d.Rule, d.Message)
+	for _, w := range wants {
+		if w.matched || w.file != d.File || w.line != d.Line {
+			continue
+		}
+		if w.re.MatchString(text) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts want assertions from every comment in the package.
+func parseWants(t *testing.T, pkg *lint.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				wants = append(wants, parseWantComment(t, pkg, c)...)
+			}
+		}
+	}
+	return wants
+}
+
+func parseWantComment(t *testing.T, pkg *lint.Package, c *ast.Comment) []*want {
+	t.Helper()
+	rest, ok := strings.CutPrefix(c.Text, "// want ")
+	if !ok {
+		return nil
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	var wants []*want
+	for {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+		var expr string
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s:%d: unterminated backquoted want regexp", pos.Filename, pos.Line)
+			}
+			expr, rest = rest[1:1+end], rest[2+end:]
+		case '"':
+			quoted, err := strconv.QuotedPrefix(rest)
+			if err != nil {
+				t.Fatalf("%s:%d: malformed quoted want regexp: %v", pos.Filename, pos.Line, err)
+			}
+			expr, err = strconv.Unquote(quoted)
+			if err != nil {
+				t.Fatalf("%s:%d: malformed quoted want regexp: %v", pos.Filename, pos.Line, err)
+			}
+			rest = rest[len(quoted):]
+		default:
+			t.Fatalf("%s:%d: want expects quoted regexps, got %q", pos.Filename, pos.Line, rest)
+		}
+		re, err := regexp.Compile(expr)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, expr, err)
+		}
+		wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+	}
+	return wants
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxHygiene guards the context-driven cancellation redesign (PR 1): in
+// the packages that thread cancellation end-to-end (internal/core,
+// internal/dist, internal/clk, or any package annotated //distlint:ctx) a
+// context.Context parameter must come first, and library code must not
+// mint its own root context with context.Background()/TODO() — that
+// detaches the subtree from the caller's cancellation and deadlines.
+var CtxHygiene = &Analyzer{
+	Name: "ctxhygiene",
+	Doc:  "context.Context first in the signature; no context.Background()/TODO() outside main and tests",
+	Run:  runCtxHygiene,
+}
+
+var ctxPathSuffixes = []string{"internal/core", "internal/dist", "internal/clk"}
+
+func inCtxScope(pkg *Package) bool {
+	if pkg.Name == "main" {
+		return false
+	}
+	for _, s := range ctxPathSuffixes {
+		if strings.HasSuffix(pkg.Path, s) {
+			return true
+		}
+	}
+	return pkg.HasDirective("ctx")
+}
+
+func runCtxHygiene(pass *Pass) {
+	pkg := pass.Pkg
+	if !inCtxScope(pkg) {
+		return
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				checkCtxFirst(pass, fd)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleePkgFunc(pkg, call)
+			if fn == nil || fn.Pkg().Path() != "context" {
+				return true
+			}
+			if fn.Name() == "Background" || fn.Name() == "TODO" {
+				pass.Reportf(call.Pos(), "context.%s() in library code detaches cancellation; accept a ctx parameter and pass it down", fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxFirst reports a context.Context parameter anywhere but position
+// zero (the receiver does not count).
+func checkCtxFirst(pass *Pass, fd *ast.FuncDecl) {
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		width := len(field.Names)
+		if width == 0 {
+			width = 1 // unnamed parameter
+		}
+		if isContextType(pass.Pkg.TypeOf(field.Type)) && idx > 0 {
+			pass.Reportf(field.Pos(), "context.Context must be the first parameter of %s", fd.Name.Name)
+		}
+		idx += width
+	}
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPathAlloc guards the zero-alloc kick loop (PR 2's 1.8x win): inside a
+// function annotated //distlint:hotpath it flags every construct that
+// allocates or is likely to — fmt calls, make/new, closure literals,
+// append onto anything but a struct-field scratch buffer, and conversions
+// of concrete values to interfaces. The clk/lk allocation tests catch a
+// regression at run time; this catches it at review time with a line
+// number.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbid allocating constructs in functions annotated //distlint:hotpath",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, "hotpath") {
+				continue
+			}
+			checkHotBody(pass, fd.Body)
+		}
+	}
+}
+
+func checkHotBody(pass *Pass, body *ast.BlockStmt) {
+	pkg := pass.Pkg
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure literal in hot path: captured variables escape to the heap; hoist the func or use a method value prepared at construction time")
+		case *ast.CallExpr:
+			checkHotCall(pass, pkg, n)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, pkg *Package, call *ast.CallExpr) {
+	// Builtins: make/new allocate; append is fine only onto a struct-field
+	// scratch buffer sized at construction time.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s in hot path: pre-size the buffer in the constructor and reuse it", b.Name())
+			case "append":
+				checkHotAppend(pass, call)
+			}
+			return
+		}
+	}
+	// fmt.* both allocates and boxes its operands; one finding covers it.
+	if fn := calleePkgFunc(pkg, call); fn != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s in hot path: formatting allocates and boxes every operand", fn.Name())
+		return
+	}
+	// A conversion T(x) where T is an interface boxes x.
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && isInterface(tv.Type) && isConcrete(pkg.TypeOf(call.Args[0])) {
+			pass.Reportf(call.Pos(), "conversion to interface %s in hot path allocates", types.TypeString(tv.Type, relativeTo(pkg)))
+		}
+		return
+	}
+	// Passing a concrete value where the callee wants an interface is the
+	// same box, just implicit.
+	sig, ok := pkg.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				param = sig.Params().At(np - 1).Type()
+			} else if s, ok := sig.Params().At(np - 1).Type().(*types.Slice); ok {
+				param = s.Elem()
+			}
+		case i < np:
+			param = sig.Params().At(i).Type()
+		}
+		if param == nil || !isInterface(param) {
+			continue
+		}
+		if at := pkg.TypeOf(arg); isConcrete(at) {
+			pass.Reportf(arg.Pos(), "passing %s as interface %s in hot path allocates", types.TypeString(at, relativeTo(pkg)), types.TypeString(param, relativeTo(pkg)))
+		}
+	}
+}
+
+// checkHotAppend allows append only onto struct-field scratch buffers
+// (s.buf, s.buf[:0], ...): those are pre-sized by the constructor, so a
+// steady-state append never grows. A plain local slice has no such
+// guarantee.
+func checkHotAppend(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	base := call.Args[0]
+	for {
+		switch b := base.(type) {
+		case *ast.SliceExpr:
+			base = b.X
+		case *ast.IndexExpr:
+			base = b.X
+		case *ast.ParenExpr:
+			base = b.X
+		default:
+			if _, ok := base.(*ast.SelectorExpr); !ok {
+				pass.Reportf(call.Pos(), "append onto a non-scratch slice in hot path: append only to a pre-sized struct-field buffer")
+			}
+			return
+		}
+	}
+}
+
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// isConcrete reports whether t is a real non-interface type (nil and
+// untyped nil are not a box).
+func isConcrete(t types.Type) bool {
+	if t == nil || isInterface(t) {
+		return false
+	}
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return true
+}
+
+func relativeTo(pkg *Package) types.Qualifier {
+	return types.RelativeTo(pkg.Types)
+}

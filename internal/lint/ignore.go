@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// badIgnoreRule labels diagnostics about malformed //lint:ignore comments.
+// A suppression that cannot be trusted (no reason, unknown rule) must fail
+// the build just like the finding it tried to hide.
+const badIgnoreRule = "badignore"
+
+const ignorePrefix = "//lint:ignore"
+
+// ignore is one parsed, well-formed //lint:ignore comment. It suppresses
+// diagnostics for the named rules on its own line (trailing comment) or on
+// the line directly below (standalone comment).
+type ignore struct {
+	file  string
+	line  int
+	rules []string
+}
+
+// parseIgnores scans every comment in the package for //lint:ignore
+// directives. Well-formed ones (at least one known rule plus a non-empty
+// reason) are returned as suppressions; malformed ones are returned as
+// badignore diagnostics and suppress nothing. A comment may name several
+// rules separated by commas; unknown names are reported individually while
+// the known names in the same comment still apply.
+func parseIgnores(pkg *Package, known map[string]bool) ([]ignore, []Diagnostic) {
+	var igs []ignore
+	var bad []Diagnostic
+	report := func(c *ast.Comment, format string, args ...any) {
+		p := &Pass{Pkg: pkg, analyzer: &Analyzer{Name: badIgnoreRule}, diags: &bad}
+		p.Reportf(c.Pos(), format, args...)
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:ignoreXYZ, not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(c, "//lint:ignore needs a rule name and a reason")
+					continue
+				}
+				if len(fields) == 1 {
+					report(c, "//lint:ignore %s is missing a reason: say why the finding is intentional", fields[0])
+					continue
+				}
+				var rules []string
+				for _, r := range strings.Split(fields[0], ",") {
+					if r == "" {
+						report(c, "//lint:ignore has an empty rule name in %q", fields[0])
+						continue
+					}
+					if !known[r] {
+						report(c, "//lint:ignore names unknown rule %q", r)
+						continue
+					}
+					rules = append(rules, r)
+				}
+				if len(rules) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				igs = append(igs, ignore{file: pos.Filename, line: pos.Line, rules: rules})
+			}
+		}
+	}
+	return igs, bad
+}
+
+// suppress drops diagnostics covered by an ignore: same file, matching
+// rule, and the diagnostic sits on the ignore's line or the line directly
+// below it. An ignore anywhere else (the "wrong line") suppresses nothing.
+func suppress(diags []Diagnostic, igs []ignore) []Diagnostic {
+	if len(igs) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !suppressed(d, igs) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+func suppressed(d Diagnostic, igs []ignore) bool {
+	for _, ig := range igs {
+		if ig.file != d.File {
+			continue
+		}
+		if d.Line != ig.line && d.Line != ig.line+1 {
+			continue
+		}
+		for _, r := range ig.rules {
+			if r == d.Rule {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseSrc builds the minimal Package the suppression machinery needs —
+// parsed files with comments and a fileset; no type information.
+func parseSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	return &Package{Path: "p", Name: "p", Fset: fset, Files: []*ast.File{f}}
+}
+
+func knownRules() map[string]bool {
+	known := map[string]bool{badIgnoreRule: true}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	return known
+}
+
+// diag fabricates a finding at fixture.go:line for suppression tests.
+func diag(rule string, line int) Diagnostic {
+	return Diagnostic{File: "fixture.go", Line: line, Col: 1, Rule: rule, Message: "m"}
+}
+
+func TestIgnoreMissingReason(t *testing.T) {
+	pkg := parseSrc(t, `package p
+
+//lint:ignore nodeterminism
+var a = 1
+`)
+	igs, bad := parseIgnores(pkg, knownRules())
+	if len(igs) != 0 {
+		t.Fatalf("reason-less ignore must suppress nothing, got %+v", igs)
+	}
+	if len(bad) != 1 || bad[0].Rule != badIgnoreRule || !strings.Contains(bad[0].Message, "missing a reason") {
+		t.Fatalf("want one badignore about the missing reason, got %+v", bad)
+	}
+	if bad[0].Line != 3 {
+		t.Fatalf("badignore reported at line %d, want 3", bad[0].Line)
+	}
+	if kept := suppress([]Diagnostic{diag("nodeterminism", 4)}, igs); len(kept) != 1 {
+		t.Fatal("malformed ignore suppressed a finding")
+	}
+}
+
+func TestIgnoreMissingEverything(t *testing.T) {
+	pkg := parseSrc(t, `package p
+
+//lint:ignore
+var a = 1
+`)
+	igs, bad := parseIgnores(pkg, knownRules())
+	if len(igs) != 0 {
+		t.Fatalf("empty ignore must suppress nothing, got %+v", igs)
+	}
+	if len(bad) != 1 || !strings.Contains(bad[0].Message, "rule name and a reason") {
+		t.Fatalf("want one badignore about the empty directive, got %+v", bad)
+	}
+}
+
+func TestIgnoreUnknownRule(t *testing.T) {
+	pkg := parseSrc(t, `package p
+
+//lint:ignore nosuchrule the reason is sound but the rule is not
+var a = 1
+`)
+	igs, bad := parseIgnores(pkg, knownRules())
+	if len(igs) != 0 {
+		t.Fatalf("unknown-rule ignore must suppress nothing, got %+v", igs)
+	}
+	if len(bad) != 1 || !strings.Contains(bad[0].Message, `unknown rule "nosuchrule"`) {
+		t.Fatalf("want one badignore naming the unknown rule, got %+v", bad)
+	}
+}
+
+func TestIgnoreMultiRule(t *testing.T) {
+	pkg := parseSrc(t, `package p
+
+//lint:ignore nodeterminism,nopanic one shared reason
+var a = 1
+`)
+	igs, bad := parseIgnores(pkg, knownRules())
+	if len(bad) != 0 {
+		t.Fatalf("well-formed multi-rule ignore reported bad: %+v", bad)
+	}
+	if len(igs) != 1 || len(igs[0].rules) != 2 {
+		t.Fatalf("want one ignore with two rules, got %+v", igs)
+	}
+	kept := suppress([]Diagnostic{
+		diag("nodeterminism", 4),
+		diag("nopanic", 4),
+		diag("hotpathalloc", 4), // not named: must survive
+	}, igs)
+	if len(kept) != 1 || kept[0].Rule != "hotpathalloc" {
+		t.Fatalf("multi-rule ignore kept %+v, want only the hotpathalloc finding", kept)
+	}
+}
+
+func TestIgnoreMixedKnownUnknown(t *testing.T) {
+	pkg := parseSrc(t, `package p
+
+//lint:ignore nopanic,bogus reason text
+var a = 1
+`)
+	igs, bad := parseIgnores(pkg, knownRules())
+	if len(bad) != 1 || !strings.Contains(bad[0].Message, `unknown rule "bogus"`) {
+		t.Fatalf("want badignore for the unknown half, got %+v", bad)
+	}
+	if len(igs) != 1 || len(igs[0].rules) != 1 || igs[0].rules[0] != "nopanic" {
+		t.Fatalf("the known half must still apply, got %+v", igs)
+	}
+}
+
+// TestIgnoreWrongLine pins the adjacency rule: an ignore suppresses its
+// own line and the next one, nothing further.
+func TestIgnoreWrongLine(t *testing.T) {
+	pkg := parseSrc(t, `package p
+
+//lint:ignore nodeterminism reason placed too far away
+var gap = 0
+
+var a = 1
+`)
+	igs, bad := parseIgnores(pkg, knownRules())
+	if len(bad) != 0 {
+		t.Fatalf("unexpected badignore: %+v", bad)
+	}
+	kept := suppress([]Diagnostic{diag("nodeterminism", 6)}, igs)
+	if len(kept) != 1 {
+		t.Fatal("ignore two lines above the finding must not suppress it")
+	}
+	if kept := suppress([]Diagnostic{diag("nodeterminism", 4)}, igs); len(kept) != 0 {
+		t.Fatal("ignore directly above the finding must suppress it")
+	}
+}
+
+func TestIgnoreSameLineTrailing(t *testing.T) {
+	pkg := parseSrc(t, `package p
+
+var a = 1 //lint:ignore nopanic trailing-comment form
+`)
+	igs, _ := parseIgnores(pkg, knownRules())
+	if kept := suppress([]Diagnostic{diag("nopanic", 3)}, igs); len(kept) != 0 {
+		t.Fatal("trailing same-line ignore must suppress the line's finding")
+	}
+}
+
+func TestIgnoreRuleMismatch(t *testing.T) {
+	pkg := parseSrc(t, `package p
+
+//lint:ignore nopanic suppressing the wrong rule
+var a = 1
+`)
+	igs, _ := parseIgnores(pkg, knownRules())
+	if kept := suppress([]Diagnostic{diag("nodeterminism", 4)}, igs); len(kept) != 1 {
+		t.Fatal("an ignore must only suppress the rules it names")
+	}
+}
+
+// TestCheckReportsBadIgnores runs the full Check pipeline to confirm
+// malformed ignores surface as findings (and therefore fail the build).
+func TestCheckReportsBadIgnores(t *testing.T) {
+	pkg := parseSrc(t, `package p
+
+//lint:ignore nodeterminism
+var a = 1
+`)
+	diags := Check([]*Package{pkg}, nil)
+	if len(diags) != 1 || diags[0].Rule != badIgnoreRule {
+		t.Fatalf("Check must surface the malformed ignore, got %+v", diags)
+	}
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, addressed by file:line:col.
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+}
+
+// Package is one loaded, type-checked package as seen by analyzers.
+type Package struct {
+	Path  string // import path, e.g. distclk/internal/clk
+	Name  string // package name
+	Dir   string // absolute source directory
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files only
+	Info  *types.Info
+	Types *types.Package
+	// TypeErrors collects soft type-check failures (e.g. a dependency with
+	// no export data). Analyzers still run on whatever was resolved.
+	TypeErrors []error
+}
+
+// TypeOf returns the type of expr, or nil when unresolved.
+func (p *Package) TypeOf(expr ast.Expr) types.Type {
+	return p.Info.TypeOf(expr)
+}
+
+// HasDirective reports whether any file's package doc comment carries a
+// `//distlint:<name>` directive (conventionally in doc.go).
+func (p *Package) HasDirective(name string) bool {
+	for _, f := range p.Files {
+		if hasDirective(f.Doc, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasDirective reports whether the comment group contains the directive
+// comment `//distlint:<name>`.
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text, ok := strings.CutPrefix(c.Text, "//distlint:")
+		if !ok {
+			continue
+		}
+		if strings.TrimSpace(text) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzer is one named invariant check over a Package.
+type Analyzer struct {
+	// Name is the rule name used in diagnostics and //lint:ignore comments.
+	Name string
+	// Doc is a one-line description for -rules listings and DESIGN.md.
+	Doc string
+	// Run inspects pass.Pkg and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass carries one (analyzer, package) run.
+type Pass struct {
+	Pkg      *Package
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Rule:    p.analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the registered analyzers in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{NoDeterminism, HotPathAlloc, CtxHygiene, NoPanic}
+}
+
+// Check runs the analyzers over the packages, applies //lint:ignore
+// suppressions, and returns the surviving diagnostics sorted by file,
+// line, column and rule. Malformed or unknown-rule ignore comments are
+// reported under the badignore rule. Rule names in ignore comments are
+// validated against both the running analyzers and the full registry, so
+// a single-analyzer run (as in tests) accepts suppressions for the
+// others.
+func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := map[string]bool{badIgnoreRule: true}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			a.Run(&Pass{Pkg: pkg, analyzer: a, diags: &diags})
+		}
+		ignores, bad := parseIgnores(pkg, known)
+		diags = append(suppress(diags, ignores), bad...)
+		out = append(out, diags...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	return out
+}

@@ -1,0 +1,53 @@
+package lint_test
+
+import (
+	"testing"
+
+	"distclk/internal/lint"
+	"distclk/internal/lint/analyzertest"
+)
+
+func TestNoDeterminism(t *testing.T) {
+	analyzertest.Run(t, "./testdata/src/nodeterminism", lint.NoDeterminism)
+}
+
+// TestNoDeterminismOutOfScope pins the scoping rule: without the
+// //distlint:deterministic directive (or an internal/simnet / internal/report
+// path) the analyzer must not fire at all.
+func TestNoDeterminismOutOfScope(t *testing.T) {
+	analyzertest.Run(t, "./testdata/src/nodeterminism_off", lint.NoDeterminism)
+}
+
+func TestHotPathAlloc(t *testing.T) {
+	analyzertest.Run(t, "./testdata/src/hotpathalloc", lint.HotPathAlloc)
+}
+
+func TestCtxHygiene(t *testing.T) {
+	analyzertest.Run(t, "./testdata/src/ctxhygiene", lint.CtxHygiene)
+}
+
+func TestNoPanic(t *testing.T) {
+	analyzertest.Run(t, "./testdata/src/nopanic", lint.NoPanic)
+}
+
+// TestRepoIsClean runs every analyzer over the whole module, mirroring
+// CI's `go run ./cmd/distlint ./...` gate so a violation fails plain
+// `go test ./...` too. Skipped under -short: it type-checks the entire
+// repository.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; covered by make lint")
+	}
+	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, p := range pkgs {
+		for _, te := range p.TypeErrors {
+			t.Errorf("%s: type error: %v", p.Path, te)
+		}
+	}
+	for _, d := range lint.Check(pkgs, lint.All()) {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *listErr
+}
+
+type listErr struct {
+	Err string
+}
+
+// Load resolves the package patterns (e.g. "./...") from dir with the go
+// command, then parses and type-checks every matched package from source.
+// Dependencies are imported from the toolchain's export data, so a load
+// costs one `go list -export` plus parsing only the target packages.
+// Test files are not loaded: the invariants guard shipped code, and tests
+// legitimately reach for wall clocks and panics.
+//
+// A package that fails to parse is a hard error. Type-check problems are
+// soft: they accumulate in Package.TypeErrors and analyzers run on
+// whatever was resolved, mirroring `go vet`'s tolerance so one broken
+// dependency does not hide every other finding.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Name == "" || len(t.GoFiles) == 0 {
+			if t.Error != nil && len(t.GoFiles) > 0 {
+				return nil, fmt.Errorf("load %s: %s", t.ImportPath, t.Error.Err)
+			}
+			continue
+		}
+		pkg, err := typeCheck(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func typeCheck(fset *token.FileSet, imp types.Importer, t listPkg) (*Package, error) {
+	files := make([]*ast.File, 0, len(t.GoFiles))
+	for _, name := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %v", t.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{
+		Path: t.ImportPath,
+		Name: t.Name,
+		Dir:  t.Dir,
+		Fset: fset,
+		Info: &types.Info{
+			Types: make(map[ast.Expr]types.TypeAndValue),
+			Defs:  make(map[*ast.Ident]types.Object),
+			Uses:  make(map[*ast.Ident]types.Object),
+		},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// The returned error duplicates the first entry of TypeErrors; the
+	// collected slice is the complete record.
+	pkg.Types, _ = conf.Check(t.ImportPath, fset, files, pkg.Info)
+	pkg.Files = files
+	return pkg, nil
+}

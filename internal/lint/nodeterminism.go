@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoDeterminism guards the seeded-replay contract: a package that promises
+// byte-identical replay (internal/simnet, internal/report, or any package
+// whose doc.go carries //distlint:deterministic) must not read wall
+// clocks, draw from the global math/rand state, or iterate maps — any of
+// the three silently breaks `make repro-smoke` and the simnet replay
+// tests.
+var NoDeterminism = &Analyzer{
+	Name: "nodeterminism",
+	Doc:  "forbid wall clocks, global math/rand, and map iteration in packages with a determinism contract",
+	Run:  runNoDeterminism,
+}
+
+// detPathSuffixes names the packages with an implicit determinism
+// contract; others opt in with a //distlint:deterministic doc directive.
+var detPathSuffixes = []string{"internal/simnet", "internal/report"}
+
+// wallClockFuncs are the package-level time functions that read or wait on
+// the wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// seededRandFuncs are the math/rand package-level functions that are fine
+// in deterministic code: they build seeded generators rather than drawing
+// from the global source.
+var seededRandFuncs = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func inNoDeterminismScope(pkg *Package) bool {
+	for _, s := range detPathSuffixes {
+		if strings.HasSuffix(pkg.Path, s) {
+			return true
+		}
+	}
+	return pkg.HasDirective("deterministic")
+}
+
+func runNoDeterminism(pass *Pass) {
+	pkg := pass.Pkg
+	if !inNoDeterminismScope(pkg) {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleePkgFunc(pkg, n)
+				if fn == nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if wallClockFuncs[fn.Name()] {
+						pass.Reportf(n.Pos(), "time.%s reads the wall clock; deterministic packages must use the virtual clock or take timestamps as input", fn.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					if !seededRandFuncs[fn.Name()] {
+						pass.Reportf(n.Pos(), "global %s.%s draws from shared unseeded state; draw from an explicitly seeded *rand.Rand", pathBase(fn.Pkg().Path()), fn.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				if t := pkg.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						pass.Reportf(n.Pos(), "map iteration order is nondeterministic; range over a sorted slice of keys instead")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// calleePkgFunc resolves a call to a package-level function (not a method,
+// not a builtin, not a func value), or nil.
+func calleePkgFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+func pathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

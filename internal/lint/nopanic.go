@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoPanic keeps library packages panic-free: a panic that escapes a node
+// goroutine takes down the whole cluster process, so errors must travel as
+// values. The one sanctioned exception is the invariant-violation helper —
+// a function named must*/Must* whose only job is to crash on a broken
+// internal invariant (e.g. neighbor.mustValidate).
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc:  "no panic in library packages outside must*/Must* invariant-violation helpers",
+	Run:  runNoPanic,
+}
+
+func runNoPanic(pass *Pass) {
+	pkg := pass.Pkg
+	if pkg.Name == "main" {
+		return
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if strings.HasPrefix(name, "must") || strings.HasPrefix(name, "Must") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					pass.Reportf(call.Pos(), "panic in library code: return an error, or move the check into a must* invariant helper")
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,32 @@
+// Package fixture exercises the ctxhygiene analyzer; the directive below
+// stands in for living under internal/core, internal/dist or internal/clk.
+//
+//distlint:ctx
+package fixture
+
+import "context"
+
+type server struct{}
+
+func First(ctx context.Context, n int) {}
+
+func NoCtx(a, b int) {}
+
+func Second(n int, ctx context.Context) {} // want `ctxhygiene: context\.Context must be the first parameter of Second`
+
+func (s *server) MethodSecond(name string, ctx context.Context) {} // want `ctxhygiene: context\.Context must be the first parameter of MethodSecond`
+
+func unexportedSecond(n int, ctx context.Context) {} // want `ctxhygiene: context\.Context must be the first parameter of unexportedSecond`
+
+func Mint() context.Context {
+	return context.Background() // want `ctxhygiene: context\.Background\(\) in library code`
+}
+
+func MintTODO() context.Context {
+	return context.TODO() // want `ctxhygiene: context\.TODO\(\) in library code`
+}
+
+// PassThrough is the sanctioned shape: ctx first, derived — not minted.
+func PassThrough(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}

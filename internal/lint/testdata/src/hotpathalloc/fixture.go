@@ -1,0 +1,68 @@
+// Package fixture exercises the hotpathalloc analyzer. Only functions
+// annotated //distlint:hotpath are checked; Cold below proves the scoping.
+package fixture
+
+import "fmt"
+
+type solver struct {
+	scratch []int32
+	sink    fmt.Stringer
+}
+
+type city int32
+
+func (c city) String() string { return "city" }
+
+func consume(s fmt.Stringer) {}
+
+func consumeMany(prefix string, vs ...any) {}
+
+//distlint:hotpath
+func (s *solver) Hot(xs []int32, n int) {
+	s.scratch = append(s.scratch, xs...)    // scratch field: allowed
+	s.scratch = append(s.scratch[:0], 1, 2) // resliced scratch field: allowed
+	var local []int32
+	local = append(local, xs...) // want `hotpathalloc: append onto a non-scratch slice`
+	_ = local
+	buf := make([]int32, n) // want `hotpathalloc: make in hot path`
+	_ = buf
+	p := new(solver) // want `hotpathalloc: new in hot path`
+	_ = p
+}
+
+//distlint:hotpath
+func (s *solver) HotFmt(n int) {
+	fmt.Println(n) // want `hotpathalloc: fmt\.Println in hot path`
+}
+
+//distlint:hotpath
+func (s *solver) HotClosure(xs []int32) int32 {
+	f := func() int32 { return xs[0] } // want `hotpathalloc: closure literal in hot path`
+	return f()
+}
+
+//distlint:hotpath
+func (s *solver) HotBox(c city) {
+	consume(c)          // want `hotpathalloc: passing city as interface fmt\.Stringer`
+	consume(s.sink)     // interface-typed value: no box, allowed
+	_ = fmt.Stringer(c) // want `hotpathalloc: conversion to interface fmt\.Stringer`
+	consumeMany("x", c) // want `hotpathalloc: passing city as interface any`
+	consumeMany("y")    // no variadic args: allowed
+	_ = int64(c)        // concrete-to-concrete conversion: allowed
+	s.suppressed(c)     // helper is annotated itself; call is fine
+}
+
+//distlint:hotpath
+func (s *solver) suppressed(c city) {
+	//lint:ignore hotpathalloc boxing here is once per Close kick, outside the per-dive loop
+	consume(c)
+}
+
+// Cold has no annotation: the same constructs draw no findings.
+func Cold(n int) []int32 {
+	buf := make([]int32, n)
+	fmt.Println(n)
+	f := func() int { return n }
+	_ = f
+	return buf
+}

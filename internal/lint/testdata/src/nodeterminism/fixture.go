@@ -1,0 +1,74 @@
+// Package fixture exercises the nodeterminism analyzer: the directive
+// below opts it into the determinism contract.
+//
+//distlint:deterministic
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Clock() time.Time {
+	return time.Now() // want `nodeterminism: time\.Now reads the wall clock`
+}
+
+func Sleepy() {
+	time.Sleep(time.Millisecond) // want `nodeterminism: time\.Sleep`
+}
+
+func Lag(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `nodeterminism: time\.Since`
+}
+
+func Timer() {
+	<-time.After(time.Second) // want `nodeterminism: time\.After`
+}
+
+func GlobalDraw() int {
+	return rand.Intn(10) // want `nodeterminism: global rand\.Intn`
+}
+
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `nodeterminism: global rand\.Shuffle`
+}
+
+// SeededDraw is the sanctioned pattern: rand.New/NewSource build a seeded
+// generator, and method draws on it are deterministic.
+func SeededDraw(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func MapOrder(m map[string]int) string {
+	out := ""
+	for k := range m { // want `nodeterminism: map iteration order`
+		out += k
+	}
+	return out
+}
+
+// SliceOrder iterates a slice: deterministic, no finding.
+func SliceOrder(xs []string) string {
+	out := ""
+	for _, x := range xs {
+		out += x
+	}
+	return out
+}
+
+// SuppressedMapOrder shows a reasoned suppression surviving lint.Check.
+func SuppressedMapOrder(m map[string]int) int {
+	sum := 0
+	//lint:ignore nodeterminism summing is commutative; order cannot reach the output
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// ConstantsOK: referencing time types and constants is fine; only the
+// wall-clock reads are flagged.
+func ConstantsOK() time.Duration {
+	return 3 * time.Millisecond
+}

@@ -1,0 +1,21 @@
+// Package fixture has no determinism contract — no //distlint:deterministic
+// directive and no implicit path — so nodeterminism must stay silent even
+// over wall clocks, global rand and map iteration.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Clock() time.Time { return time.Now() }
+
+func GlobalDraw() int { return rand.Intn(10) }
+
+func MapOrder(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

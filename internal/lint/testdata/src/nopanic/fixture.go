@@ -1,0 +1,48 @@
+// Package fixture exercises the nopanic analyzer: library code must not
+// panic outside must*/Must* invariant-violation helpers.
+package fixture
+
+import "errors"
+
+func Lib() error {
+	if true {
+		panic("boom") // want `nopanic: panic in library code`
+	}
+	return nil
+}
+
+func nested() {
+	f := func() {
+		panic("in closure") // want `nopanic: panic in library code`
+	}
+	f()
+}
+
+// mustValidate is an invariant-violation helper: allowed.
+func mustValidate(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// MustParse is the exported flavour of the same convention: allowed.
+func MustParse(s string) int {
+	if s == "" {
+		panic("empty")
+	}
+	return len(s)
+}
+
+// Errors travel as values everywhere else.
+func Checked(s string) (int, error) {
+	if s == "" {
+		return 0, errors.New("empty")
+	}
+	return len(s), nil
+}
+
+// Suppressed shows the escape hatch for a deliberate library panic.
+func Suppressed() {
+	//lint:ignore nopanic closed-enum default arm; a new variant must extend the switch
+	panic("unreachable")
+}

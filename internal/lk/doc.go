@@ -11,4 +11,6 @@
 //     across flips (City(Pos(c)) == c).
 //   - Search order is deterministic for a fixed (instance, candidates,
 //     Params, seed).
+//
+//distlint:deterministic
 package lk

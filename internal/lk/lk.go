@@ -113,6 +113,8 @@ func (o *Optimizer) SetLength(l int64) { o.length = l }
 // push enqueues c unless already queued. The backing array never grows
 // past its initial capacity n: at most n-1 other cities can be live when a
 // new one arrives, so compacting the consumed prefix always makes room.
+//
+//distlint:hotpath
 func (o *Optimizer) push(c int32) {
 	if o.inQueue[c] {
 		return
@@ -144,6 +146,8 @@ func (o *Optimizer) QueueCities(cities []int32) {
 // variable-depth exchanges until no queued city yields one. It returns the
 // total gain (length decrease). stop, when non-nil, is polled between
 // cities; a true return aborts early (used for wall-clock budgets).
+//
+//distlint:hotpath
 func (o *Optimizer) Optimize(stop func() bool) int64 {
 	var total int64
 	checked := 0
@@ -184,6 +188,8 @@ func (o *Optimizer) OptimizeAll(stop func() bool) int64 {
 
 // improveCity attempts one accepted improving chain anchored at t1, trying
 // both orientations; returns the realized gain (0 if none).
+//
+//distlint:hotpath
 func (o *Optimizer) improveCity(t1 int32) int64 {
 	for orient := 0; orient < 2; orient++ {
 		var loose int32
@@ -201,6 +207,8 @@ func (o *Optimizer) improveCity(t1 int32) int64 {
 
 // applyStep performs the 2-opt flip for s given the current array state.
 // Precondition: edge (t1, s.loose) is in the cycle.
+//
+//distlint:hotpath
 func (o *Optimizer) applyStep(s step) {
 	if o.Tour.Next(o.t1) == s.loose {
 		o.Tour.Flip(s.loose, s.v)
@@ -210,6 +218,8 @@ func (o *Optimizer) applyStep(s step) {
 }
 
 // undoStep reverses applyStep. Precondition: edge (t1, s.v) is in the cycle.
+//
+//distlint:hotpath
 func (o *Optimizer) undoStep(s step) {
 	if o.Tour.Next(o.t1) == s.v {
 		o.Tour.Flip(s.v, s.loose)
@@ -222,6 +232,8 @@ func (o *Optimizer) undoStep(s step) {
 // edge (t1, loose). The array always holds a valid cycle containing the
 // temporary closing edge (t1, current loose); each step is a 2-opt flip.
 // On success the best chain prefix is re-applied and its gain returned.
+//
+//distlint:hotpath
 func (o *Optimizer) tryChain(t1, loose int32) int64 {
 	o.t1 = t1
 	o.path = o.path[:0]
@@ -248,6 +260,8 @@ func (o *Optimizer) tryChain(t1, loose int32) int64 {
 // dive extends the chain from the current loose end. G is the cumulative
 // gain of removed-minus-added real edges so far (always > 0 on entry).
 // The tour state is restored before dive returns.
+//
+//distlint:hotpath
 func (o *Optimizer) dive(loose int32, G int64, depth int) {
 	if depth >= o.params.MaxDepth {
 		return

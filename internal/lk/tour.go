@@ -82,6 +82,8 @@ func (t *ArrayTour) SeqLen(a, b int32) int32 {
 // that, undoing a flip requires re-deriving the direction from a fixed
 // reference edge (see Optimizer.undoStep); Flip(b, a) alone is not a
 // reliable inverse.
+//
+//distlint:hotpath
 func (t *ArrayTour) Flip(a, b int32) {
 	if a == b {
 		return
@@ -141,6 +143,8 @@ func (t *ArrayTour) Flip(a, b int32) {
 // remaining a permutation — it is the allocation-free primitive behind the
 // double-bridge kick, which rewrites only the affected position range
 // instead of rebuilding the whole order array.
+//
+//distlint:hotpath
 func (t *ArrayTour) SetSeg(start int32, cities []int32) {
 	copy(t.order[start:], cities)
 	for i, c := range cities {
@@ -156,6 +160,8 @@ func (t *ArrayTour) Tour() tsp.Tour {
 }
 
 // CopyFrom overwrites this tour's state with src's. Both must have equal n.
+//
+//distlint:hotpath
 func (t *ArrayTour) CopyFrom(src *ArrayTour) {
 	copy(t.order, src.order)
 	copy(t.pos, src.pos)

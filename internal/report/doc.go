@@ -20,4 +20,6 @@
 //     in manifest order.
 //   - Rendering never iterates a map: tables, CSVs, and deltas are built
 //     from slices in declared order with fixed-precision formatting.
+//
+//distlint:deterministic
 package report

@@ -18,4 +18,6 @@
 //   - Faults surface through internal/obs (msg-dropped, msg-delivered,
 //     partition-start, node-crash, ...) and are tallied in FaultStats;
 //     nothing is silently lost.
+//
+//distlint:deterministic
 package simnet

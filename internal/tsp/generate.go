@@ -78,6 +78,7 @@ func Generate(f Family, n int, seed int64) *Instance {
 	case FamilyNational:
 		pts = genNational(rng, n)
 	default:
+		//lint:ignore nopanic Family is a closed enum validated by ParseFamily; an unknown value is a programming error with no recovery
 		panic("tsp: unknown family")
 	}
 	name := fmt.Sprintf("%s%d-s%d", f, n, seed)

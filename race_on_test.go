@@ -1,0 +1,9 @@
+//go:build race
+
+package distclk
+
+// raceSlack widens wall-clock latency assertions when the race detector is
+// on: instrumented code typically runs 2-20x slower, so a bound that holds
+// comfortably in a normal run (cancellation lag < 500ms) needs headroom
+// before it measures anything but detector overhead.
+const raceSlack = 6
