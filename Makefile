@@ -1,11 +1,12 @@
 GO ?= go
 
 # bench: which benchmarks feed the perf snapshot, and where it lands.
-# Covers the LK hot-path trio: raw Flip cost, the zero-alloc
-# Optimize-after-kick acceptance benchmark, and full CLK kick throughput
-# on the synthetic E1k/C3k testbed instances.
-BENCH_PATTERN ?= ^(BenchmarkFlip|BenchmarkOptimizeAfterKick|BenchmarkCLKKicksPerSec)$$
-BENCH_OUT     ?= BENCH_PR2.json
+# Covers the LK hot-path trio (raw Flip cost, the zero-alloc
+# Optimize-after-kick acceptance benchmark, full CLK kick throughput on the
+# synthetic E1k/C3k testbed instances) plus the in-node parallel group at
+# 1/2/4/8 workers.
+BENCH_PATTERN ?= ^(BenchmarkFlip|BenchmarkOptimizeAfterKick|BenchmarkCLKKicksPerSec|BenchmarkParallelCLK)$$
+BENCH_OUT     ?= BENCH_PR6.json
 BENCH_TIME    ?= 1s
 
 .PHONY: check build vet fmt lint distlint test race bench repro repro-smoke doc-links

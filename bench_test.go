@@ -177,6 +177,41 @@ func BenchmarkCLKKicksPerSec(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelCLK tracks multi-worker kick throughput of the in-node
+// parallel group on the E-family stand-ins at 1/2/4/8 workers. MaxKicks is
+// the group total, so ns/op stays per-kick and "kicks/sec" is aggregate
+// throughput — near-linear scaling in workers is the design target on
+// multi-core hardware (a single-core machine shows flat scaling; the
+// recorded snapshot's "cpu" field says which one produced it). "tourlen"
+// is the final length; deterministic only for w1.
+func BenchmarkParallelCLK(b *testing.B) {
+	cases := []struct {
+		name   string
+		family tsp.Family
+		n      int
+	}{
+		{"E1k", tsp.FamilyUniform, 1000},
+		{"E10k", tsp.FamilyUniform, 10000},
+	}
+	for _, tc := range cases {
+		in := tsp.Generate(tc.family, tc.n, 42)
+		nbr := neighbor.Build(in, 10)
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(tc.name+"/w"+itoa(workers), func(b *testing.B) {
+				p := clk.DefaultParams()
+				p.Neighbors = nbr
+				g := clk.NewGroup(context.Background(), in, p, clk.GroupParams{Workers: workers}, 1)
+				b.ReportAllocs()
+				b.ResetTimer()
+				res := g.Run(context.Background(), clk.Budget{MaxKicks: int64(b.N)})
+				b.StopTimer()
+				b.ReportMetric(float64(res.Kicks)/b.Elapsed().Seconds(), "kicks/sec")
+				b.ReportMetric(float64(res.Length), "tourlen")
+			})
+		}
+	}
+}
+
 // BenchmarkFlip measures ArrayTour segment reversal.
 func BenchmarkFlip(b *testing.B) {
 	tour := lk.NewArrayTour(tsp.IdentityTour(10000))

@@ -8,6 +8,7 @@
 //	experiments -mode paper -runs 10 # paper-shaped scale (hours)
 //	experiments -csv results/        # also write figure traces as CSV
 //	experiments -simnet              # virtual-cluster speed-up table (JSONL)
+//	experiments -parallel            # in-node worker scaling (JSONL)
 //
 // Experiments: table1 table2 table3 table4 table5 fig2 fig3 messages
 // variator. See DESIGN.md §3 for the experiment-to-paper mapping and
@@ -39,6 +40,7 @@ func main() {
 		maxIns = flag.Int("instances", 0, "truncate each experiment's instance list (0 = all)")
 		trace  = flag.String("trace", "", "write every solver event as JSONL to this file")
 		simnet = flag.Bool("simnet", false, "run the simulated-cluster speed-up experiment (JSONL to stdout) and exit")
+		par    = flag.Bool("parallel", false, "run the in-node worker-scaling experiment (JSONL to stdout) and exit")
 	)
 	flag.Parse()
 
@@ -91,6 +93,13 @@ func main() {
 	if *simnet {
 		if err := h.Simnet(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: simnet: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *par {
+		if err := h.Parallel(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: parallel: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -6,16 +6,36 @@
 // solve them through a Solver — plain Chained Lin-Kernighan (the Concorde
 // linkern heuristic rebuilt in Go) by default, or the paper's distributed
 // evolutionary algorithm (WithNodes) in which cooperating nodes exchange
-// tours over a hypercube overlay. Every solve is context-driven: cancel the
-// context or let its deadline fire and Solve promptly returns the best
-// tour found so far. Progress exposes periodic snapshots of the running
-// solve. Lower layers (the LK engine, kicking strategies, transports,
-// baselines, the observability spine, the experiment harness) live under
-// internal/ and are driven by the cmd/ binaries.
+// tours over a hypercube overlay. WithWorkers makes either mode multi-core:
+// concurrent kickers share the candidate tables and cooperate through a
+// lock-free best-tour slot with periodic elite-tour merging. Every solve is
+// context-driven: cancel the context or let its deadline fire and Solve
+// promptly returns the best tour found so far. Progress exposes periodic
+// snapshots of the running solve. Lower layers (the LK engine, kicking
+// strategies, transports, baselines, the observability spine, the
+// experiment harness) live under internal/ and are driven by the cmd/
+// binaries.
+//
+// # Options matrix
+//
+// Options split into three groups; New validates the whole combination at
+// once and reports every conflict in a single error.
+//
+// Mode-independent: WithKick, WithBudget, WithTarget, WithSeed,
+// WithProgressInterval, WithWorkers (explicit n >= 1).
+//
+// Plain CLK only (reject WithNodes alongside them): WithMaxKicks,
+// WithMergeEvery, and the auto-sizing WithWorkers(0) — with cooperating
+// nodes time-sharing the machine, the per-node worker count must be an
+// explicit choice.
+//
+// Distributed EA only (require WithNodes): WithTopology, WithEAParameters,
+// WithKicksPerCall.
 package distclk
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"time"
@@ -54,9 +74,11 @@ func StandIn(paperName string, seed int64) (*Instance, error) {
 }
 
 // NodeStats reports one node's search statistics, sourced from the
-// observability layer.
+// observability layer. For parallel plain-CLK solves (WithWorkers(n > 1))
+// there is one entry per worker rather than per node.
 type NodeStats struct {
-	// Node is the node id (0 for plain CLK).
+	// Node is the node id for distributed solves, the worker id for
+	// parallel plain-CLK solves, and 0 for a classic single-worker solve.
 	Node int
 	// BestLength is the node's own best tour length.
 	BestLength int64
@@ -109,20 +131,39 @@ type Snapshot struct {
 	Restarts int64
 	// Broadcasts is the total tours broadcast across nodes.
 	Broadcasts int64
+	// Workers is the number of concurrent in-node searchers per solve
+	// (resolved: WithWorkers(0) shows the GOMAXPROCS value it picked).
+	Workers int
+	// WorkerKicks is the cumulative kick count per worker (plain CLK) or
+	// per node (distributed solves), indexed by worker/node id.
+	WorkerKicks []int64
 }
 
 // options collects solver configuration; see the With* functions.
 type options struct {
-	kick     clk.KickStrategy
-	budget   time.Duration
-	maxKicks int64
-	target   int64
-	seed     int64
-	topo     topology.Kind
-	cv, cr   int
-	kpc      int64
-	nodes    int // 0 = plain CLK, >= 1 = distributed EA
-	interval time.Duration
+	kick       clk.KickStrategy
+	budget     time.Duration
+	maxKicks   int64
+	target     int64
+	seed       int64
+	topo       topology.Kind
+	cv, cr     int
+	kpc        int64
+	nodes      int // 0 = plain CLK, >= 1 = distributed EA
+	workers    int // resolved: always >= 1 after build
+	mergeEvery int64
+	interval   time.Duration
+
+	// Which option groups were explicitly set — build's combination check
+	// (see the package-level options matrix) needs to tell defaults apart
+	// from user choices.
+	maxKicksSet bool
+	topoSet     bool
+	eaSet       bool
+	kpcSet      bool
+	workersSet  bool
+	workersAuto bool
+	mergeSet    bool
 }
 
 // Option configures a Solver.
@@ -136,6 +177,7 @@ func defaults() options {
 		topo:     topology.Hypercube,
 		cv:       64,
 		cr:       256,
+		workers:  1,
 		interval: 100 * time.Millisecond,
 	}
 }
@@ -167,13 +209,57 @@ func WithBudget(d time.Duration) Option {
 }
 
 // WithMaxKicks bounds plain CLK by kick count instead of (or on top of)
-// time. Zero means unlimited.
+// time. Zero means unlimited. With WithWorkers(n > 1) the bound is the
+// group total across workers. Plain CLK only.
 func WithMaxKicks(k int64) Option {
 	return func(o *options) error {
+		o.maxKicksSet = true
 		if k < 0 {
 			return fmt.Errorf("distclk: negative max kicks %d", k)
 		}
 		o.maxKicks = k
+		return nil
+	}
+}
+
+// WithWorkers runs n concurrent kickers per solve (per node for
+// distributed solves). They share the read-only candidate tables, keep
+// private zero-allocation search state, publish improvements through a
+// lock-free best-tour slot, and periodically fuse elite tours (see
+// WithMergeEvery). n = 0 auto-sizes to GOMAXPROCS — plain CLK only, since
+// cooperating nodes time-share the machine. Negative n is rejected. The
+// default, n = 1, is the classic single kicker and stays byte-identical
+// for a given seed; n > 1 trades that determinism for throughput.
+func WithWorkers(n int) Option {
+	return func(o *options) error {
+		o.workersSet = true
+		if n < 0 {
+			return fmt.Errorf("distclk: negative worker count %d", n)
+		}
+		if n == 0 {
+			o.workersAuto = true
+			o.workers = runtime.GOMAXPROCS(0)
+			return nil
+		}
+		o.workers = n
+		return nil
+	}
+}
+
+// WithMergeEvery sets the elite-merge cadence for parallel plain-CLK
+// solves: every k group-total kicks, a merge pass fuses the best published
+// tours with Lin-Kernighan restricted to the union of their edges (Cook &
+// Seymour tour merging). Zero (the default) picks a cadence proportional
+// to instance size; negative k is rejected. Requires WithWorkers(n > 1) —
+// merging needs tours from at least two searchers — and plain CLK mode
+// (distributed nodes already exchange tours by broadcast).
+func WithMergeEvery(k int64) Option {
+	return func(o *options) error {
+		o.mergeSet = true
+		if k < 0 {
+			return fmt.Errorf("distclk: negative merge cadence %d", k)
+		}
+		o.mergeEvery = k
 		return nil
 	}
 }
@@ -214,9 +300,11 @@ func WithNodes(n int) Option {
 }
 
 // WithTopology selects the overlay for distributed solves: "hypercube"
-// (default, the paper's), "ring", "grid", or "complete".
+// (default, the paper's), "ring", "grid", or "complete". Requires
+// WithNodes.
 func WithTopology(name string) Option {
 	return func(o *options) error {
+		o.topoSet = true
 		k, err := topology.Parse(name)
 		if err != nil {
 			return err
@@ -234,6 +322,7 @@ func WithTopology(name string) Option {
 // scale.
 func WithEAParameters(cv, cr int) Option {
 	return func(o *options) error {
+		o.eaSet = true
 		if cv <= 0 || cr <= 0 {
 			return fmt.Errorf("distclk: EA parameters must be positive")
 		}
@@ -247,6 +336,7 @@ func WithEAParameters(cv, cr int) Option {
 // frequent exchange and perturbation decisions.
 func WithKicksPerCall(k int64) Option {
 	return func(o *options) error {
+		o.kpcSet = true
 		if k <= 0 {
 			return fmt.Errorf("distclk: kicks per call must be positive")
 		}
@@ -267,14 +357,54 @@ func WithProgressInterval(d time.Duration) Option {
 	}
 }
 
+// build applies the options and validates the whole configuration in one
+// place; every invalid option and every conflicting combination is
+// reported, joined into a single error.
 func build(opts []Option) (options, error) {
 	o := defaults()
+	var errs []error
 	for _, fn := range opts {
 		if err := fn(&o); err != nil {
-			return o, err
+			errs = append(errs, err)
 		}
 	}
+	errs = append(errs, o.combos()...)
+	if len(errs) > 0 {
+		return o, errors.Join(errs...)
+	}
 	return o, nil
+}
+
+// combos checks the cross-option matrix documented in the package comment.
+func (o *options) combos() []error {
+	var errs []error
+	if o.nodes > 0 {
+		if o.maxKicksSet {
+			errs = append(errs, fmt.Errorf("distclk: WithMaxKicks bounds plain CLK solves only; drop it or drop WithNodes"))
+		}
+		if o.mergeSet {
+			errs = append(errs, fmt.Errorf("distclk: WithMergeEvery applies to parallel plain-CLK solves only; distributed nodes already exchange tours by broadcast"))
+		}
+		if o.workersAuto {
+			errs = append(errs, fmt.Errorf("distclk: WithWorkers(0) auto-sizing conflicts with WithNodes: cooperating nodes time-share the machine, pick an explicit per-node worker count"))
+		}
+	} else {
+		if o.topoSet {
+			errs = append(errs, fmt.Errorf("distclk: WithTopology requires WithNodes (plain CLK has no overlay)"))
+		}
+		if o.eaSet {
+			errs = append(errs, fmt.Errorf("distclk: WithEAParameters requires WithNodes (plain CLK runs no evolutionary loop)"))
+		}
+		if o.kpcSet {
+			errs = append(errs, fmt.Errorf("distclk: WithKicksPerCall requires WithNodes (plain CLK kicks continuously; bound it with WithMaxKicks)"))
+		}
+	}
+	// workersAuto is exempt: on a single-core machine it resolves to one
+	// worker and merging just never fires.
+	if o.mergeSet && !o.workersAuto && o.workers == 1 {
+		errs = append(errs, fmt.Errorf("distclk: WithMergeEvery requires WithWorkers(n > 1): tour merging fuses tours from at least two workers"))
+	}
+	return errs
 }
 
 // Solver is a configured, single-use solve: build it with New, optionally
@@ -297,11 +427,12 @@ func New(in *Instance, opts ...Option) (*Solver, error) {
 	if err != nil {
 		return nil, err
 	}
-	nodes := o.nodes
-	if nodes == 0 {
-		nodes = 1
+	// One recorder per node, or — for parallel plain CLK — per worker.
+	recs := o.nodes
+	if recs == 0 {
+		recs = o.workers
 	}
-	return &Solver{in: in, o: o, observer: obs.NewObserver(nodes, nil)}, nil
+	return &Solver{in: in, o: o, observer: obs.NewObserver(recs, nil)}, nil
 }
 
 // Progress returns a channel of periodic solve snapshots. Call Progress
@@ -318,11 +449,14 @@ func (s *Solver) Progress() <-chan Snapshot {
 
 // snapshot samples the observer.
 func (s *Solver) snapshot() Snapshot {
+	counters := s.observer.Counters()
 	var kicks, restarts, broadcasts int64
-	for _, c := range s.observer.Counters() {
+	workerKicks := make([]int64, len(counters))
+	for i, c := range counters {
 		kicks += c.Kicks
 		restarts += c.Restarts
 		broadcasts += c.BroadcastsSent
+		workerKicks[i] = c.Kicks
 	}
 	elapsed := s.observer.Elapsed()
 	nodes := s.observer.Nodes()
@@ -331,12 +465,14 @@ func (s *Solver) snapshot() Snapshot {
 		procs = nodes
 	}
 	return Snapshot{
-		Elapsed:    elapsed,
-		CPUPerNode: time.Duration(float64(elapsed) * float64(procs) / float64(nodes)),
-		BestLength: s.observer.BestLength(),
-		Kicks:      kicks,
-		Restarts:   restarts,
-		Broadcasts: broadcasts,
+		Elapsed:     elapsed,
+		CPUPerNode:  time.Duration(float64(elapsed) * float64(procs) / float64(nodes)),
+		BestLength:  s.observer.BestLength(),
+		Kicks:       kicks,
+		Restarts:    restarts,
+		Broadcasts:  broadcasts,
+		Workers:     s.o.workers,
+		WorkerKicks: workerKicks,
 	}
 }
 
@@ -415,13 +551,31 @@ func (s *Solver) Solve(ctx context.Context) (Result, error) {
 func (s *Solver) solveCLK(ctx context.Context) Result {
 	p := clk.DefaultParams()
 	p.Kick = s.o.kick
-	engine := clk.New(s.in, p, s.o.seed)
-	engine.Rec = s.observer.Recorder(0)
-	engine.Rec.SetBest(engine.BestLength())
-	res := engine.Run(ctx, clk.Budget{
+	b := clk.Budget{
 		MaxKicks: s.o.maxKicks,
 		Target:   s.o.target,
-	})
+	}
+	// One worker takes the classic single-goroutine path: byte-identical to
+	// every release since the facade existed for a given seed.
+	if s.o.workers == 1 {
+		engine := clk.New(s.in, p, s.o.seed)
+		engine.Rec = s.observer.Recorder(0)
+		engine.Rec.SetBest(engine.BestLength())
+		res := engine.Run(ctx, b)
+		return Result{
+			Tour:   res.Tour,
+			Length: res.Length,
+			Nodes:  1,
+		}
+	}
+	g := clk.NewGroup(ctx, s.in, p, clk.GroupParams{
+		Workers:    s.o.workers,
+		MergeEvery: s.o.mergeEvery,
+	}, s.o.seed)
+	for i := 0; i < g.Workers(); i++ {
+		g.SetRecorder(i, s.observer.Recorder(i))
+	}
+	res := g.Run(ctx, b)
 	return Result{
 		Tour:   res.Tour,
 		Length: res.Length,
@@ -434,6 +588,7 @@ func (s *Solver) solveCluster(ctx context.Context) Result {
 	ea.CV, ea.CR = s.o.cv, s.o.cr
 	ea.CLK.Kick = s.o.kick
 	ea.KicksPerCall = s.o.kpc
+	ea.Workers = s.o.workers
 	res := dist.RunCluster(ctx, s.in, dist.ClusterConfig{
 		Nodes:  s.o.nodes,
 		Topo:   s.o.topo,
@@ -451,7 +606,10 @@ func (s *Solver) solveCluster(ctx context.Context) Result {
 }
 
 // SolveCLK runs plain Chained Lin-Kernighan (the paper's ABCC-CLK
-// reference configuration) on one goroutine.
+// reference configuration). It is a frozen compatibility shim: exactly
+// New(in, opts...) followed by Solve with a background context, kept so
+// pre-Solver callers never break. It gains new options automatically but
+// will never grow parameters or behavior of its own.
 //
 // Deprecated: use New and (*Solver).Solve, which add cancellation and
 // progress reporting.
@@ -466,7 +624,9 @@ func SolveCLK(in *Instance, opts ...Option) (Result, error) {
 // SolveDistributed runs the paper's distributed algorithm with the given
 // number of cooperating in-process nodes (the paper uses 8) under a
 // per-node budget. For multi-machine deployments use cmd/hub and
-// cmd/distclk instead.
+// cmd/distclk instead. Like SolveCLK, it is a frozen compatibility shim:
+// exactly New(in, WithNodes(nodes), opts...) followed by Solve with a
+// background context, kept stable for pre-Solver callers.
 //
 // Deprecated: use New with WithNodes and (*Solver).Solve, which add
 // cancellation and progress reporting.

@@ -119,10 +119,11 @@ func TestAllOptionsApply(t *testing.T) {
 	in, _ := Generate("uniform", 40, 6)
 	res, err := SolveDistributed(in, 2,
 		WithKick("geometric"),
-		WithMaxKicks(100),
+		WithKicksPerCall(50),
 		WithSeed(9),
 		WithTopology("ring"),
 		WithEAParameters(32, 128),
+		WithWorkers(2),
 		WithBudget(500*time.Millisecond),
 	)
 	if err != nil {

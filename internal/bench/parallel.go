@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"time"
+
+	"distclk/internal/clk"
+	"distclk/internal/obs"
+)
+
+// parallelRow is one JSONL line of the in-node parallelism experiment.
+// Field order is fixed by the struct; wall-clock fields are honest and
+// therefore machine-dependent, so this experiment is not part of the
+// byte-stable reproduction tier.
+type parallelRow struct {
+	Experiment  string  `json:"experiment"`
+	Instance    string  `json:"instance"`
+	N           int     `json:"n"`
+	Workers     int     `json:"workers"`
+	Seed        int64   `json:"seed"`
+	Kicks       int64   `json:"kicks"`
+	Merges      int64   `json:"merges"`
+	Best        int64   `json:"best"`
+	WallMS      float64 `json:"wall_ms"`
+	KicksPerSec float64 `json:"kicks_per_sec"`
+}
+
+// Parallel runs the in-node parallel CLK group (DESIGN.md §9) at 1, 2, 4
+// and 8 workers over one shared candidate table, a fixed group kick budget
+// per worker count, and a merge cadence tight enough that elite fusion
+// fires at smoke scale. One JSONL row per worker count.
+//
+// When b.Trace is set, every per-worker kick and LK-improvement event and
+// every group-level merge/adopt event streams to it with the worker index
+// in the node field — the -trace JSONL shows the full shared-memory search,
+// not just the winner.
+func (b *Bench) Parallel(w io.Writer) error {
+	spec, err := b.Opt.SpecByName("E1k.1")
+	if err != nil {
+		return err
+	}
+	in := b.Instance(spec)
+	enc := json.NewEncoder(w)
+
+	const groupKicks = 600
+	for _, workers := range []int{1, 2, 4, 8} {
+		g := clk.NewGroup(context.Background(), in, clk.DefaultParams(),
+			clk.GroupParams{Workers: workers, MergeEvery: 100}, b.Opt.Seed)
+		o := obs.NewObserver(workers, b.Trace)
+		for i := 0; i < g.Workers(); i++ {
+			g.SetRecorder(i, o.Recorder(i))
+		}
+		start := time.Now()
+		res := g.Run(context.Background(), clk.Budget{MaxKicks: groupKicks})
+		wall := time.Since(start)
+		row := parallelRow{
+			Experiment: "parallel-workers",
+			Instance:   spec.Paper,
+			N:          in.N(),
+			Workers:    workers,
+			Seed:       b.Opt.Seed,
+			Kicks:      res.Kicks,
+			Merges:     g.Merges(),
+			Best:       res.Length,
+			WallMS:     float64(wall) / float64(time.Millisecond),
+		}
+		if wall > 0 {
+			row.KicksPerSec = float64(res.Kicks) / wall.Seconds()
+		}
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

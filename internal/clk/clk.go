@@ -143,6 +143,13 @@ func (p Params) normalize() Params {
 // New builds a solver. It constructs candidate lists (unless provided), the
 // initial tour, and runs a full LK pass so Best starts at a local optimum.
 func New(inst *tsp.Instance, p Params, seed int64) *Solver {
+	return newSolver(inst, p, seed, nil)
+}
+
+// newSolver is New with an abort hook threaded into the construction LK
+// pass, so a cancelled Group stops building promptly. An aborted pass
+// still leaves a valid (just less optimized) initial incumbent.
+func newSolver(inst *tsp.Instance, p Params, seed int64, stop func() bool) *Solver {
 	p = p.normalize()
 	nbr := p.Neighbors
 	if nbr == nil {
@@ -173,7 +180,7 @@ func New(inst *tsp.Instance, p Params, seed int64) *Solver {
 	}
 	initial := construct.Build(p.Construct, inst, nbr, rng)
 	s.opt = lk.NewOptimizer(inst, nbr, initial, p.LK)
-	s.opt.OptimizeAll(nil)
+	s.opt.OptimizeAll(stop)
 	s.best = lk.NewArrayTour(s.opt.Tour.Tour())
 	s.bestLen = s.opt.Length()
 	return s

@@ -1,0 +1,392 @@
+package clk
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distclk/internal/lk"
+	"distclk/internal/neighbor"
+	"distclk/internal/obs"
+	"distclk/internal/tsp"
+)
+
+// workerSeedSalt decorrelates worker RNG streams. Worker 0's seed is the
+// group seed itself, which is what makes a one-worker Group byte-identical
+// to a plain Solver Run with the same seed.
+const workerSeedSalt = 104_729
+
+// GroupParams configures a parallel CLK group. The zero value asks for
+// GOMAXPROCS workers with default merge cadence.
+type GroupParams struct {
+	// Workers is the number of concurrent kickers (<= 0 means GOMAXPROCS).
+	Workers int
+	// MergeEvery triggers an elite merge pass every MergeEvery group-total
+	// kicks. 0 picks a default proportional to instance size; negative
+	// disables merging. Merging is also skipped when Workers == 1 — fusing
+	// needs tours from at least two searchers, and skipping it keeps the
+	// one-worker group deterministic.
+	MergeEvery int64
+	// EliteK bounds the elite pool (default 5): the tours fused by a merge
+	// pass are the best EliteK distinct-length tours published so far.
+	EliteK int
+	// MergeLK tunes the restricted LK run over the elite union graph
+	// (default: the deep parameters tour merging uses, depth 60).
+	MergeLK lk.Params
+}
+
+// elite is an immutable published tour: once stored in the group's slot or
+// pool it is never mutated, so readers need no locks — the atomic pointer
+// publication establishes the happens-before edge.
+type elite struct {
+	tour   tsp.Tour
+	length int64
+	// gen is the slot generation: it increments on every publication, so a
+	// worker comparing gen against the last value it saw knows whether the
+	// global best moved since its last look.
+	gen uint64
+	// wid is the publishing worker, or -1 for the merge goroutine.
+	wid int
+}
+
+// elitePool keeps the best EliteK distinct-length published tours, ordered
+// ascending by length. Distinct lengths double as a cheap tour-diversity
+// filter: fusing byte-identical tours adds nothing to the union graph.
+type elitePool struct {
+	mu     sync.Mutex
+	limit  int
+	elites []*elite
+}
+
+func (p *elitePool) offer(e *elite) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	i := 0
+	for i < len(p.elites) && p.elites[i].length < e.length {
+		i++
+	}
+	if i < len(p.elites) && p.elites[i].length == e.length {
+		return
+	}
+	if i >= p.limit {
+		return
+	}
+	p.elites = append(p.elites, nil)
+	copy(p.elites[i+1:], p.elites[i:])
+	p.elites[i] = e
+	if len(p.elites) > p.limit {
+		p.elites = p.elites[:p.limit]
+	}
+}
+
+func (p *elitePool) snapshot() []*elite {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*elite, len(p.elites))
+	copy(out, p.elites)
+	return out
+}
+
+// worker is one concurrent kicker: a full Solver (own RNG, own LK scratch,
+// own incumbent) chained to the group through the shared best-tour slot.
+type worker struct {
+	id      int
+	g       *Group
+	s       *Solver
+	lastGen uint64
+}
+
+// Group runs Workers concurrent CLK searchers over one instance. They share
+// the read-only CSR candidate table; everything mutable is per-worker.
+// Improvements flow through a lock-free slot (atomic pointer + generation
+// counter); stale workers restart from the global best; a merge goroutine
+// periodically fuses the elite pool with union-graph restricted LK.
+//
+// A Group is single-use: build, optionally SetRecorder, Run once.
+type Group struct {
+	inst    *tsp.Instance
+	gp      GroupParams
+	workers []*worker
+
+	slot     atomic.Pointer[elite]
+	kicks    atomic.Int64
+	improves atomic.Int64
+	merges   atomic.Int64
+	mergeReq chan struct{}
+	pool     elitePool
+}
+
+// NewGroup builds the workers concurrently (construction cost is one full
+// LK pass per worker, aborted early if ctx is cancelled — the workers then
+// start from less-optimized tours, which only matters if Run is still
+// called). Candidate lists are built once and shared; pass p.Neighbors to
+// share them wider still (e.g. across benchmark configs).
+func NewGroup(ctx context.Context, inst *tsp.Instance, p Params, gp GroupParams, seed int64) *Group {
+	stop := cancelPoll(ctx)
+	p = p.normalize()
+	if p.Neighbors == nil {
+		p.Neighbors = neighbor.Build(inst, p.NeighborK)
+	}
+	if gp.Workers <= 0 {
+		gp.Workers = runtime.GOMAXPROCS(0)
+	}
+	if gp.EliteK <= 0 {
+		gp.EliteK = 5
+	}
+	if gp.MergeEvery == 0 {
+		// Default cadence: merge work stays a small fraction of kick work.
+		gp.MergeEvery = int64(8 * inst.N())
+	}
+	if gp.MergeEvery < 0 {
+		gp.MergeEvery = 0 // disabled
+	}
+	if gp.MergeLK.MaxDepth == 0 {
+		gp.MergeLK = lk.Params{MaxDepth: 60, Breadth: []int{10, 6, 4, 2}}
+	}
+	g := &Group{
+		inst:     inst,
+		gp:       gp,
+		workers:  make([]*worker, gp.Workers),
+		mergeReq: make(chan struct{}, 1),
+		pool:     elitePool{limit: gp.EliteK},
+	}
+	var wg sync.WaitGroup
+	for i := range g.workers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g.workers[i] = &worker{
+				id: i,
+				g:  g,
+				s:  newSolver(inst, p, seed+int64(i)*workerSeedSalt, stop),
+			}
+		}(i)
+	}
+	wg.Wait()
+	return g
+}
+
+// Workers returns the resolved worker count.
+func (g *Group) Workers() int { return len(g.workers) }
+
+// SetRecorder attaches a recorder to worker i and publishes its initial
+// incumbent length, mirroring what the facade does for a plain Solver.
+func (g *Group) SetRecorder(i int, rec *obs.Recorder) {
+	g.workers[i].s.Rec = rec
+	rec.SetBest(g.workers[i].s.BestLength())
+}
+
+// Merges returns how many elite merge passes completed.
+func (g *Group) Merges() int64 { return g.merges.Load() }
+
+// Kicks returns the group-total kick count.
+func (g *Group) Kicks() int64 { return g.kicks.Load() }
+
+// BestLength returns the published global best length (the slot's), or the
+// best initial incumbent before Run seeds the slot.
+func (g *Group) BestLength() int64 {
+	if cur := g.slot.Load(); cur != nil {
+		return cur.length
+	}
+	return g.bestWorker().s.BestLength()
+}
+
+func (g *Group) bestWorker() *worker {
+	best := g.workers[0]
+	for _, w := range g.workers[1:] {
+		if w.s.bestLen < best.s.bestLen {
+			best = w
+		}
+	}
+	return best
+}
+
+// Run chains kicks on all workers until the budget expires or ctx is done.
+// The budget is group-scoped: MaxKicks counts kicks across all workers
+// (each worker checks before kicking, so the total overshoots by at most
+// Workers-1), and Target stops everyone once the shared best reaches it.
+//
+// With one worker the result is byte-identical to Solver.Run under the
+// same seed; with more, kick interleaving makes results schedule-dependent
+// (see DESIGN.md §9).
+func (g *Group) Run(ctx context.Context, b Budget) Result {
+	//lint:ignore nodeterminism Elapsed is reporting-only; it never feeds back into the seeded search
+	start := time.Now()
+	// Seed the shared slot with the best initial incumbent. Worker lastGen
+	// starts at 0, so everyone observes generation 1 on their first step and
+	// the losers of the construction race restart from the winner's tour.
+	bw := g.bestWorker()
+	t0, l0 := bw.s.Best()
+	first := &elite{tour: t0, length: l0, gen: 1, wid: bw.id}
+	g.slot.Store(first)
+	g.pool.offer(first)
+
+	mctx, mcancel := context.WithCancel(ctx)
+	defer mcancel()
+	var mwg sync.WaitGroup
+	if len(g.workers) > 1 && g.gp.MergeEvery > 0 {
+		mwg.Add(1)
+		go func() {
+			defer mwg.Done()
+			g.mergeLoop(mctx)
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for _, w := range g.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.run(ctx, b)
+		}(w)
+	}
+	wg.Wait()
+	mcancel()
+	mwg.Wait()
+
+	// Prefer the best worker incumbent: ties accepted after the last strict
+	// improvement live there, not in the slot, and for one worker that is
+	// exactly what Solver.Run would return. A merged tour can still win.
+	bw = g.bestWorker()
+	tour, length := bw.s.Best()
+	if cur := g.slot.Load(); cur != nil && cur.length < length {
+		tour, length = cur.tour.Clone(), cur.length
+	}
+	return Result{
+		Tour:     tour,
+		Length:   length,
+		Kicks:    g.kicks.Load(),
+		Improves: g.improves.Load(),
+		//lint:ignore nodeterminism Elapsed is reporting-only; it never feeds back into the seeded search
+		Elapsed: time.Since(start),
+	}
+}
+
+// run is one worker's loop: observe the slot, kick, repeat.
+func (w *worker) run(ctx context.Context, b Budget) {
+	stop := cancelPoll(ctx)
+	g := w.g
+	for {
+		cur := g.slot.Load()
+		if b.expired(ctx, g.kicks.Load(), cur.length) {
+			return
+		}
+		w.step(cur, stop)
+	}
+}
+
+// step is the steady-state worker iteration: adopt the global best if it
+// moved and beats our incumbent, kick once, publish on improvement, and
+// request a merge on cadence. Everything on the happy path is allocation-
+// free; publication and adoption (rare) pay for their copies off-path.
+//
+//distlint:hotpath
+func (w *worker) step(cur *elite, stop func() bool) {
+	if cur.gen != w.lastGen {
+		w.lastGen = cur.gen
+		if cur.length < w.s.bestLen {
+			w.adopt(cur)
+		}
+	}
+	if w.s.kickOnce(stop) {
+		w.g.improves.Add(1)
+		w.s.Rec.LKImprove(w.s.bestLen)
+		w.publishBest()
+	}
+	k := w.g.kicks.Add(1)
+	if w.g.gp.MergeEvery > 0 && k%w.g.gp.MergeEvery == 0 {
+		w.g.requestMerge()
+	}
+}
+
+// adopt restarts this worker's chain from the published global best.
+func (w *worker) adopt(cur *elite) {
+	w.s.SetTour(cur.tour)
+	w.s.Rec.Adopted(cur.length, cur.wid)
+}
+
+// publishBest offers this worker's incumbent to the shared slot if it is a
+// strict global improvement. The cheap length check runs before the O(n)
+// tour copy so losing the race costs nothing.
+func (w *worker) publishBest() {
+	length := w.s.bestLen
+	if cur := w.g.slot.Load(); cur != nil && length >= cur.length {
+		return
+	}
+	tour, _ := w.s.Best()
+	if e := w.g.publish(tour, length, w.id); e != nil {
+		w.lastGen = e.gen
+	}
+}
+
+// publish CASes a new elite into the slot iff it strictly improves on the
+// current one, and offers it to the elite pool. Returns nil if a better
+// tour won the race.
+func (g *Group) publish(tour tsp.Tour, length int64, wid int) *elite {
+	for {
+		cur := g.slot.Load()
+		if cur != nil && length >= cur.length {
+			return nil
+		}
+		var gen uint64 = 1
+		if cur != nil {
+			gen = cur.gen + 1
+		}
+		e := &elite{tour: tour, length: length, gen: gen, wid: wid}
+		if g.slot.CompareAndSwap(cur, e) {
+			g.pool.offer(e)
+			return e
+		}
+	}
+}
+
+// requestMerge nudges the merge goroutine; a pass already pending or
+// running absorbs the request.
+func (g *Group) requestMerge() {
+	select {
+	case g.mergeReq <- struct{}{}:
+	default:
+	}
+}
+
+// mergeLoop serves merge requests until ctx is cancelled (Run cancels it
+// once all workers stop).
+func (g *Group) mergeLoop(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-g.mergeReq:
+			g.mergeOnce(ctx)
+		}
+	}
+}
+
+// mergeOnce fuses the elite pool: restricted LK over the union graph of
+// the elite tours, started from the global best. A strictly better fused
+// tour is published like any worker improvement (wid -1). Events land on
+// worker 0's recorder.
+func (g *Group) mergeOnce(ctx context.Context) {
+	elites := g.pool.snapshot()
+	if len(elites) < 2 {
+		return
+	}
+	cur := g.slot.Load()
+	tours := make([]tsp.Tour, len(elites))
+	for i, e := range elites {
+		tours[i] = e.tour
+	}
+	adj := neighbor.UnionOfTours(g.inst.N(), tours)
+	cand := neighbor.FromEdges(g.inst, adj)
+	opt := lk.NewOptimizer(g.inst, cand, cur.tour, g.gp.MergeLK)
+	opt.OptimizeAll(cancelPoll(ctx))
+	length := opt.Length()
+	g.merges.Add(1)
+	g.workers[0].s.Rec.Merged(length)
+	if length >= cur.length {
+		return
+	}
+	g.publish(opt.Tour.Tour(), length, -1)
+}

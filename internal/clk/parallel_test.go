@@ -1,0 +1,146 @@
+package clk
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"distclk/internal/tsp"
+)
+
+// TestGroupOneWorkerMatchesSolverRun pins the determinism contract at the
+// engine level: a one-worker Group must reproduce Solver.Run byte for byte
+// under the same seed — same kick count, same length, same tour order.
+func TestGroupOneWorkerMatchesSolverRun(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 300, 11)
+	b := Budget{MaxKicks: 200}
+
+	ref := New(in, DefaultParams(), 17)
+	want := ref.Run(context.Background(), b)
+
+	g := NewGroup(context.Background(), in, DefaultParams(), GroupParams{Workers: 1}, 17)
+	got := g.Run(context.Background(), b)
+
+	if got.Length != want.Length {
+		t.Fatalf("one-worker group length %d != solver length %d", got.Length, want.Length)
+	}
+	if got.Kicks != want.Kicks {
+		t.Fatalf("one-worker group kicks %d != solver kicks %d", got.Kicks, want.Kicks)
+	}
+	if len(got.Tour) != len(want.Tour) {
+		t.Fatalf("tour lengths differ: %d vs %d", len(got.Tour), len(want.Tour))
+	}
+	for i := range got.Tour {
+		if got.Tour[i] != want.Tour[i] {
+			t.Fatalf("tours diverge at position %d: %d vs %d", i, got.Tour[i], want.Tour[i])
+		}
+	}
+}
+
+// TestGroupRunMultiWorker checks the cooperative path end to end: all
+// workers kick, the group total respects the budget (overshoot bounded by
+// the worker count), and the returned tour is valid and no worse than the
+// published best.
+func TestGroupRunMultiWorker(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyClustered, 400, 7)
+	g := NewGroup(context.Background(), in, DefaultParams(), GroupParams{Workers: 4, MergeEvery: 100}, 3)
+	res := g.Run(context.Background(), Budget{MaxKicks: 600})
+	if err := res.Tour.Validate(400); err != nil {
+		t.Fatal(err)
+	}
+	if res.Kicks < 600 || res.Kicks >= 600+4 {
+		t.Fatalf("group kicks = %d, want [600, 604)", res.Kicks)
+	}
+	if res.Length != res.Tour.Length(in) {
+		t.Fatalf("reported length %d != recomputed %d", res.Length, res.Tour.Length(in))
+	}
+	if best := g.BestLength(); res.Length > best {
+		t.Fatalf("result length %d worse than published best %d", res.Length, best)
+	}
+}
+
+// TestGroupCancellation checks that cancelling the context stops all
+// workers and the merge goroutine promptly.
+func TestGroupCancellation(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 1000, 5)
+	g := NewGroup(context.Background(), in, DefaultParams(), GroupParams{Workers: 4, MergeEvery: 50}, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan Result, 1)
+	go func() { done <- g.Run(ctx, Budget{}) }()
+	select {
+	case res := <-done:
+		if err := res.Tour.Validate(1000); err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Group.Run did not return after cancellation")
+	}
+}
+
+// TestWorkerStepZeroAlloc pins the per-worker steady-state allocation
+// contract: with the shared slot unchanged (gen matches) and unbeatable
+// (length 1 blocks publication), a worker step must not allocate.
+func TestWorkerStepZeroAlloc(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 400, 3)
+	g := NewGroup(context.Background(), in, DefaultParams(), GroupParams{Workers: 2}, 5)
+	for _, w := range g.workers {
+		w := w
+		// An unbeatable published tour: adopt never fires (gen matches) and
+		// publishBest bails before the tour copy (length >= 1 always).
+		g.slot.Store(&elite{length: 1, gen: 42})
+		w.lastGen = 42
+		cur := g.slot.Load()
+		for i := 0; i < 30; i++ {
+			w.step(cur, nil) // reach steady state
+		}
+		if allocs := testing.AllocsPerRun(200, func() { w.step(cur, nil) }); allocs != 0 {
+			t.Errorf("worker %d step allocates %.1f objects per kick in steady state, want 0", w.id, allocs)
+		}
+	}
+}
+
+// TestGroupMergeFusesElites drives a merge pass directly: after a short
+// cooperative run has populated the elite pool, mergeOnce must complete,
+// count itself, and leave the published best no worse than before.
+func TestGroupMergeFusesElites(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyClustered, 500, 13)
+	g := NewGroup(context.Background(), in, DefaultParams(), GroupParams{Workers: 3, MergeEvery: -1}, 21)
+	g.Run(context.Background(), Budget{MaxKicks: 900})
+	if len(g.pool.snapshot()) < 2 {
+		t.Skip("run published fewer than 2 distinct elites; nothing to fuse")
+	}
+	before := g.slot.Load().length
+	g.mergeOnce(context.Background())
+	if g.Merges() != 1 {
+		t.Fatalf("merges = %d, want 1", g.Merges())
+	}
+	after := g.slot.Load().length
+	if after > before {
+		t.Fatalf("merge worsened the published best: %d -> %d", before, after)
+	}
+	if cur := g.slot.Load(); cur.length < before && cur.wid != -1 {
+		t.Fatalf("improving merge published wid %d, want -1", cur.wid)
+	}
+}
+
+// TestElitePool checks ordering, distinct-length dedup, and the size cap.
+func TestElitePool(t *testing.T) {
+	p := elitePool{limit: 3}
+	for _, l := range []int64{50, 30, 40, 30, 60, 20} {
+		p.offer(&elite{length: l})
+	}
+	got := p.snapshot()
+	want := []int64{20, 30, 40}
+	if len(got) != len(want) {
+		t.Fatalf("pool kept %d elites, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.length != want[i] {
+			t.Fatalf("pool[%d] = %d, want %d", i, e.length, want[i])
+		}
+	}
+}

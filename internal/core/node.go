@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"sync"
 	"time"
 
 	"distclk/internal/clk"
@@ -31,6 +32,15 @@ type Config struct {
 	// DisablePerturbation turns PERTURBATE into the identity, for the
 	// paper's "running without DBMs" ablation (§4.2).
 	DisablePerturbation bool
+	// Workers is the number of concurrent in-node CLK searchers backing
+	// each EA iteration (<= 1 = the classic single kicker). Extra workers
+	// chain kicks from their own incumbents while the primary runs the
+	// perturbed chain; the best result wins the iteration. Each worker
+	// charges virtual CPU in stepping drivers (see Node.CostFactor), so
+	// simnet budgets stay comparable; with Workers > 1 the iteration
+	// *content* becomes schedule-dependent, so simnet replay determinism
+	// holds only for Workers <= 1.
+	Workers int
 }
 
 // DefaultConfig returns the paper's parameter setting.
@@ -92,6 +102,10 @@ type Stats struct {
 	Elapsed    time.Duration
 }
 
+// extraSeedSalt decorrelates in-node worker seeds from the per-node seeds
+// (Seed + i*1e9+7 in dist.RunCluster) and from clk.Group's worker salt.
+const extraSeedSalt = 15_485_863
+
 // Node is one EA participant: a CLK solver plus the Figure 1 control loop.
 type Node struct {
 	ID     int
@@ -99,6 +113,11 @@ type Node struct {
 	solver *clk.Solver
 	comm   Comm
 	rec    *obs.Recorder
+
+	// extras are the additional in-node workers (Config.Workers - 1 of
+	// them); extraRes is their preallocated per-iteration result buffer.
+	extras   []*clk.Solver
+	extraRes []clk.Result
 
 	sBest    tsp.Tour
 	sBestLen int64
@@ -136,15 +155,37 @@ func NewNode(id int, inst *tsp.Instance, cfg Config, comm Comm, seed int64) *Nod
 		solver: solver,
 		comm:   comm,
 	}
+	if cfg.Workers > 1 {
+		// Extra workers share the primary's candidate table; only their RNG
+		// streams and incumbents differ.
+		p := cfg.CLK
+		p.Neighbors = solver.Nbr
+		n.extras = make([]*clk.Solver, cfg.Workers-1)
+		n.extraRes = make([]clk.Result, cfg.Workers-1)
+		for j := range n.extras {
+			n.extras[j] = clk.New(inst, p, seed+int64(j+1)*extraSeedSalt)
+		}
+	}
 	n.stats.NodeID = id
 	return n
 }
+
+// CostFactor is the virtual CPU multiplier a stepping driver charges per
+// EA iteration: one per in-node worker. simnet multiplies StepCost by it
+// so a 4-worker node consumes virtual time 4x faster — budgets measured
+// in virtual seconds stay comparable across worker counts.
+func (n *Node) CostFactor() int { return 1 + len(n.extras) }
 
 // SetRecorder attaches the node's observability recorder (nil is fine) and
 // threads it into the embedded CLK solver. Call before Run.
 func (n *Node) SetRecorder(rec *obs.Recorder) {
 	n.rec = rec
 	n.solver.Rec = rec
+	// Extra workers share the node's recorder: counters are atomic and
+	// sinks serialize, so concurrent kick events from them are safe.
+	for _, ex := range n.extras {
+		ex.Rec = rec
+	}
 }
 
 // Recorder returns the attached recorder (possibly nil).
@@ -309,6 +350,9 @@ func (n *Node) Finish() Stats {
 	}
 	n.stats.BestLength = n.sBestLen
 	n.stats.Kicks = n.solver.Kicks()
+	for _, ex := range n.extras {
+		n.stats.Kicks += ex.Kicks()
+	}
 	//lint:ignore nodeterminism Stats.Elapsed is reporting-only; simnet replays run on the virtual clock and never read it
 	n.stats.Elapsed = time.Since(n.start)
 	return n.stats
@@ -327,6 +371,11 @@ func (n *Node) CrashRecover() {
 	n.solver.Reconstruct(n.cfg.RestartConstruct)
 	n.sBest, n.sBestLen = n.solver.Best()
 	n.sPrevLen = n.sBestLen
+	// The crash lost every worker's volatile state: extras restart from the
+	// reconstructed tour too.
+	for _, ex := range n.extras {
+		ex.SetTour(n.sBest)
+	}
 }
 
 func (n *Node) broadcast(t tsp.Tour, length int64) {
@@ -363,10 +412,39 @@ func (n *Node) setPerturbLevel(level int) {
 }
 
 // runCLK runs the embedded CLK under the per-iteration kick budget, clipped
-// by the global context/target.
+// by the global context/target. With Workers > 1, the extra workers chain
+// kicks concurrently from their own incumbents (re-rooted at the node best
+// when strictly behind it) while the primary runs the perturbed chain; the
+// shortest result wins and kick counts aggregate.
 func (n *Node) runCLK(ctx context.Context, b Budget) clk.Result {
-	return n.solver.RunPerturbed(ctx, clk.Budget{
+	kb := clk.Budget{
 		MaxKicks: n.cfg.KicksPerCall,
 		Target:   b.Target,
-	})
+	}
+	if len(n.extras) == 0 {
+		return n.solver.RunPerturbed(ctx, kb)
+	}
+	for _, ex := range n.extras {
+		if n.sBest != nil && ex.BestLength() > n.sBestLen {
+			ex.SetTour(n.sBest)
+		}
+	}
+	var wg sync.WaitGroup
+	for j := range n.extras {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			n.extraRes[j] = n.extras[j].Run(ctx, kb)
+		}(j)
+	}
+	res := n.solver.RunPerturbed(ctx, kb)
+	wg.Wait()
+	for _, r := range n.extraRes {
+		res.Kicks += r.Kicks
+		res.Improves += r.Improves
+		if r.Length < res.Length {
+			res.Tour, res.Length = r.Tour, r.Length
+		}
+	}
+	return res
 }

@@ -53,25 +53,10 @@ type Result struct {
 }
 
 // UnionGraph builds per-city adjacency over the union of the tours' edges.
+// It delegates to neighbor.UnionOfTours, which also feeds the in-node
+// elite fusion of clk.Group; adjacency lists come back sorted ascending.
 func UnionGraph(n int, tours []tsp.Tour) [][]int32 {
-	sets := make([]map[int32]bool, n)
-	for i := range sets {
-		sets[i] = map[int32]bool{}
-	}
-	for _, t := range tours {
-		for i, c := range t {
-			next := t[(i+1)%len(t)]
-			sets[c][next] = true
-			sets[next][c] = true
-		}
-	}
-	adj := make([][]int32, n)
-	for i := range adj {
-		for j := range sets[i] {
-			adj[i] = append(adj[i], j)
-		}
-	}
-	return adj
+	return neighbor.UnionOfTours(n, tours)
 }
 
 // CountEdges tallies distinct undirected edges in an adjacency structure.

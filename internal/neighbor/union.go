@@ -1,0 +1,39 @@
+package neighbor
+
+import (
+	"sort"
+
+	"distclk/internal/tsp"
+)
+
+// UnionOfTours builds per-city adjacency over the union of the tours'
+// edges — the restricted search graph for tour merging (Cook & Seymour's
+// union-graph LK, used by internal/merge and the in-node elite fusion of
+// internal/clk). Each adjacency list is sorted ascending and deduplicated,
+// so the result is deterministic for a given tour list (no map iteration).
+func UnionOfTours(n int, tours []tsp.Tour) [][]int32 {
+	adj := make([][]int32, n)
+	for i := range adj {
+		adj[i] = make([]int32, 0, 2*len(tours))
+	}
+	for _, t := range tours {
+		for i, c := range t {
+			next := t[(i+1)%len(t)]
+			adj[c] = append(adj[c], next)
+			adj[next] = append(adj[next], c)
+		}
+	}
+	for c := range adj {
+		s := adj[c]
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		k := 0
+		for i, v := range s {
+			if i == 0 || v != s[k-1] {
+				s[k] = v
+				k++
+			}
+		}
+		adj[c] = s[:k]
+	}
+	return adj
+}

@@ -69,6 +69,15 @@ const (
 	// KindNodeRestart: a crashed node came back. Node = restarted node,
 	// Value = 1 when it restarted with freshly reconstructed search state.
 	KindNodeRestart
+	// KindMerge: an in-node elite merge pass finished — the union-graph
+	// restricted LK fused the elite pool. Node = the worker group's recorder
+	// (worker 0), Value = resulting tour length (recorded whether or not it
+	// improved the shared best).
+	KindMerge
+	// KindAdopt: a stale worker restarted from the shared best tour
+	// published by another worker (or the merger). Node = adopting worker,
+	// From = publishing worker (-1 = the merger), Value = adopted length.
+	KindAdopt
 
 	numKinds
 )
@@ -93,6 +102,8 @@ var kindNames = [numKinds]string{
 	"partition-heal",
 	"node-crash",
 	"node-restart",
+	"merge",
+	"adopt",
 }
 
 // String names the kind; these names are the JSONL trace vocabulary.

@@ -22,6 +22,8 @@ type Counters struct {
 	BroadcastsReceived atomic.Int64 // tours drained from the inbox
 	BroadcastsAccepted atomic.Int64 // received tours adopted as node best
 	MsgDrops           atomic.Int64 // tours lost in transit to this node
+	Merges             atomic.Int64 // in-node elite merge passes completed
+	Adoptions          atomic.Int64 // shared-best adoptions by stale workers
 }
 
 // CounterSnapshot is a point-in-time copy of one node's counters, safe to
@@ -38,6 +40,8 @@ type CounterSnapshot struct {
 	BroadcastsReceived int64 `json:"broadcasts_received"`
 	BroadcastsAccepted int64 `json:"broadcasts_accepted"`
 	MsgDrops           int64 `json:"msg_drops"`
+	Merges             int64 `json:"merges,omitempty"`
+	Adoptions          int64 `json:"adoptions,omitempty"`
 }
 
 // Recorder is one node's handle into the observability layer: it stamps
@@ -200,6 +204,26 @@ func (r *Recorder) MsgDuplicated(length int64, from int) {
 	r.emit(KindMsgDuplicated, length, from)
 }
 
+// Merged records a completed in-node elite merge pass; length is the
+// fused tour's length (recorded whether or not it beat the shared best).
+func (r *Recorder) Merged(length int64) {
+	if r == nil {
+		return
+	}
+	r.c.Merges.Add(1)
+	r.emit(KindMerge, length, -1)
+}
+
+// Adopted records this worker restarting from the shared best tour.
+// from is the publishing worker id (-1 = the merge goroutine).
+func (r *Recorder) Adopted(length int64, from int) {
+	if r == nil {
+		return
+	}
+	r.c.Adoptions.Add(1)
+	r.emit(KindAdopt, length, from)
+}
+
 // Optimum records that the node reached the target length.
 func (r *Recorder) Optimum(length int64) {
 	if r == nil {
@@ -260,6 +284,8 @@ func (r *Recorder) Snapshot() CounterSnapshot {
 		BroadcastsReceived: r.c.BroadcastsReceived.Load(),
 		BroadcastsAccepted: r.c.BroadcastsAccepted.Load(),
 		MsgDrops:           r.c.MsgDrops.Load(),
+		Merges:             r.c.Merges.Load(),
+		Adoptions:          r.c.Adoptions.Load(),
 	}
 }
 
