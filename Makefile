@@ -3,10 +3,11 @@ GO ?= go
 # bench: which benchmarks feed the perf snapshot, and where it lands.
 # Covers the LK hot-path trio (raw Flip cost, the zero-alloc
 # Optimize-after-kick acceptance benchmark, full CLK kick throughput on the
-# synthetic E1k/C3k testbed instances) plus the in-node parallel group at
-# 1/2/4/8 workers.
-BENCH_PATTERN ?= ^(BenchmarkFlip|BenchmarkOptimizeAfterKick|BenchmarkCLKKicksPerSec|BenchmarkParallelCLK)$$
-BENCH_OUT     ?= BENCH_PR6.json
+# synthetic E1k/C3k testbed instances), the in-node parallel group at
+# 1/2/4/8 workers, and the candidate-strategy x gain-rule cross-product
+# (kNN/quadrant/alpha/Delaunay x strict/relaxed on three families).
+BENCH_PATTERN ?= ^(BenchmarkFlip|BenchmarkOptimizeAfterKick|BenchmarkCLKKicksPerSec|BenchmarkParallelCLK|BenchmarkCandidateStrategies)$$
+BENCH_OUT     ?= BENCH_PR7.json
 BENCH_TIME    ?= 1s
 
 .PHONY: check build vet fmt lint distlint test race bench repro repro-smoke doc-links

@@ -212,6 +212,66 @@ func BenchmarkParallelCLK(b *testing.B) {
 	}
 }
 
+// BenchmarkCandidateStrategies tracks the candidate-strategy x gain-rule
+// cross-product on three testbed families: steady-state kick throughput
+// ("kicks/sec"), the deterministic warm-up incumbent ("tourlen", the guard
+// that a faster configuration did not silently trade away quality), and
+// the one-off candidate construction cost ("build_ms", measured once per
+// strategy outside the timed loop). The knn/strict rows reproduce the
+// BenchmarkCLKKicksPerSec configuration, anchoring comparisons across
+// BENCH_*.json snapshots.
+func BenchmarkCandidateStrategies(b *testing.B) {
+	families := []struct {
+		name   string
+		family tsp.Family
+		n      int
+	}{
+		{"E1k", tsp.FamilyUniform, 1000},
+		{"C1k", tsp.FamilyClustered, 1000},
+		{"D1k", tsp.FamilyDrill, 1000},
+		{"E5k", tsp.FamilyUniform, 5000},
+	}
+	gains := []struct {
+		name  string
+		relax int
+	}{
+		{"strict", 0},
+		{"relaxed", 3},
+	}
+	for _, fc := range families {
+		in := tsp.Generate(fc.family, fc.n, 42)
+		for _, strat := range neighbor.Strategies() {
+			buildStart := time.Now()
+			nbr, err := strat.Build(in, 10)
+			buildMS := float64(time.Since(buildStart).Microseconds()) / 1000
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, gain := range gains {
+				b.Run(fc.name+"/"+strat.Name+"/"+gain.name, func(b *testing.B) {
+					p := clk.DefaultParams()
+					p.Neighbors = nbr
+					p.LK.RelaxDepth = gain.relax
+					s := clk.New(in, p, 1)
+					for i := 0; i < 50; i++ {
+						s.KickOnce()
+					}
+					lenAtFixed := s.BestLength() // deterministic: seed 1, 50 kicks
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						s.KickOnce()
+					}
+					b.StopTimer()
+					b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "kicks/sec")
+					b.ReportMetric(float64(lenAtFixed), "tourlen")
+					b.ReportMetric(buildMS, "build_ms")
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkFlip measures ArrayTour segment reversal.
 func BenchmarkFlip(b *testing.B) {
 	tour := lk.NewArrayTour(tsp.IdentityTour(10000))

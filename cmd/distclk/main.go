@@ -38,6 +38,7 @@ import (
 	"distclk/internal/clk"
 	"distclk/internal/core"
 	"distclk/internal/dist"
+	"distclk/internal/neighbor"
 	"distclk/internal/obs"
 	"distclk/internal/simnet"
 	"distclk/internal/topology"
@@ -54,6 +55,8 @@ func main() {
 		nodes   = flag.Int("nodes", 8, "cluster size (in-process mode)")
 		topoStr = flag.String("topology", "hypercube", "overlay: hypercube|ring|grid|complete")
 		kick    = flag.String("kick", "random-walk", "kicking strategy")
+		cand    = flag.String("candidates", "", "candidate-set strategy: auto|knn|quadrant|alpha|delaunay (empty = engine default knn)")
+		relax   = flag.Int("relax", 0, "relaxed-gain depth: LK chain depths below it may carry a bounded non-positive partial gain (0 = classic rule)")
 		budget  = flag.Duration("time", 10*time.Second, "per-node time limit")
 		target  = flag.Int64("target", 0, "stop at this tour length (0 = none)")
 		cv      = flag.Int("cv", 64, "perturbation strength divisor c_v (scale down for short runs)")
@@ -86,9 +89,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "distclk:", err)
 		os.Exit(1)
 	}
+	// Reject unknown strategy names here: the engine's constructor has no
+	// error path and would silently fall back to knn.
+	if *cand != "" && *cand != "auto" {
+		if _, err := neighbor.ByName(*cand); err != nil {
+			fmt.Fprintln(os.Stderr, "distclk:", err)
+			os.Exit(1)
+		}
+	}
 	ea := core.DefaultConfig()
 	ea.CV, ea.CR = *cv, *cr
 	ea.CLK.Kick = strategy
+	ea.CLK.Candidates = *cand
+	ea.CLK.LK.RelaxDepth = *relax
 	ea.KicksPerCall = *kpc
 
 	// Ctrl-C / SIGTERM cancels the context; the solve unwinds and reports

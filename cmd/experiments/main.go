@@ -41,6 +41,8 @@ func main() {
 		trace  = flag.String("trace", "", "write every solver event as JSONL to this file")
 		simnet = flag.Bool("simnet", false, "run the simulated-cluster speed-up experiment (JSONL to stdout) and exit")
 		par    = flag.Bool("parallel", false, "run the in-node worker-scaling experiment (JSONL to stdout) and exit")
+		cand   = flag.String("candidates", "", "candidate-set strategy: auto|knn|quadrant|alpha|delaunay (empty = engine default knn)")
+		relax  = flag.Int("relax", 0, "relaxed-gain depth for the LK search (0 = classic rule)")
 	)
 	flag.Parse()
 
@@ -71,6 +73,8 @@ func main() {
 	}
 	opt.Seed = *seed
 	opt.OutDir = *csvDir
+	opt.Candidates = *cand
+	opt.RelaxDepth = *relax
 
 	h := bench.New(opt)
 	if *trace != "" {

@@ -1,10 +1,11 @@
 // Command tspstat inspects instances and tours: it reports instance
-// statistics, computes Held-Karp lower bounds, and validates/evaluates
-// tour files.
+// statistics (the exact features the candidate-strategy auto-selector
+// reads, plus its predicted choice), computes Held-Karp lower bounds, and
+// validates/evaluates tour files.
 //
 // Usage:
 //
-//	tspstat -tsp inst.tsp                  # instance summary
+//	tspstat -tsp inst.tsp                  # instance summary + auto-selector preview
 //	tspstat -tsp inst.tsp -hk -hkiters 100 # with Held-Karp bound
 //	tspstat -tsp inst.tsp -tour out.tour   # tour length + gap
 package main
@@ -50,6 +51,19 @@ func main() {
 	if in.Comment != "" {
 		fmt.Printf("comment: %s\n", in.Comment)
 	}
+
+	// The probe below IS the auto-selector's input — one shared
+	// implementation (tsp.Describe feeding neighbor.Auto), so this preview
+	// always matches what WithCandidates("auto") will do.
+	st := tsp.Describe(in)
+	fmt.Printf("explicit: %v\n", st.Explicit)
+	if !st.Explicit {
+		fmt.Printf("cluster cv: %.2f (occupancy grid stddev/mean; ~1 uniform, >>1 clustered)\n", st.ClusterCV)
+		fmt.Printf("axis degeneracy: %.2f (coordinate sharing; ~0 continuous, ~1 exact lattice)\n", st.AxisDegeneracy)
+	}
+	choice := neighbor.Auto(st)
+	fmt.Printf("auto candidates: %s (relax depth %d)\n", choice.Strategy, choice.RelaxDepth)
+	fmt.Printf("auto reason: %s\n", choice.Reason)
 
 	// Quick construction lengths as reference points.
 	nbr := neighbor.Build(in, 8)

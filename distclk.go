@@ -22,7 +22,8 @@
 // once and reports every conflict in a single error.
 //
 // Mode-independent: WithKick, WithBudget, WithTarget, WithSeed,
-// WithProgressInterval, WithWorkers (explicit n >= 1).
+// WithProgressInterval, WithWorkers (explicit n >= 1), WithCandidates,
+// WithRelaxedGain.
 //
 // Plain CLK only (reject WithNodes alongside them): WithMaxKicks,
 // WithMergeEvery, and the auto-sizing WithWorkers(0) — with cooperating
@@ -43,6 +44,7 @@ import (
 	"distclk/internal/clk"
 	"distclk/internal/core"
 	"distclk/internal/dist"
+	"distclk/internal/neighbor"
 	"distclk/internal/obs"
 	"distclk/internal/topology"
 	"distclk/internal/tsp"
@@ -153,6 +155,8 @@ type options struct {
 	workers    int // resolved: always >= 1 after build
 	mergeEvery int64
 	interval   time.Duration
+	candidates string
+	relaxDepth int
 
 	// Which option groups were explicitly set — build's combination check
 	// (see the package-level options matrix) needs to tell defaults apart
@@ -164,6 +168,7 @@ type options struct {
 	workersSet  bool
 	workersAuto bool
 	mergeSet    bool
+	relaxSet    bool
 }
 
 // Option configures a Solver.
@@ -171,14 +176,15 @@ type Option func(*options) error
 
 func defaults() options {
 	return options{
-		kick:     clk.KickRandomWalk,
-		budget:   10 * time.Second,
-		seed:     1,
-		topo:     topology.Hypercube,
-		cv:       64,
-		cr:       256,
-		workers:  1,
-		interval: 100 * time.Millisecond,
+		kick:       clk.KickRandomWalk,
+		budget:     10 * time.Second,
+		seed:       1,
+		topo:       topology.Hypercube,
+		cv:         64,
+		cr:         256,
+		workers:    1,
+		interval:   100 * time.Millisecond,
+		candidates: "auto",
 	}
 }
 
@@ -191,6 +197,43 @@ func WithKick(name string) Option {
 			return err
 		}
 		o.kick = k
+		return nil
+	}
+}
+
+// WithCandidates selects the candidate-set strategy bounding the LK
+// search: "auto" (default — probe the instance and pick, see cmd/tspstat
+// to preview the choice), "knn" (the historical default lists), "quadrant",
+// "alpha", or "delaunay". Candidate lists are built once per solve and
+// shared read-only across workers and nodes. An explicitly named strategy
+// that cannot run on the instance (e.g. "delaunay" on a matrix-only
+// instance) fails the solve with a descriptive error; "auto" always
+// succeeds.
+func WithCandidates(name string) Option {
+	return func(o *options) error {
+		if name != "auto" {
+			if _, err := neighbor.ByName(name); err != nil {
+				return fmt.Errorf("distclk: %w", err)
+			}
+		}
+		o.candidates = name
+		return nil
+	}
+}
+
+// WithRelaxedGain sets the relaxed-gain depth of the LK search: chain
+// depths below it may carry a bounded non-positive partial gain, letting
+// chains cross equal-length plateaus (lattice-like instances). 0 forces
+// the classic strictly-positive rule. Without this option the depth
+// follows the WithCandidates("auto") recommendation (0 for named
+// strategies).
+func WithRelaxedGain(depth int) Option {
+	return func(o *options) error {
+		if depth < 0 {
+			return fmt.Errorf("distclk: negative relaxed-gain depth %d", depth)
+		}
+		o.relaxDepth = depth
+		o.relaxSet = true
 		return nil
 	}
 }
@@ -525,12 +568,21 @@ func (s *Solver) Solve(ctx context.Context) (Result, error) {
 	}
 	defer close(done)
 
+	// Resolve the candidate strategy eagerly: lists are built once here,
+	// shared read-only by every worker and node, and an impossible
+	// explicit choice (e.g. delaunay on a matrix-only instance) surfaces
+	// as a Solve error instead of a silent engine fallback.
+	nbr, relax, err := s.resolveCandidates()
+	if err != nil {
+		return Result{}, err
+	}
+
 	start := time.Now()
 	var res Result
 	if s.o.nodes == 0 {
-		res = s.solveCLK(ctx)
+		res = s.solveCLK(ctx, nbr, relax)
 	} else {
-		res = s.solveCluster(ctx)
+		res = s.solveCluster(ctx, nbr, relax)
 	}
 	res.Elapsed = time.Since(start)
 	for _, c := range s.observer.Counters() {
@@ -548,9 +600,26 @@ func (s *Solver) Solve(ctx context.Context) (Result, error) {
 	return res, nil
 }
 
-func (s *Solver) solveCLK(ctx context.Context) Result {
+// resolveCandidates builds the candidate lists and the relaxed-gain depth
+// for this solve. An explicit WithRelaxedGain wins over the auto
+// recommendation; named strategies recommend the classic rule.
+func (s *Solver) resolveCandidates() (*neighbor.Lists, int, error) {
+	nbr, choice, err := neighbor.Select(s.in, s.o.candidates, clk.DefaultParams().NeighborK)
+	if err != nil {
+		return nil, 0, fmt.Errorf("distclk: %w", err)
+	}
+	relax := choice.RelaxDepth
+	if s.o.relaxSet {
+		relax = s.o.relaxDepth
+	}
+	return nbr, relax, nil
+}
+
+func (s *Solver) solveCLK(ctx context.Context, nbr *neighbor.Lists, relax int) Result {
 	p := clk.DefaultParams()
 	p.Kick = s.o.kick
+	p.Neighbors = nbr
+	p.LK.RelaxDepth = relax
 	b := clk.Budget{
 		MaxKicks: s.o.maxKicks,
 		Target:   s.o.target,
@@ -583,10 +652,12 @@ func (s *Solver) solveCLK(ctx context.Context) Result {
 	}
 }
 
-func (s *Solver) solveCluster(ctx context.Context) Result {
+func (s *Solver) solveCluster(ctx context.Context, nbr *neighbor.Lists, relax int) Result {
 	ea := core.DefaultConfig()
 	ea.CV, ea.CR = s.o.cv, s.o.cr
 	ea.CLK.Kick = s.o.kick
+	ea.CLK.Neighbors = nbr
+	ea.CLK.LK.RelaxDepth = relax
 	ea.KicksPerCall = s.o.kpc
 	ea.Workers = s.o.workers
 	res := dist.RunCluster(ctx, s.in, dist.ClusterConfig{

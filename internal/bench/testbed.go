@@ -51,6 +51,12 @@ type Options struct {
 	CV, CR int
 	// KicksPerCall bounds the embedded CLK run per EA iteration.
 	KicksPerCall int64
+	// Candidates names the candidate-set strategy threaded into every CLK
+	// engine ("" keeps the engine's knn default; "auto" probes).
+	Candidates string
+	// RelaxDepth is the relaxed-gain depth threaded into every LK search
+	// (0 = classic strictly-positive rule).
+	RelaxDepth int
 }
 
 // QuickOptions is the default sub-minute-per-experiment configuration.
@@ -199,6 +205,8 @@ func (b *Bench) HKBound(s Spec) int64 {
 func (b *Bench) RunCLK(in *tsp.Instance, kick clk.KickStrategy, budget time.Duration, target int64, seed int64) Series {
 	p := clk.DefaultParams()
 	p.Kick = kick
+	p.Candidates = b.Opt.Candidates
+	p.LK.RelaxDepth = b.Opt.RelaxDepth
 	start := time.Now()
 	s := clk.New(in, p, seed)
 	series := Series{Label: fmt.Sprintf("CLK/%s", kick)}
@@ -244,6 +252,8 @@ func (b *Bench) RunDist(in *tsp.Instance, nodes int, perNodeCPU time.Duration, k
 	wall := time.Duration(float64(perNodeCPU) / factor)
 	ea := core.DefaultConfig()
 	ea.CLK.Kick = kick
+	ea.CLK.Candidates = b.Opt.Candidates
+	ea.CLK.LK.RelaxDepth = b.Opt.RelaxDepth
 	if b.Opt.CV > 0 {
 		ea.CV = b.Opt.CV
 	}

@@ -29,6 +29,29 @@ func TestKickLoopZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestKickLoopZeroAllocPerCandidateStrategy extends the zero-allocation
+// contract across candidate-set strategies: whichever builder produced the
+// CSR lists (and with the relaxed gain rule on), the steady-state kick
+// loop must not allocate — the strategies differ only in construction,
+// never in the hot path.
+func TestKickLoopZeroAllocPerCandidateStrategy(t *testing.T) {
+	for _, cand := range []string{"knn", "quadrant", "alpha", "delaunay"} {
+		t.Run(cand, func(t *testing.T) {
+			in := tsp.Generate(tsp.FamilyDrill, 400, 3)
+			p := DefaultParams()
+			p.Candidates = cand
+			p.LK.RelaxDepth = 3
+			s := New(in, p, 5)
+			for i := 0; i < 30; i++ {
+				s.KickOnce() // reach steady state
+			}
+			if allocs := testing.AllocsPerRun(200, func() { s.KickOnce() }); allocs != 0 {
+				t.Errorf("KickOnce allocates %.1f objects per kick with %s candidates, want 0", allocs, cand)
+			}
+		})
+	}
+}
+
 // TestKickOnceMatchesSeededBaseline guards reproducibility: identical
 // seeds must give identical kick sequences and incumbent lengths run over
 // run, which the benchmark harness relies on to compare BENCH_*.json

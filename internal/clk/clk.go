@@ -29,6 +29,13 @@ type Params struct {
 	NeighborK int
 	// Neighbors overrides the candidate lists (e.g. quadrant or alpha).
 	Neighbors *neighbor.Lists
+	// Candidates names the candidate-set strategy ("auto", "knn",
+	// "quadrant", "alpha", "delaunay") used when Neighbors is nil. Empty
+	// keeps the historical knn default. New/NewGroup cannot return an
+	// error, so an unknown name or a failing builder falls back to knn;
+	// callers that need the error surfaced resolve via neighbor.Select
+	// first and pass Neighbors (the facade does).
+	Candidates string
 	// Construct picks the initial tour heuristic (default Quick-Borůvka).
 	Construct construct.Method
 }
@@ -146,15 +153,30 @@ func New(inst *tsp.Instance, p Params, seed int64) *Solver {
 	return newSolver(inst, p, seed, nil)
 }
 
+// resolveNeighbors picks the candidate lists for a solver: an explicit
+// Neighbors override wins; otherwise the named strategy is built, with a
+// documented knn fallback on unknown names or builder errors because the
+// engine constructors have no error path.
+func resolveNeighbors(inst *tsp.Instance, p Params) *neighbor.Lists {
+	if p.Neighbors != nil {
+		return p.Neighbors
+	}
+	if p.Candidates == "" || p.Candidates == "knn" {
+		return neighbor.Build(inst, p.NeighborK)
+	}
+	l, _, err := neighbor.Select(inst, p.Candidates, p.NeighborK)
+	if err != nil {
+		return neighbor.Build(inst, p.NeighborK)
+	}
+	return l
+}
+
 // newSolver is New with an abort hook threaded into the construction LK
 // pass, so a cancelled Group stops building promptly. An aborted pass
 // still leaves a valid (just less optimized) initial incumbent.
 func newSolver(inst *tsp.Instance, p Params, seed int64, stop func() bool) *Solver {
 	p = p.normalize()
-	nbr := p.Neighbors
-	if nbr == nil {
-		nbr = neighbor.Build(inst, p.NeighborK)
-	}
+	nbr := resolveNeighbors(inst, p)
 	rng := rand.New(rand.NewSource(seed))
 	s := &Solver{
 		Inst:   inst,

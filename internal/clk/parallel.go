@@ -126,9 +126,7 @@ type Group struct {
 func NewGroup(ctx context.Context, inst *tsp.Instance, p Params, gp GroupParams, seed int64) *Group {
 	stop := cancelPoll(ctx)
 	p = p.normalize()
-	if p.Neighbors == nil {
-		p.Neighbors = neighbor.Build(inst, p.NeighborK)
-	}
+	p.Neighbors = resolveNeighbors(inst, p)
 	if gp.Workers <= 0 {
 		gp.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -379,7 +377,12 @@ func (g *Group) mergeOnce(ctx context.Context) {
 		tours[i] = e.tour
 	}
 	adj := neighbor.UnionOfTours(g.inst.N(), tours)
-	cand := neighbor.FromEdges(g.inst, adj)
+	cand, err := neighbor.FromEdges(g.inst, adj)
+	if err != nil {
+		// Union graphs of valid tours cannot produce bad edges; skip the
+		// merge rather than corrupt the incumbent if that invariant breaks.
+		return
+	}
 	opt := lk.NewOptimizer(g.inst, cand, cur.tour, g.gp.MergeLK)
 	opt.OptimizeAll(cancelPoll(ctx))
 	length := opt.Length()

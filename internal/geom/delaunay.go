@@ -1,0 +1,493 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Triangulation is a Delaunay triangulation of a point set in halfedge
+// form (the representation popularized by the delaunator family of
+// implementations):
+//
+//   - Triangles holds triples of point indices; triangle t occupies
+//     Triangles[3t:3t+3], wound clockwise in screen coordinates.
+//   - Halfedges[e] is the twin halfedge of e in the adjacent triangle, or
+//     -1 when edge e lies on the convex hull.
+//   - Hull lists the convex-hull point indices in boundary order.
+//
+// The triangulation is deterministic: the same point slice always yields
+// the same arrays (ties in the insertion order are broken by point index,
+// and all arithmetic is straight float64 with an epsilon-guarded
+// orientation test).
+type Triangulation struct {
+	Triangles []int32
+	Halfedges []int32
+	Hull      []int32
+}
+
+// Adjacency expands the triangulation into per-point neighbour lists over
+// the Delaunay edges. Every edge appears from both endpoints; lists are
+// sorted ascending by point index. Points skipped as near-coincident
+// duplicates (closer than machine epsilon) get empty lists.
+func (t *Triangulation) Adjacency(n int) [][]int32 {
+	adj := make([][]int32, n)
+	for e := 0; e < len(t.Triangles); e++ {
+		// Emit each undirected edge once, from its canonical halfedge.
+		if o := t.Halfedges[e]; o > int32(e) || o == -1 {
+			a := t.Triangles[e]
+			b := t.Triangles[nextHalfedge(e)]
+			adj[a] = append(adj[a], b)
+			adj[b] = append(adj[b], a)
+		}
+	}
+	for i := range adj {
+		s := adj[i]
+		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	}
+	return adj
+}
+
+// nextHalfedge steps to the next halfedge within the same triangle.
+func nextHalfedge(e int) int {
+	if e%3 == 2 {
+		return e - 2
+	}
+	return e + 1
+}
+
+// ErrCollinear reports a point set whose points all lie on one line: no
+// triangle exists, so no Delaunay triangulation does either.
+var ErrCollinear = errors.New("geom: all points are collinear, no Delaunay triangulation exists")
+
+// Delaunay triangulates pts via the sweep-hull algorithm (incremental
+// insertion in order of distance from the seed triangle's circumcenter,
+// with an angular hash over the advancing convex hull and local edge
+// flips restoring the in-circle property): O(n log n) and allocation-light.
+//
+// Degenerate inputs produce errors, never panics: fewer than three
+// points, exactly duplicated points, and fully collinear inputs are
+// rejected with descriptive errors.
+func Delaunay(pts []Point) (*Triangulation, error) {
+	n := len(pts)
+	if n < 3 {
+		return nil, fmt.Errorf("geom: Delaunay needs at least 3 points, got %d", n)
+	}
+	if i, j, ok := findDuplicate(pts); ok {
+		return nil, fmt.Errorf("geom: duplicate points %d and %d at (%g, %g)", i, j, pts[i].X, pts[i].Y)
+	}
+	d := &delaunator{pts: pts}
+	if err := d.run(); err != nil {
+		return nil, err
+	}
+	hull := make([]int32, 0, d.hullSize)
+	e := d.hullStart
+	for i := 0; i < d.hullSize; i++ {
+		hull = append(hull, e)
+		e = d.hullNext[e]
+	}
+	return &Triangulation{
+		Triangles: d.triangles[:d.trianglesLen],
+		Halfedges: d.halfedges[:d.trianglesLen],
+		Hull:      hull,
+	}, nil
+}
+
+// findDuplicate reports the first pair of exactly coincident points.
+func findDuplicate(pts []Point) (int32, int32, bool) {
+	order := make([]int32, len(pts))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := pts[order[a]], pts[order[b]]
+		if pa.X != pb.X {
+			return pa.X < pb.X
+		}
+		if pa.Y != pb.Y {
+			return pa.Y < pb.Y
+		}
+		return order[a] < order[b]
+	})
+	for i := 1; i < len(order); i++ {
+		a, b := order[i-1], order[i]
+		if pts[a].X == pts[b].X && pts[a].Y == pts[b].Y {
+			return a, b, true
+		}
+	}
+	return 0, 0, false
+}
+
+// delaunator holds the working state of one triangulation run.
+type delaunator struct {
+	pts []Point
+
+	triangles    []int32
+	halfedges    []int32
+	trianglesLen int
+
+	hullPrev  []int32
+	hullNext  []int32
+	hullTri   []int32
+	hullHash  []int32
+	hullStart int32
+	hullSize  int
+	hashSize  int
+
+	cx, cy float64 // seed circumcenter, the angular-hash origin
+
+	edgeStack [512]int32
+}
+
+func (d *delaunator) run() error {
+	n := len(d.pts)
+	maxTriangles := 2*n - 5
+	d.triangles = make([]int32, maxTriangles*3)
+	d.halfedges = make([]int32, maxTriangles*3)
+	d.hashSize = int(math.Ceil(math.Sqrt(float64(n))))
+	d.hullPrev = make([]int32, n)
+	d.hullNext = make([]int32, n)
+	d.hullTri = make([]int32, n)
+	d.hullHash = make([]int32, d.hashSize)
+
+	// Seed: the point closest to the bounding-box centre, its nearest
+	// neighbour, and the third point minimizing the circumradius.
+	min, max := BoundingBox(d.pts)
+	cx, cy := (min.X+max.X)/2, (min.Y+max.Y)/2
+	i0 := int32(0)
+	minDist := math.Inf(1)
+	for i, p := range d.pts {
+		dd := sq(p.X-cx) + sq(p.Y-cy)
+		if dd < minDist {
+			i0 = int32(i)
+			minDist = dd
+		}
+	}
+	p0 := d.pts[i0]
+	i1 := int32(0)
+	minDist = math.Inf(1)
+	for i, p := range d.pts {
+		if int32(i) == i0 {
+			continue
+		}
+		dd := sq(p.X-p0.X) + sq(p.Y-p0.Y)
+		if dd < minDist {
+			i1 = int32(i)
+			minDist = dd
+		}
+	}
+	p1 := d.pts[i1]
+	i2 := int32(0)
+	minRadius := math.Inf(1)
+	for i, p := range d.pts {
+		if int32(i) == i0 || int32(i) == i1 {
+			continue
+		}
+		r := circumradius(p0, p1, p)
+		if r < minRadius {
+			i2 = int32(i)
+			minRadius = r
+		}
+	}
+	if math.IsInf(minRadius, 1) {
+		return ErrCollinear
+	}
+	p2 := d.pts[i2]
+	if orient(p0.X, p0.Y, p1.X, p1.Y, p2.X, p2.Y) {
+		i1, i2 = i2, i1
+		p1, p2 = p2, p1
+	}
+	d.cx, d.cy = circumcenter(p0, p1, p2)
+
+	// Insertion order: ascending distance from the seed circumcenter,
+	// ties by point index so the run is reproducible.
+	dists := make([]float64, n)
+	ids := make([]int32, n)
+	for i, p := range d.pts {
+		dists[i] = sq(p.X-d.cx) + sq(p.Y-d.cy)
+		ids[i] = int32(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		da, db := dists[ids[a]], dists[ids[b]]
+		if da != db {
+			return da < db
+		}
+		return ids[a] < ids[b]
+	})
+
+	d.hullStart = i0
+	d.hullSize = 3
+	d.hullNext[i0], d.hullPrev[i2] = i1, i1
+	d.hullNext[i1], d.hullPrev[i0] = i2, i2
+	d.hullNext[i2], d.hullPrev[i1] = i0, i0
+	d.hullTri[i0] = 0
+	d.hullTri[i1] = 1
+	d.hullTri[i2] = 2
+	for i := range d.hullHash {
+		d.hullHash[i] = -1
+	}
+	d.hullHash[d.hashKey(p0.X, p0.Y)] = i0
+	d.hullHash[d.hashKey(p1.X, p1.Y)] = i1
+	d.hullHash[d.hashKey(p2.X, p2.Y)] = i2
+
+	d.addTriangle(i0, i1, i2, -1, -1, -1)
+
+	var xp, yp float64
+	for k, i := range ids {
+		p := d.pts[i]
+		// Near-coincident with the previously inserted point (closer than
+		// machine epsilon): indistinguishable under float64, skip it. Exact
+		// duplicates were already rejected with an error.
+		if k > 0 && math.Abs(p.X-xp) <= 1e-14 && math.Abs(p.Y-yp) <= 1e-14 {
+			continue
+		}
+		xp, yp = p.X, p.Y
+		if i == i0 || i == i1 || i == i2 {
+			continue
+		}
+
+		// Locate a visible hull edge via the angular hash.
+		start := int32(0)
+		key := d.hashKey(p.X, p.Y)
+		for j := 0; j < d.hashSize; j++ {
+			start = d.hullHash[(key+j)%d.hashSize]
+			if start != -1 && start != d.hullNext[start] {
+				break
+			}
+		}
+		start = d.hullPrev[start]
+		e := start
+		var q int32
+		for {
+			q = d.hullNext[e]
+			if orient(p.X, p.Y, d.pts[e].X, d.pts[e].Y, d.pts[q].X, d.pts[q].Y) {
+				break
+			}
+			e = q
+			if e == start {
+				e = -1
+				break
+			}
+		}
+		if e == -1 {
+			continue // a near-duplicate landed exactly on the hull walk
+		}
+
+		// First triangle from the visible edge.
+		t := d.addTriangle(e, i, d.hullNext[e], -1, -1, d.hullTri[e])
+		d.hullTri[i] = d.legalize(t + 2)
+		d.hullTri[e] = int32(t)
+		d.hullSize++
+
+		// Walk forward while subsequent hull edges stay visible.
+		next := d.hullNext[e]
+		for {
+			q = d.hullNext[next]
+			if !orient(p.X, p.Y, d.pts[next].X, d.pts[next].Y, d.pts[q].X, d.pts[q].Y) {
+				break
+			}
+			t = d.addTriangle(next, i, q, d.hullTri[i], -1, d.hullTri[next])
+			d.hullTri[i] = d.legalize(t + 2)
+			d.hullNext[next] = next // mark as removed
+			d.hullSize--
+			next = q
+		}
+
+		// Walk backward likewise (only possible from the first found edge).
+		if e == start {
+			for {
+				q = d.hullPrev[e]
+				if !orient(p.X, p.Y, d.pts[q].X, d.pts[q].Y, d.pts[e].X, d.pts[e].Y) {
+					break
+				}
+				t = d.addTriangle(q, i, e, -1, d.hullTri[e], d.hullTri[q])
+				d.legalize(t + 2)
+				d.hullTri[q] = int32(t)
+				d.hullNext[e] = e // mark as removed
+				d.hullSize--
+				e = q
+			}
+		}
+
+		d.hullStart = e
+		d.hullPrev[i] = e
+		d.hullNext[e] = i
+		d.hullPrev[next] = i
+		d.hullNext[i] = next
+
+		d.hullHash[d.hashKey(p.X, p.Y)] = i
+		d.hullHash[d.hashKey(d.pts[e].X, d.pts[e].Y)] = e
+	}
+	return nil
+}
+
+// hashKey maps a point to a slot by pseudo-angle around the seed center.
+func (d *delaunator) hashKey(x, y float64) int {
+	return int(math.Floor(pseudoAngle(x-d.cx, y-d.cy)*float64(d.hashSize))) % d.hashSize
+}
+
+// pseudoAngle maps a direction to [0, 1), monotone in true angle.
+func pseudoAngle(dx, dy float64) float64 {
+	p := dx / (math.Abs(dx) + math.Abs(dy))
+	if dy > 0 {
+		return (3 - p) / 4
+	}
+	return (1 + p) / 4
+}
+
+// addTriangle appends triangle (i0, i1, i2) with twin halfedges a, b, c.
+func (d *delaunator) addTriangle(i0, i1, i2, a, b, c int32) int {
+	t := d.trianglesLen
+	d.triangles[t] = i0
+	d.triangles[t+1] = i1
+	d.triangles[t+2] = i2
+	d.link(int32(t), a)
+	d.link(int32(t)+1, b)
+	d.link(int32(t)+2, c)
+	d.trianglesLen += 3
+	return t
+}
+
+func (d *delaunator) link(a, b int32) {
+	d.halfedges[a] = b
+	if b != -1 {
+		d.halfedges[b] = a
+	}
+}
+
+// legalize recursively flips edges that violate the in-circle property,
+// using an explicit stack (bounded cascades, no recursion).
+func (d *delaunator) legalize(a int) int32 {
+	stack := 0
+	ar := 0
+	for {
+		b := d.halfedges[a]
+		a0 := a - a%3
+		ar = a0 + (a+2)%3
+		if b == -1 {
+			if stack == 0 {
+				break
+			}
+			stack--
+			a = int(d.edgeStack[stack])
+			continue
+		}
+		b0 := int(b) - int(b)%3
+		al := a0 + (a+1)%3
+		bl := b0 + (int(b)+2)%3
+
+		pt0 := d.triangles[ar]
+		ptr := d.triangles[a]
+		ptl := d.triangles[al]
+		pt1 := d.triangles[bl]
+		illegal := inCircle(d.pts[pt0], d.pts[ptr], d.pts[ptl], d.pts[pt1])
+		if illegal {
+			d.triangles[a] = pt1
+			d.triangles[b] = pt0
+			hbl := d.halfedges[bl]
+			// The flipped edge bl may lie on the hull; repoint its hullTri.
+			if hbl == -1 {
+				e := d.hullStart
+				for {
+					if d.hullTri[e] == int32(bl) {
+						d.hullTri[e] = int32(a)
+						break
+					}
+					e = d.hullPrev[e]
+					if e == d.hullStart {
+						break
+					}
+				}
+			}
+			d.link(int32(a), hbl)
+			d.link(b, d.halfedges[ar])
+			d.link(int32(ar), int32(bl))
+
+			br := b0 + (int(b)+1)%3
+			if stack < len(d.edgeStack) {
+				d.edgeStack[stack] = int32(br)
+				stack++
+			}
+		} else {
+			if stack == 0 {
+				break
+			}
+			stack--
+			a = int(d.edgeStack[stack])
+		}
+	}
+	return int32(ar)
+}
+
+func sq(v float64) float64 { return v * v }
+
+// orientIfSure computes the robust-enough orientation sign: the double of
+// the signed triangle area, zeroed when within rounding error of zero.
+func orientIfSure(px, py, rx, ry, qx, qy float64) float64 {
+	l := (ry - py) * (qx - px)
+	r := (rx - px) * (qy - py)
+	if math.Abs(l-r) >= 3.3306690738754716e-16*math.Abs(l+r) {
+		return l - r
+	}
+	return 0
+}
+
+// orient reports whether (r, q, p) winds clockwise, trying all three
+// cyclic orderings so near-degenerate triples get a consistent answer.
+func orient(rx, ry, qx, qy, px, py float64) bool {
+	s := orientIfSure(px, py, rx, ry, qx, qy)
+	if s == 0 {
+		s = orientIfSure(rx, ry, qx, qy, px, py)
+	}
+	if s == 0 {
+		s = orientIfSure(qx, qy, px, py, rx, ry)
+	}
+	return s < 0
+}
+
+// inCircle reports whether p lies strictly inside the circumcircle of the
+// clockwise triangle (a, b, c).
+func inCircle(a, b, c, p Point) bool {
+	dx := a.X - p.X
+	dy := a.Y - p.Y
+	ex := b.X - p.X
+	ey := b.Y - p.Y
+	fx := c.X - p.X
+	fy := c.Y - p.Y
+	ap := dx*dx + dy*dy
+	bp := ex*ex + ey*ey
+	cp := fx*fx + fy*fy
+	return dx*(ey*cp-bp*fy)-dy*(ex*cp-bp*fx)+ap*(ex*fy-ey*fx) < 0
+}
+
+func circumradius(a, b, c Point) float64 {
+	dx := b.X - a.X
+	dy := b.Y - a.Y
+	ex := c.X - a.X
+	ey := c.Y - a.Y
+	bl := dx*dx + dy*dy
+	cl := ex*ex + ey*ey
+	det := dx*ey - dy*ex
+	if det == 0 {
+		return math.Inf(1)
+	}
+	d := 0.5 / det
+	x := (ey*bl - dy*cl) * d
+	y := (dx*cl - ex*bl) * d
+	if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+		return math.Inf(1)
+	}
+	return x*x + y*y
+}
+
+func circumcenter(a, b, c Point) (float64, float64) {
+	dx := b.X - a.X
+	dy := b.Y - a.Y
+	ex := c.X - a.X
+	ey := c.Y - a.Y
+	bl := dx*dx + dy*dy
+	cl := ex*ex + ey*ey
+	d := 0.5 / (dx*ey - dy*ex)
+	return a.X + (ey*bl-dy*cl)*d, a.Y + (dx*cl-ex*bl)*d
+}

@@ -1,0 +1,250 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func delaunayPoints(n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * 1e6, Y: rng.Float64() * 1e6}
+	}
+	return pts
+}
+
+func clusteredPoints(n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]Point, 5)
+	for i := range centers {
+		centers[i] = Point{X: rng.Float64() * 1e6, Y: rng.Float64() * 1e6}
+	}
+	pts := make([]Point, n)
+	for i := range pts {
+		c := centers[rng.Intn(len(centers))]
+		pts[i] = Point{X: c.X + rng.NormFloat64()*2e4, Y: c.Y + rng.NormFloat64()*2e4}
+	}
+	return pts
+}
+
+func latticePoints(cols, rows int) []Point {
+	pts := make([]Point, 0, cols*rows)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			pts = append(pts, Point{X: float64(c) * 100, Y: float64(r) * 200})
+		}
+	}
+	return pts
+}
+
+// convexHullBrute computes the convex hull with the monotone chain
+// algorithm — an independent oracle for the triangulation's Hull.
+func convexHullBrute(pts []Point) []int32 {
+	idx := make([]int32, len(pts))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0; j-- {
+			a, b := pts[idx[j-1]], pts[idx[j]]
+			if a.X < b.X || (a.X == b.X && a.Y <= b.Y) {
+				break
+			}
+			idx[j-1], idx[j] = idx[j], idx[j-1]
+		}
+	}
+	cross := func(o, a, b Point) float64 {
+		return (a.X-o.X)*(b.Y-o.Y) - (a.Y-o.Y)*(b.X-o.X)
+	}
+	// Pop only on strict right turns: collinear boundary points stay, so
+	// oracle hull edges connect *adjacent* boundary points — which is what
+	// a triangulation of collinear boundary chains actually contains.
+	var hull []int32
+	for _, i := range idx { // lower
+		for len(hull) >= 2 && cross(pts[hull[len(hull)-2]], pts[hull[len(hull)-1]], pts[i]) < 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, i)
+	}
+	lower := len(hull) + 1
+	for k := len(idx) - 2; k >= 0; k-- { // upper
+		i := idx[k]
+		for len(hull) >= lower && cross(pts[hull[len(hull)-2]], pts[hull[len(hull)-1]], pts[i]) < 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, i)
+	}
+	return hull[:len(hull)-1]
+}
+
+func edgeSet(t *Triangulation) map[[2]int32]bool {
+	set := map[[2]int32]bool{}
+	for e := 0; e < len(t.Triangles); e++ {
+		a, b := t.Triangles[e], t.Triangles[nextHalfedge(e)]
+		if a > b {
+			a, b = b, a
+		}
+		set[[2]int32{a, b}] = true
+	}
+	return set
+}
+
+// TestDelaunayHullEdges asserts every convex-hull edge (computed by an
+// independent oracle) is an edge of the triangulation, for three point
+// distributions including an exactly regular lattice.
+func TestDelaunayHullEdges(t *testing.T) {
+	cases := map[string][]Point{
+		"uniform":   delaunayPoints(400, 1),
+		"clustered": clusteredPoints(400, 2),
+		"lattice":   latticePoints(20, 15),
+	}
+	for name, pts := range cases {
+		tri, err := Delaunay(pts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		edges := edgeSet(tri)
+		hull := convexHullBrute(pts)
+		for i, a := range hull {
+			b := hull[(i+1)%len(hull)]
+			key := [2]int32{a, b}
+			if a > b {
+				key = [2]int32{b, a}
+			}
+			if !edges[key] {
+				t.Errorf("%s: hull edge (%d,%d) missing from triangulation", name, a, b)
+			}
+		}
+		if len(tri.Hull) != len(hull) {
+			// The triangulation's hull may keep collinear boundary points the
+			// strict oracle drops; it must never have fewer.
+			if len(tri.Hull) < len(hull) {
+				t.Errorf("%s: triangulation hull has %d points, oracle %d", name, len(tri.Hull), len(hull))
+			}
+		}
+	}
+}
+
+// TestDelaunayAdjacencySymmetric asserts the adjacency expansion is
+// symmetric, self-loop-free and duplicate-free.
+func TestDelaunayAdjacencySymmetric(t *testing.T) {
+	pts := delaunayPoints(500, 3)
+	tri, err := Delaunay(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := tri.Adjacency(len(pts))
+	for i, list := range adj {
+		seen := map[int32]bool{}
+		for _, j := range list {
+			if int(j) == i {
+				t.Fatalf("point %d lists itself", i)
+			}
+			if seen[j] {
+				t.Fatalf("point %d lists %d twice", i, j)
+			}
+			seen[j] = true
+			back := false
+			for _, k := range adj[j] {
+				if int(k) == i {
+					back = true
+					break
+				}
+			}
+			if !back {
+				t.Fatalf("edge (%d,%d) present but (%d,%d) missing", i, j, j, i)
+			}
+		}
+	}
+}
+
+// TestDelaunayEmptyCircumcircle exhaustively verifies the defining
+// property on a small instance: no point lies strictly inside any
+// triangle's circumcircle.
+func TestDelaunayEmptyCircumcircle(t *testing.T) {
+	pts := delaunayPoints(80, 4)
+	tri, err := Delaunay(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < len(tri.Triangles); e += 3 {
+		a, b, c := pts[tri.Triangles[e]], pts[tri.Triangles[e+1]], pts[tri.Triangles[e+2]]
+		x, y := circumcenter(a, b, c)
+		r2 := sq(a.X-x) + sq(a.Y-y)
+		for i, p := range pts {
+			d2 := sq(p.X-x) + sq(p.Y-y)
+			if d2 < r2*(1-1e-9) {
+				t.Fatalf("point %d inside circumcircle of triangle %d (d2=%g r2=%g)", i, e/3, d2, r2)
+			}
+		}
+	}
+}
+
+// TestDelaunayDegenerateInputs asserts degenerate inputs produce clear
+// errors, never panics.
+func TestDelaunayDegenerateInputs(t *testing.T) {
+	if _, err := Delaunay(nil); err == nil {
+		t.Error("empty input: want error")
+	}
+	if _, err := Delaunay([]Point{{0, 0}, {1, 1}}); err == nil {
+		t.Error("two points: want error")
+	}
+	collinear := make([]Point, 50)
+	for i := range collinear {
+		collinear[i] = Point{X: float64(i) * 10, Y: float64(i) * 5}
+	}
+	if _, err := Delaunay(collinear); err != ErrCollinear {
+		t.Errorf("collinear input: got %v, want ErrCollinear", err)
+	}
+	dup := []Point{{0, 0}, {100, 0}, {50, 80}, {100, 0}}
+	if _, err := Delaunay(dup); err == nil {
+		t.Error("duplicate points: want error")
+	}
+}
+
+// TestDelaunayDeterministic asserts byte-identical output across runs.
+func TestDelaunayDeterministic(t *testing.T) {
+	pts := clusteredPoints(300, 7)
+	t1, err := Delaunay(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Delaunay(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1.Triangles) != len(t2.Triangles) || len(t1.Hull) != len(t2.Hull) {
+		t.Fatal("triangulations differ in size between runs")
+	}
+	for i := range t1.Triangles {
+		if t1.Triangles[i] != t2.Triangles[i] || t1.Halfedges[i] != t2.Halfedges[i] {
+			t.Fatalf("triangulations differ at halfedge %d", i)
+		}
+	}
+}
+
+// TestDelaunayEdgeCountEuler sanity-checks edge/triangle counts against
+// Euler's formula: for n points with h on the hull, triangles = 2n-2-h
+// and edges = 3n-3-h (degenerate collinearities may lower both, never
+// raise them).
+func TestDelaunayEdgeCountEuler(t *testing.T) {
+	pts := delaunayPoints(1000, 9)
+	tri, err := Delaunay(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(pts)
+	h := len(tri.Hull)
+	triangles := len(tri.Triangles) / 3
+	if want := 2*n - 2 - h; triangles != want {
+		t.Errorf("triangle count %d, Euler predicts %d (n=%d hull=%d)", triangles, want, n, h)
+	}
+	if edges := len(edgeSet(tri)); edges != 3*n-3-h {
+		t.Errorf("edge count %d, Euler predicts %d", edges, 3*n-3-h)
+	}
+	if math.MaxInt32 < n {
+		t.Fatal("unreachable")
+	}
+}

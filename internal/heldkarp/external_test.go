@@ -1,0 +1,33 @@
+// External test package: heldkarp is a leaf the candidate builders depend
+// on, so tests that drive it with a CLK tour (clk -> neighbor -> heldkarp)
+// must live outside the package to avoid an import cycle in the test
+// binary.
+package heldkarp_test
+
+import (
+	"context"
+	"testing"
+
+	"distclk/internal/clk"
+	"distclk/internal/heldkarp"
+	"distclk/internal/tsp"
+)
+
+func TestLowerBoundTightOnLarger(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 300, 9)
+	s := clk.New(in, clk.DefaultParams(), 1)
+	res := s.Run(context.Background(), clk.Budget{MaxKicks: 400})
+	hk := heldkarp.LowerBound(in, heldkarp.Options{Iterations: 120, UpperBound: res.Length})
+	if hk.Bound <= 0 {
+		t.Fatal("non-positive bound")
+	}
+	if hk.Bound > res.Length {
+		t.Fatalf("bound %d above heuristic tour %d", hk.Bound, res.Length)
+	}
+	gap := float64(res.Length-hk.Bound) / float64(hk.Bound)
+	// CLK tour within a few % of optimum and HK within ~1% below: gap
+	// should comfortably be under 6%.
+	if gap > 0.06 {
+		t.Fatalf("HK gap %.1f%% too large — ascent not converging", gap*100)
+	}
+}

@@ -3,8 +3,6 @@ package heldkarp
 import (
 	"math"
 
-	"distclk/internal/construct"
-	"distclk/internal/neighbor"
 	"distclk/internal/tsp"
 )
 
@@ -128,9 +126,10 @@ type Options struct {
 	// Iterations caps subgradient steps (default 100).
 	Iterations int
 	// UpperBound seeds the step size; pass a heuristic tour length. When
-	// zero, a greedy tour is constructed internally — the ascent is very
-	// sensitive to this seed, and the initial 1-tree cost alone is too
-	// weak a proxy.
+	// zero, a nearest-neighbour tour is constructed internally — the
+	// ascent is very sensitive to this seed, and the initial 1-tree cost
+	// alone is too weak a proxy. Callers with a better tour at hand (e.g.
+	// greedy) should pass its length.
 	UpperBound int64
 }
 
@@ -153,9 +152,7 @@ func LowerBound(in *tsp.Instance, opt Options) Result {
 
 	ub := float64(opt.UpperBound)
 	if ub <= 0 {
-		nbr := neighbor.Build(in, 8)
-		greedy := construct.Build(construct.Greedy, in, nbr, nil)
-		ub = float64(greedy.Length(in))
+		ub = float64(nnTourLength(in))
 	}
 
 	// Classic two-period subgradient schedule: step length derived from the
@@ -193,6 +190,36 @@ func LowerBound(in *tsp.Instance, opt Options) Result {
 	}
 	best.Iterations = iters
 	return best
+}
+
+// nnTourLength walks a nearest-neighbour tour from city 0 and returns its
+// length — the O(n^2) internal fallback for Options.UpperBound. heldkarp
+// deliberately does not depend on the construct/neighbor packages so that
+// candidate-set builders can depend on it without an import cycle.
+func nnTourLength(in *tsp.Instance) int64 {
+	n := in.N()
+	dist := in.DistFunc()
+	visited := make([]bool, n)
+	visited[0] = true
+	cur := int32(0)
+	var total int64
+	for step := 1; step < n; step++ {
+		next := int32(-1)
+		var bd int64 = math.MaxInt64
+		for j := int32(0); j < int32(n); j++ {
+			if visited[j] {
+				continue
+			}
+			if d := dist(cur, j); d < bd {
+				bd = d
+				next = j
+			}
+		}
+		visited[next] = true
+		total += bd
+		cur = next
+	}
+	return total + dist(cur, 0)
 }
 
 // treeBound computes w(pi) = cost(min 1-tree) - 2*sum(pi).

@@ -12,7 +12,23 @@ type Params struct {
 	// Breadth[i] is the number of candidate extensions explored at chain
 	// depth i; depths beyond the slice use breadth 1 (greedy dive).
 	Breadth []int
+	// RelaxDepth enables the relaxed gain rule: at chain depths below it,
+	// the cumulative partial gain may dip as low as -slack instead of
+	// having to stay strictly positive, letting chains cross equal-length
+	// plateaus (lattice instances) the classic rule cannot. 0 (or
+	// negative) keeps the classic strictly-positive criterion everywhere.
+	// Accepted moves still strictly improve the tour: only the closing
+	// test decides acceptance, and it is unchanged.
+	RelaxDepth int
+	// RelaxSlackPerMille bounds the dip as thousandths of the chain's
+	// first removed edge g0 (slack = g0*RelaxSlackPerMille/1000). <= 0
+	// selects the default of 100 (10% of g0) when RelaxDepth > 0.
+	RelaxSlackPerMille int
 }
+
+// defaultRelaxSlackPerMille is the slack used when RelaxDepth > 0 but no
+// explicit per-mille bound is given: 10% of the first removed edge.
+const defaultRelaxSlackPerMille = 100
 
 // DefaultParams matches the breadth schedule used in practice by
 // Concorde-style implementations: wide at the first levels, then a greedy
@@ -67,6 +83,13 @@ type Optimizer struct {
 	bestPath []step
 	touched  []int32
 
+	// relaxed-gain state: relaxDepth/relaxPerMille are fixed at
+	// construction; relaxLimit is recomputed once per chain from g0 and
+	// read (not recomputed) on every dive level.
+	relaxDepth    int
+	relaxPerMille int64
+	relaxLimit    int64
+
 	// Moves counts accepted improving exchanges (for instrumentation).
 	Moves int64
 }
@@ -89,6 +112,13 @@ func NewOptimizer(inst *tsp.Instance, nbr *neighbor.Lists, tour tsp.Tour, params
 		touched:  make([]int32, 0, 2*params.MaxDepth+2),
 	}
 	o.length = tour.Length(inst)
+	if params.RelaxDepth > 0 {
+		o.relaxDepth = params.RelaxDepth
+		o.relaxPerMille = int64(params.RelaxSlackPerMille)
+		if o.relaxPerMille <= 0 {
+			o.relaxPerMille = defaultRelaxSlackPerMille
+		}
+	}
 	return o
 }
 
@@ -241,6 +271,11 @@ func (o *Optimizer) tryChain(t1, loose int32) int64 {
 	o.bestLen = 0
 
 	g0 := o.dist(t1, loose)
+	if o.relaxDepth > 0 {
+		// One multiply/divide per chain, never per candidate: dive reads
+		// the precomputed limit.
+		o.relaxLimit = -(g0 * o.relaxPerMille / 1000)
+	}
 	o.dive(loose, g0, 0)
 
 	if o.bestGain <= 0 {
@@ -258,8 +293,9 @@ func (o *Optimizer) tryChain(t1, loose int32) int64 {
 }
 
 // dive extends the chain from the current loose end. G is the cumulative
-// gain of removed-minus-added real edges so far (always > 0 on entry).
-// The tour state is restored before dive returns.
+// gain of removed-minus-added real edges so far (> relaxLimit on entry;
+// always > 0 under the classic rule). The tour state is restored before
+// dive returns.
 //
 //distlint:hotpath
 func (o *Optimizer) dive(loose int32, G int64, depth int) {
@@ -270,6 +306,13 @@ func (o *Optimizer) dive(loose int32, G int64, depth int) {
 	t1 := o.t1
 	width := o.params.breadth(depth)
 	tried := 0
+	// Classic rule: the partial gain must stay strictly positive. Relaxed
+	// rule (shallow depths only): it may dip to the per-chain limit, so
+	// equal-length candidate edges do not dead-end the chain.
+	limit := int64(0)
+	if depth < o.relaxDepth {
+		limit = o.relaxLimit
+	}
 	// Candidate distances come from the precomputed table: the gain test
 	// costs one array read, never a metric evaluation (the break below
 	// relies on the table's ascending order).
@@ -279,7 +322,7 @@ func (o *Optimizer) dive(loose int32, G int64, depth int) {
 			continue
 		}
 		g := G - cdist[i]
-		if g <= 0 {
+		if g <= limit {
 			break // candidates sorted by distance: later ones fail too
 		}
 		// v is y's path-neighbour on the loose side, derived from the

@@ -11,7 +11,10 @@ func TestAlphaCandidatesTinyInstances(t *testing.T) {
 	// k >= n-1 and very small n must not panic or produce self-loops.
 	for _, n := range []int{4, 5, 8} {
 		in := tsp.Generate(tsp.FamilyUniform, n, int64(n))
-		cand := AlphaCandidates(in, 10, 10)
+		cand, err := AlphaCandidates(in, 10, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for c := int32(0); c < int32(n); c++ {
 			for _, o := range cand.Of(c) {
 				if o == c {
@@ -29,7 +32,10 @@ func TestAlphaTreeEdgesAreCandidates(t *testing.T) {
 	// Alpha of a 1-tree edge is zero, so (almost) every tree edge should
 	// appear in the candidate lists — this is what bridges clusters.
 	in := tsp.Generate(tsp.FamilyClustered, 120, 5)
-	cand := AlphaCandidates(in, 5, 40)
+	cand, err := AlphaCandidates(in, 5, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Count how many cities have at least one candidate that is "far"
 	// relative to their nearest neighbour — cluster bridges.
 	dist := in.DistFunc()

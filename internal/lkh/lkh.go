@@ -1,13 +1,11 @@
 package lkh
 
 import (
-	"math"
 	"math/rand"
 	"time"
 
 	"distclk/internal/clk"
 	"distclk/internal/construct"
-	"distclk/internal/heldkarp"
 	"distclk/internal/lk"
 	"distclk/internal/neighbor"
 	"distclk/internal/tsp"
@@ -40,149 +38,12 @@ func DefaultParams() Params {
 	}
 }
 
-type alphaScored struct {
-	j int32
-	a float64
-}
-
-func sortByAlpha(s []alphaScored) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && (s[j-1].a > s[j].a || (s[j-1].a == s[j].a && s[j-1].j > s[j].j)); j-- {
-			s[j-1], s[j] = s[j], s[j-1]
-		}
-	}
-}
-
-// AlphaCandidates builds alpha-nearness candidate lists: alpha(i,j) is the
-// increase of the minimum 1-tree cost when edge (i,j) is forced into it,
-// computed as w(i,j) - beta(i,j), where w is the pi-modified weight and
-// beta(i,j) is the maximum edge weight on the 1-tree path between i and j.
-// The k candidates with smallest alpha are kept per city (symmetrized).
-// Runs the Held-Karp ascent first to obtain good potentials. O(n^2) time.
-func AlphaCandidates(in *tsp.Instance, k int, ascentIters int) *neighbor.Lists {
-	n := in.N()
-	if k > n-1 {
-		k = n - 1
-	}
-	ub := quickUpperBound(in)
-	res := heldkarp.LowerBound(in, heldkarp.Options{Iterations: ascentIters, UpperBound: ub})
-	tree, pi := res.Tree, res.Pi
-	dist := in.DistFunc()
-	w := func(i, j int32) float64 { return float64(dist(i, j)) + pi[i] + pi[j] }
-
-	// MST adjacency (cities 1..n-1) with edge weights.
-	treeAdj := make([][]int32, n)
-	treeWt := make([][]float64, n)
-	for i := int32(1); i < int32(n); i++ {
-		if p := tree.Parent[i]; p > 0 {
-			treeAdj[i] = append(treeAdj[i], p)
-			treeWt[i] = append(treeWt[i], tree.ParentW[i])
-			treeAdj[p] = append(treeAdj[p], i)
-			treeWt[p] = append(treeWt[p], tree.ParentW[i])
-		}
-	}
-
-	// City 0's forced edge replaces its larger special edge.
-	maxOn0 := math.Max(w(0, tree.Special0[0]), w(0, tree.Special0[1]))
-
-	// Pre-select near neighbours cheaply, then alpha-rank them.
-	pre := neighbor.Build(in, minInt(3*k+8, n-1))
-
-	adj := make([][]int32, n)
-	beta := make([]float64, n)
-	visited := make([]bool, n)
-	type frame struct {
-		node int32
-		b    float64
-	}
-	stack := make([]frame, 0, n)
-
-	for i := int32(0); i < int32(n); i++ {
-		cand := pre.Of(i)
-		scored := make([]alphaScored, 0, len(cand))
-		if i == 0 {
-			for _, j := range cand {
-				a := w(0, j) - maxOn0
-				if j == tree.Special0[0] || j == tree.Special0[1] || a < 0 {
-					a = 0
-				}
-				scored = append(scored, alphaScored{j, a})
-			}
-		} else {
-			// DFS from i over the MST: beta(i, x) = max edge on the path.
-			for x := range visited {
-				visited[x] = false
-			}
-			visited[i] = true
-			stack = append(stack[:0], frame{i, math.Inf(-1)})
-			for len(stack) > 0 {
-				f := stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
-				for e, nb := range treeAdj[f.node] {
-					if visited[nb] {
-						continue
-					}
-					visited[nb] = true
-					b := math.Max(f.b, treeWt[f.node][e])
-					beta[nb] = b
-					stack = append(stack, frame{nb, b})
-				}
-			}
-			for _, j := range cand {
-				var a float64
-				if j == 0 {
-					a = w(i, 0) - maxOn0
-					if i == tree.Special0[0] || i == tree.Special0[1] {
-						a = 0
-					}
-				} else {
-					a = w(i, j) - beta[j]
-				}
-				if a < 0 {
-					a = 0
-				}
-				scored = append(scored, alphaScored{j, a})
-			}
-		}
-		sortByAlpha(scored)
-		lim := minInt(k, len(scored))
-		for _, s := range scored[:lim] {
-			adj[i] = append(adj[i], s.j)
-		}
-	}
-
-	// Symmetrize: LK traverses candidate edges from both endpoints.
-	seen := make([]map[int32]bool, n)
-	for i := range seen {
-		seen[i] = map[int32]bool{}
-	}
-	for i := int32(0); i < int32(n); i++ {
-		for _, j := range adj[i] {
-			seen[i][j] = true
-			seen[j][i] = true
-		}
-	}
-	out := make([][]int32, n)
-	for i := range out {
-		for j := range seen[i] {
-			out[i] = append(out[i], j)
-		}
-	}
-	return neighbor.FromEdges(in, out)
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-// quickUpperBound builds a greedy tour to seed the ascent's step size.
-func quickUpperBound(in *tsp.Instance) int64 {
-	nbr := neighbor.Build(in, 8)
-	t := construct.Build(construct.Greedy, in, nbr, nil)
-	return t.Length(in)
+// AlphaCandidates builds alpha-nearness candidate lists. The
+// implementation was promoted to neighbor.BuildAlpha so the candidate
+// strategy registry can offer it in the hot path; this wrapper remains the
+// lkh-facing name.
+func AlphaCandidates(in *tsp.Instance, k int, ascentIters int) (*neighbor.Lists, error) {
+	return neighbor.BuildAlpha(in, k, ascentIters)
 }
 
 // trialSolver keeps an incumbent and runs kick+deep-LK trials.
@@ -262,7 +123,12 @@ func Solve(in *tsp.Instance, p Params, seed int64, deadline time.Time, target in
 		p = DefaultParams()
 	}
 	start := time.Now()
-	cand := AlphaCandidates(in, p.CandidateK, p.AscentIterations)
+	cand, err := AlphaCandidates(in, p.CandidateK, p.AscentIterations)
+	if err != nil {
+		// Alpha selection cannot fail on a well-formed instance; fall back
+		// to plain nearest neighbours so Solve keeps its no-error contract.
+		cand = neighbor.Build(in, p.CandidateK)
+	}
 
 	trials := p.Trials
 	if trials <= 0 {

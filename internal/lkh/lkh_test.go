@@ -11,7 +11,10 @@ import (
 
 func TestAlphaCandidatesStructure(t *testing.T) {
 	in := tsp.Generate(tsp.FamilyUniform, 120, 1)
-	cand := AlphaCandidates(in, 5, 30)
+	cand, err := AlphaCandidates(in, 5, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if cand.N() != 120 {
 		t.Fatalf("N = %d", cand.N())
 	}
@@ -29,7 +32,10 @@ func TestAlphaCandidatesStructure(t *testing.T) {
 
 func TestAlphaCandidatesSymmetric(t *testing.T) {
 	in := tsp.Generate(tsp.FamilyClustered, 80, 3)
-	cand := AlphaCandidates(in, 5, 30)
+	cand, err := AlphaCandidates(in, 5, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Padding repeats entries, so check one-way membership modulo pads:
 	// if j is a distinct candidate of i, i must appear among j's.
 	for i := int32(0); i < 80; i++ {

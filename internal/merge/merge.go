@@ -107,7 +107,12 @@ func Solve(in *tsp.Instance, p Params, seed int64, deadline time.Time, target in
 	}
 
 	adj := UnionGraph(n, tours)
-	cand := neighbor.FromEdges(in, adj)
+	cand, err := neighbor.FromEdges(in, adj)
+	if err != nil {
+		// Union graphs of valid tours cannot produce bad edges; return the
+		// best base tour rather than merge over corrupt candidates.
+		return Result{Tour: bestBase, Length: bestBaseLen, BaseBest: bestBaseLen}
+	}
 
 	opt := lk.NewOptimizer(in, cand, bestBase, p.DeepLK)
 	opt.OptimizeAll(nil)

@@ -286,14 +286,34 @@ func BuildQuadrant(in *tsp.Instance, perQuad int) *Lists {
 
 // FromEdges builds candidate lists from an explicit edge set (e.g. the
 // union graph in tour merging or alpha-nearness selections). adj maps each
-// city to candidate endpoints; self-edges are dropped and duplicates
-// deduplicated, then each list is sorted by instance distance so the
-// dive() early-break assumption holds for edge-set candidate lists too.
-// The CSR layout keeps the lists ragged — no padding entries are invented.
-// A city with no usable candidates gets one arbitrary other city so random
-// walks over the candidate graph never strand.
-func FromEdges(in *tsp.Instance, adj [][]int32) *Lists {
+// city to candidate endpoints; duplicates are deduplicated, then each list
+// is sorted by instance distance so the dive() early-break assumption
+// holds for edge-set candidate lists too. The CSR layout keeps the lists
+// ragged — no padding entries are invented. A city with no usable
+// candidates gets one arbitrary other city so random walks over the
+// candidate graph never strand.
+//
+// Malformed input — a self-loop, an out-of-range vertex, or an adjacency
+// slice whose length disagrees with the instance — returns a descriptive
+// error rather than being silently skipped: every producer (union graphs,
+// alpha selection, Delaunay adjacency) is supposed to emit clean edges, so
+// a bad entry is a bug worth surfacing at the boundary.
+func FromEdges(in *tsp.Instance, adj [][]int32) (*Lists, error) {
 	n := in.N()
+	if len(adj) != n {
+		return nil, fmt.Errorf("neighbor: FromEdges: adjacency has %d cities, instance has %d", len(adj), n)
+	}
+	for c := range adj {
+		ci := int32(c)
+		for _, o := range adj[c] {
+			if o < 0 || int(o) >= n {
+				return nil, fmt.Errorf("neighbor: FromEdges: city %d lists out-of-range candidate %d (n=%d)", c, o, n)
+			}
+			if o == ci {
+				return nil, fmt.Errorf("neighbor: FromEdges: city %d lists itself", c)
+			}
+		}
+	}
 	dist := in.DistFunc()
 	perCity := make([][]candDist, n)
 	par.For(n, func(lo, hi int) {
@@ -301,9 +321,6 @@ func FromEdges(in *tsp.Instance, adj [][]int32) *Lists {
 			ci := int32(c)
 			s := make([]candDist, 0, len(adj[c])+1)
 			for _, o := range adj[c] {
-				if o == ci || o < 0 || int(o) >= n {
-					continue
-				}
 				s = append(s, candDist{o, dist(ci, o)})
 			}
 			sortCands(s)
@@ -341,5 +358,5 @@ func FromEdges(in *tsp.Instance, adj [][]int32) *Lists {
 		l.fill(int32(c), s)
 	}
 	l.mustValidate()
-	return l
+	return l, nil
 }

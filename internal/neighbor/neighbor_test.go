@@ -2,6 +2,7 @@ package neighbor
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"distclk/internal/geom"
@@ -118,7 +119,10 @@ func TestFromEdges(t *testing.T) {
 		adj[i] = []int32{(i + 1) % 20, (i + 19) % 20}
 	}
 	adj[5] = append(adj[5], 10, 15) // one larger list: the layout is ragged
-	l := FromEdges(in, adj)
+	l, err := FromEdges(in, adj)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if l.K() != 4 {
 		t.Fatalf("K = %d, want 4 (maximum degree)", l.K())
 	}
@@ -142,14 +146,17 @@ func TestFromEdges(t *testing.T) {
 	}
 }
 
-func TestFromEdgesDedupesAndDropsSelfEdges(t *testing.T) {
+func TestFromEdgesDedupes(t *testing.T) {
 	in := tsp.Generate(tsp.FamilyUniform, 12, 13)
 	adj := make([][]int32, 12)
 	for i := int32(0); i < 12; i++ {
-		// Duplicates, a self-edge, and shuffled order on every list.
-		adj[i] = []int32{(i + 1) % 12, i, (i + 2) % 12, (i + 1) % 12, (i + 2) % 12}
+		// Duplicates and shuffled order on every list.
+		adj[i] = []int32{(i + 1) % 12, (i + 2) % 12, (i + 1) % 12, (i + 2) % 12}
 	}
-	l := FromEdges(in, adj)
+	l, err := FromEdges(in, adj)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for c := int32(0); c < 12; c++ {
 		if got := l.Len(c); got != 2 {
 			t.Fatalf("city %d: Len = %d, want 2 after dedupe", c, got)
@@ -212,12 +219,51 @@ func TestFromEdgesEmptyAdjacency(t *testing.T) {
 	in := tsp.Generate(tsp.FamilyUniform, 5, 11)
 	adj := make([][]int32, 5)
 	adj[2] = []int32{4}
-	l := FromEdges(in, adj)
+	l, err := FromEdges(in, adj)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for c := int32(0); c < 5; c++ {
 		for _, o := range l.Of(c) {
 			if o == c {
 				t.Fatalf("city %d listed itself", c)
 			}
 		}
+	}
+}
+
+// TestFromEdgesRejectsMalformed pins the error contract: self-loops,
+// out-of-range vertices and mis-sized adjacency return descriptive errors
+// instead of being silently skipped (or panicking in mustValidate).
+func TestFromEdgesRejectsMalformed(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 6, 17)
+	good := func() [][]int32 {
+		adj := make([][]int32, 6)
+		for i := int32(0); i < 6; i++ {
+			adj[i] = []int32{(i + 1) % 6}
+		}
+		return adj
+	}
+
+	selfLoop := good()
+	selfLoop[3] = append(selfLoop[3], 3)
+	if _, err := FromEdges(in, selfLoop); err == nil || !strings.Contains(err.Error(), "lists itself") {
+		t.Errorf("self-loop: got %v, want 'lists itself' error", err)
+	}
+
+	outOfRange := good()
+	outOfRange[1] = append(outOfRange[1], 6)
+	if _, err := FromEdges(in, outOfRange); err == nil || !strings.Contains(err.Error(), "out-of-range") {
+		t.Errorf("out-of-range: got %v, want 'out-of-range' error", err)
+	}
+
+	negative := good()
+	negative[0] = append(negative[0], -1)
+	if _, err := FromEdges(in, negative); err == nil || !strings.Contains(err.Error(), "out-of-range") {
+		t.Errorf("negative vertex: got %v, want 'out-of-range' error", err)
+	}
+
+	if _, err := FromEdges(in, good()[:5]); err == nil {
+		t.Error("short adjacency: want size-mismatch error")
 	}
 }

@@ -284,5 +284,28 @@ func Manifest() []*Experiment {
 			},
 			run: runVariator,
 		},
+		{
+			ID:        "candidates",
+			Paper:     "§2.1 (extension)",
+			Section:   "§2.1",
+			Title:     "candidate-set strategies x gain rule at a fixed kick budget, with the auto-selector's choices",
+			Instances: []string{"E1k.1", "C1k.1", "fl3795"},
+			Runs:      2,
+			Seed:      1,
+			CLKKicks:  400,
+			Baselines: []Baseline{
+				{
+					Row: "all instances", Metric: "non-default configuration vs knn/strict late gap",
+					Paper: "not tabulated (the paper fixes one neighbor-list scheme; relaxed gain is the companion speed-up technique)",
+					Claim: "on every instance some non-default strategy or gain cell ties or beats knn/strict",
+				},
+				{
+					Row: "auto selector", Metric: "choice per geometry",
+					Paper: "n/a (repo extension; see DESIGN.md §10)",
+					Claim: "auto picks a coordinate-aware strategy (delaunay or quadrant) on every geometric instance",
+				},
+			},
+			run: runCandidates,
+		},
 	}
 }

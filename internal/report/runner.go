@@ -184,6 +184,42 @@ func (r *Runner) CLKRuns(name string, kick clk.KickStrategy, kicks int64, runs i
 	return out, nil
 }
 
+// CLKCandRuns is CLKRuns under an explicit candidate-strategy / gain-rule
+// configuration (kick strategy stays the random-walk default): `cand` names
+// a registered neighbor strategy, `relax` is the LK relaxed-gain depth
+// (0 = classic rule). Run r uses seed+101*r, exactly as CLKRuns, and the
+// traces share its cache keyed by the full configuration.
+func (r *Runner) CLKCandRuns(name, cand string, relax int, kicks int64, runs int, seed int64) ([]Trace, error) {
+	key := fmt.Sprintf("cand/%s/%s/%d/%d/%d/%d", name, cand, relax, kicks, runs, seed)
+	if out, ok := r.clkCache[key]; ok {
+		return out, nil
+	}
+	in, err := r.Instance(name)
+	if err != nil {
+		return nil, err
+	}
+	p := clk.DefaultParams()
+	p.Candidates = cand
+	p.LK.RelaxDepth = relax
+	out := make([]Trace, runs)
+	for run := 0; run < runs; run++ {
+		s := clk.New(in, p, seed+101*int64(run))
+		tr := Trace{Label: fmt.Sprintf("%s/CLK-%s-relax%d/run%d", name, cand, relax, run)}
+		tr.X = append(tr.X, 0)
+		tr.L = append(tr.L, s.BestLength())
+		for k := int64(1); k <= kicks; k++ {
+			if s.KickOnce() {
+				tr.X = append(tr.X, k)
+				tr.L = append(tr.L, s.BestLength())
+			}
+		}
+		tr.Final = s.BestLength()
+		out[run] = tr
+	}
+	r.clkCache[key] = out
+	return out, nil
+}
+
 // SimRuns performs (and caches) `runs` simnet cluster runs: `nodes` nodes
 // on a hypercube, `iters` EA iterations per node, fixed 5ms links, default
 // 100ms step cost. The trace axis is virtual microseconds, read off the

@@ -1,0 +1,118 @@
+package tsp
+
+import (
+	"math"
+	"sort"
+
+	"distclk/internal/geom"
+)
+
+// Stats summarizes the instance features the candidate-strategy
+// auto-selector keys on. There is exactly one implementation of these
+// statistics: cmd/tspstat prints the same numbers the selector reads, so
+// users can predict what "auto" will pick.
+type Stats struct {
+	// N is the city count.
+	N int
+	// Metric is the instance's TSPLIB edge-weight function.
+	Metric geom.MetricKind
+	// Explicit reports a matrix-only instance with no coordinates;
+	// geometric candidate builders do not apply.
+	Explicit bool
+	// ClusterCV is the coefficient of variation (stddev/mean) of point
+	// counts over a ~sqrt(n) x sqrt(n) occupancy grid covering the
+	// bounding box. Uniform scatters sit near 1 (Poisson); strongly
+	// clustered instances run far above it. 0 for explicit instances.
+	ClusterCV float64
+	// AxisDegeneracy is 1 - distinct(x)+distinct(y) / 2n: near 0 for
+	// continuous random coordinates, near 1 for exact lattices (the
+	// drill/PCB family's shared-coordinate degeneracy, which flattens the
+	// cost surface into plateaus). 0 for explicit instances.
+	AxisDegeneracy float64
+}
+
+// Describe computes the instance statistics in O(n log n).
+func Describe(in *Instance) Stats {
+	st := Stats{
+		N:        in.N(),
+		Metric:   in.Metric,
+		Explicit: in.Explicit(),
+	}
+	if st.Explicit || st.N == 0 {
+		return st
+	}
+	st.ClusterCV = occupancyCV(in.Pts)
+	st.AxisDegeneracy = axisDegeneracy(in.Pts)
+	return st
+}
+
+// occupancyCV grids the bounding box into about n cells (mean occupancy
+// ~1) and returns stddev/mean of the per-cell counts.
+func occupancyCV(pts []geom.Point) float64 {
+	n := len(pts)
+	if n < 2 {
+		return 0
+	}
+	min, max := geom.BoundingBox(pts)
+	w, h := max.X-min.X, max.Y-min.Y
+	g := int(math.Ceil(math.Sqrt(float64(n))))
+	gx, gy := g, g
+	if w == 0 {
+		gx = 1
+	}
+	if h == 0 {
+		gy = 1
+	}
+	counts := make([]int, gx*gy)
+	for _, p := range pts {
+		cx, cy := 0, 0
+		if gx > 1 {
+			cx = int(float64(gx) * (p.X - min.X) / w)
+			if cx == gx {
+				cx = gx - 1
+			}
+		}
+		if gy > 1 {
+			cy = int(float64(gy) * (p.Y - min.Y) / h)
+			if cy == gy {
+				cy = gy - 1
+			}
+		}
+		counts[cy*gx+cx]++
+	}
+	mean := float64(n) / float64(len(counts))
+	var ss float64
+	for _, c := range counts {
+		d := float64(c) - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(counts))) / mean
+}
+
+// axisDegeneracy measures coordinate sharing: 1 - (distinct x values +
+// distinct y values) / 2n.
+func axisDegeneracy(pts []geom.Point) float64 {
+	n := len(pts)
+	if n == 0 {
+		return 0
+	}
+	vals := make([]float64, n)
+	distinct := 0
+	for axis := 0; axis < 2; axis++ {
+		for i, p := range pts {
+			if axis == 0 {
+				vals[i] = p.X
+			} else {
+				vals[i] = p.Y
+			}
+		}
+		sort.Float64s(vals)
+		distinct++
+		for i := 1; i < n; i++ {
+			if vals[i] != vals[i-1] {
+				distinct++
+			}
+		}
+	}
+	return 1 - float64(distinct)/float64(2*n)
+}

@@ -1,0 +1,78 @@
+package tsp
+
+import (
+	"testing"
+
+	"distclk/internal/geom"
+)
+
+// TestDescribeDiscriminatesFamilies pins the probe's separating power:
+// the thresholds the auto-selector uses (clustered >> uniform in
+// ClusterCV, lattice >> continuous in AxisDegeneracy) must hold on the
+// synthetic testbed families.
+func TestDescribeDiscriminatesFamilies(t *testing.T) {
+	uniform := Describe(Generate(FamilyUniform, 1000, 1))
+	clustered := Describe(Generate(FamilyClustered, 1000, 1))
+	drill := Describe(Generate(FamilyDrill, 1000, 1))
+	grid := Describe(Generate(FamilyGrid, 1000, 1))
+
+	if uniform.ClusterCV > 1.5 {
+		t.Errorf("uniform ClusterCV = %.2f, want near 1 (Poisson)", uniform.ClusterCV)
+	}
+	if clustered.ClusterCV < 2.0 {
+		t.Errorf("clustered ClusterCV = %.2f, want >> 1", clustered.ClusterCV)
+	}
+	if clustered.ClusterCV < 1.5*uniform.ClusterCV {
+		t.Errorf("clustered CV %.2f not separated from uniform CV %.2f", clustered.ClusterCV, uniform.ClusterCV)
+	}
+	if drill.AxisDegeneracy < 0.5 {
+		t.Errorf("drill AxisDegeneracy = %.2f, want high (exact lattice)", drill.AxisDegeneracy)
+	}
+	if uniform.AxisDegeneracy > 0.1 {
+		t.Errorf("uniform AxisDegeneracy = %.2f, want near 0", uniform.AxisDegeneracy)
+	}
+	if grid.AxisDegeneracy > 0.1 {
+		t.Errorf("grid (jittered) AxisDegeneracy = %.2f, want near 0", grid.AxisDegeneracy)
+	}
+	for _, st := range []Stats{uniform, clustered, drill, grid} {
+		if st.N != 1000 || st.Explicit {
+			t.Errorf("bad N/Explicit in %+v", st)
+		}
+	}
+}
+
+// TestDescribeExplicit asserts geometric statistics are zeroed for
+// matrix-only instances.
+func TestDescribeExplicit(t *testing.T) {
+	in, err := NewExplicit("m3", 3, []int64{0, 2, 3, 2, 0, 4, 3, 4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Describe(in)
+	if !st.Explicit || st.N != 3 {
+		t.Fatalf("got %+v", st)
+	}
+	if st.ClusterCV != 0 || st.AxisDegeneracy != 0 {
+		t.Errorf("geometric stats should be zero for explicit instances: %+v", st)
+	}
+}
+
+// TestDescribeDegenerateGeometry: collinear and tiny inputs must not
+// divide by zero or panic.
+func TestDescribeDegenerateGeometry(t *testing.T) {
+	line := make([]geom.Point, 10)
+	for i := range line {
+		line[i] = geom.Point{X: float64(i), Y: 5}
+	}
+	st := Describe(New("line", geom.Euc2D, line))
+	if st.N != 10 {
+		t.Fatalf("got %+v", st)
+	}
+	if st.AxisDegeneracy < 0.4 {
+		t.Errorf("collinear points share all y: AxisDegeneracy = %.2f", st.AxisDegeneracy)
+	}
+	one := Describe(New("one", geom.Euc2D, []geom.Point{{X: 1, Y: 1}}))
+	if one.N != 1 || one.ClusterCV != 0 {
+		t.Errorf("single point: %+v", one)
+	}
+}
