@@ -10,7 +10,12 @@ BENCH_PATTERN ?= ^(BenchmarkFlip|BenchmarkOptimizeAfterKick|BenchmarkCLKKicksPer
 BENCH_OUT     ?= BENCH_PR7.json
 BENCH_TIME    ?= 1s
 
-.PHONY: check build vet fmt lint distlint test race bench repro repro-smoke doc-links
+.PHONY: check build vet fmt lint distlint test race bench repro repro-smoke doc-links loadtest service-smoke
+
+# loadtest: worker counts the solve-service load test sweeps, and where
+# its latency/throughput report lands (see results/README.md).
+LOAD_WORKERS ?= 1,2
+LOAD_OUT     ?= results/BENCH_PR8.json
 
 ## check: everything CI runs — lint, full tests, race tests
 check: lint test race
@@ -51,6 +56,16 @@ bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_TIME) -count 1 -timeout 30m . > bench.out 2>&1 || { cat bench.out; rm -f bench.out; exit 1; }
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) < bench.out
 	@rm -f bench.out
+
+## loadtest: drive the solve service with concurrent clients and emit the
+## $(LOAD_OUT) report (p50/p95/p99 latency + throughput per worker count)
+loadtest:
+	$(GO) run ./cmd/solved -loadtest -lt-workers $(LOAD_WORKERS) -out $(LOAD_OUT)
+
+## service-smoke: build cmd/solved, boot it, and exercise the e2e contract
+## (200 + optimal tour, byte-identical cache hit, clean SIGINT drain)
+service-smoke:
+	sh scripts/service_smoke.sh
 
 ## repro: regenerate the deterministic smoke tier — the marked sections of
 ## EXPERIMENTS.md, results/smoke/*.csv, and REPRODUCTION.md

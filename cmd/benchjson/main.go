@@ -7,12 +7,14 @@
 // Snapshot schema (BENCH_*.json):
 //
 //	{
-//	  "schema_version": 1,
+//	  "schema_version": 2,
 //	  "generated_at":   "RFC3339 timestamp",
 //	  "go_version":     "go1.24.0",
 //	  "goos":           "linux",   // from the benchmark preamble
 //	  "goarch":         "amd64",
 //	  "cpu":            "...",     // as printed by the testing package
+//	  "gomaxprocs":     1,         // of the recording host (schema v2)
+//	  "num_cpu":        1,         // so snapshots are comparable across machines
 //	  "benchmarks": [
 //	    {
 //	      "name":          "BenchmarkOptimizeAfterKick",
@@ -58,6 +60,8 @@ type snapshot struct {
 	GOOS          string      `json:"goos,omitempty"`
 	GOARCH        string      `json:"goarch,omitempty"`
 	CPU           string      `json:"cpu,omitempty"`
+	GOMAXPROCS    int         `json:"gomaxprocs"`
+	NumCPU        int         `json:"num_cpu"`
 	Benchmarks    []benchmark `json:"benchmarks"`
 }
 
@@ -66,9 +70,13 @@ func main() {
 	flag.Parse()
 
 	snap := snapshot{
-		SchemaVersion: 1,
+		SchemaVersion: 2,
 		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
 		GoVersion:     runtime.Version(),
+		// Worker-scaling columns only compare across snapshots recorded on
+		// machines with the same parallel headroom, so pin it in the file.
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
 	failed := false
 

@@ -105,9 +105,11 @@ func main() {
 	ea.KicksPerCall = *kpc
 
 	// Ctrl-C / SIGTERM cancels the context; the solve unwinds and reports
-	// its best-so-far tour.
+	// its best-so-far tour. Unregistering on the first signal restores the
+	// default fatal disposition, so a second one force-quits a stuck drain.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	context.AfterFunc(ctx, stop)
 	ctx, cancel := context.WithTimeout(ctx, *budget)
 	defer cancel()
 

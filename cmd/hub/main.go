@@ -51,8 +51,11 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Unregistering on the first signal restores the default fatal
+	// disposition, so a second Ctrl-C force-quits a stuck bootstrap.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	context.AfterFunc(ctx, stop)
 
 	fmt.Printf("hub: listening on %s for %d nodes (%s)\n", h.Addr(), *nodes, kind)
 	if err := h.Serve(ctx); err != nil {

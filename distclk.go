@@ -23,12 +23,13 @@
 //
 // Mode-independent: WithKick, WithBudget, WithTarget, WithSeed,
 // WithProgressInterval, WithWorkers (explicit n >= 1), WithCandidates,
-// WithRelaxedGain.
+// WithRelaxedGain, WithEventSink.
 //
 // Plain CLK only (reject WithNodes alongside them): WithMaxKicks,
-// WithMergeEvery, and the auto-sizing WithWorkers(0) — with cooperating
+// WithMergeEvery, the auto-sizing WithWorkers(0) — with cooperating
 // nodes time-sharing the machine, the per-node worker count must be an
-// explicit choice.
+// explicit choice — and WithScratch, which additionally requires the
+// classic single worker.
 //
 // Distributed EA only (require WithNodes): WithTopology, WithEAParameters,
 // WithKicksPerCall.
@@ -157,6 +158,8 @@ type options struct {
 	interval   time.Duration
 	candidates string
 	relaxDepth int
+	sink       obs.Sink
+	scratch    *clk.Scratch
 
 	// Which option groups were explicitly set — build's combination check
 	// (see the package-level options matrix) needs to tell defaults apart
@@ -400,6 +403,53 @@ func WithProgressInterval(d time.Duration) Option {
 	}
 }
 
+// Event, EventKind and EventSink re-export the observability vocabulary
+// (internal/obs) and Scratch the recyclable solve buffers (internal/clk)
+// under importable names: external modules cannot import internal
+// packages, but can name aliases, consume WithEventSink streams, and
+// implement their own one-method EventSink.
+type (
+	Event     = obs.Event
+	EventKind = obs.Kind
+	EventSink = obs.Sink
+	Scratch   = clk.Scratch
+)
+
+// WithEventSink streams the solve's raw observability events into sink as
+// they happen — every decision point, including the high-frequency
+// kick-level kinds (kick accepted/reverted fire once per kick).
+// Long-lived consumers such as the solve service's SSE fan-out wrap the
+// sink in obs.Filter, or use an obs.Broadcaster whose bounded per-
+// subscriber buffers drop instead of blocking; a sink that blocks stalls
+// the solve. The sink must be safe for concurrent Emit calls.
+func WithEventSink(sink EventSink) Option {
+	return func(o *options) error {
+		if sink == nil {
+			return fmt.Errorf("distclk: nil event sink (drop the option instead)")
+		}
+		o.sink = sink
+		return nil
+	}
+}
+
+// WithScratch recycles per-solve scratch memory — the CSR candidate
+// tables, LK optimizer buffers, and kick buffers — from sc instead of
+// allocating fresh, so a long-lived caller solving many instances in
+// sequence (the solve service's sync.Pool) avoids the per-job allocation
+// spike. A Scratch backs at most one live solve: reuse it only after the
+// previous Solve returned. Classic single-worker plain CLK only
+// (WithWorkers(1), no WithNodes): parallel workers and cluster nodes
+// each need private state, which a single scratch cannot back.
+func WithScratch(sc *Scratch) Option {
+	return func(o *options) error {
+		if sc == nil {
+			return fmt.Errorf("distclk: nil scratch (drop the option instead)")
+		}
+		o.scratch = sc
+		return nil
+	}
+}
+
 // build applies the options and validates the whole configuration in one
 // place; every invalid option and every conflicting combination is
 // reported, joined into a single error.
@@ -447,6 +497,14 @@ func (o *options) combos() []error {
 	if o.mergeSet && !o.workersAuto && o.workers == 1 {
 		errs = append(errs, fmt.Errorf("distclk: WithMergeEvery requires WithWorkers(n > 1): tour merging fuses tours from at least two workers"))
 	}
+	if o.scratch != nil {
+		if o.nodes > 0 {
+			errs = append(errs, fmt.Errorf("distclk: WithScratch applies to plain CLK solves only; cluster nodes each need private state"))
+		}
+		if o.workersAuto || o.workers > 1 {
+			errs = append(errs, fmt.Errorf("distclk: WithScratch requires the classic single worker; a scratch backs exactly one searcher"))
+		}
+	}
 	return errs
 }
 
@@ -475,7 +533,7 @@ func New(in *Instance, opts ...Option) (*Solver, error) {
 	if recs == 0 {
 		recs = o.workers
 	}
-	return &Solver{in: in, o: o, observer: obs.NewObserver(recs, nil)}, nil
+	return &Solver{in: in, o: o, observer: obs.NewObserver(recs, o.sink)}, nil
 }
 
 // Progress returns a channel of periodic solve snapshots. Call Progress
@@ -604,7 +662,7 @@ func (s *Solver) Solve(ctx context.Context) (Result, error) {
 // for this solve. An explicit WithRelaxedGain wins over the auto
 // recommendation; named strategies recommend the classic rule.
 func (s *Solver) resolveCandidates() (*neighbor.Lists, int, error) {
-	nbr, choice, err := neighbor.Select(s.in, s.o.candidates, clk.DefaultParams().NeighborK)
+	nbr, choice, err := neighbor.SelectWith(s.o.scratch.CSR(), s.in, s.o.candidates, clk.DefaultParams().NeighborK)
 	if err != nil {
 		return nil, 0, fmt.Errorf("distclk: %w", err)
 	}
@@ -627,7 +685,7 @@ func (s *Solver) solveCLK(ctx context.Context, nbr *neighbor.Lists, relax int) R
 	// One worker takes the classic single-goroutine path: byte-identical to
 	// every release since the facade existed for a given seed.
 	if s.o.workers == 1 {
-		engine := clk.New(s.in, p, s.o.seed)
+		engine := clk.NewWith(s.o.scratch, s.in, p, s.o.seed)
 		engine.Rec = s.observer.Recorder(0)
 		engine.Rec.SetBest(engine.BestLength())
 		res := engine.Run(ctx, b)

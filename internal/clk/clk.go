@@ -150,23 +150,24 @@ func (p Params) normalize() Params {
 // New builds a solver. It constructs candidate lists (unless provided), the
 // initial tour, and runs a full LK pass so Best starts at a local optimum.
 func New(inst *tsp.Instance, p Params, seed int64) *Solver {
-	return newSolver(inst, p, seed, nil)
+	return newSolver(nil, inst, p, seed, nil)
 }
 
 // resolveNeighbors picks the candidate lists for a solver: an explicit
-// Neighbors override wins; otherwise the named strategy is built, with a
-// documented knn fallback on unknown names or builder errors because the
-// engine constructors have no error path.
-func resolveNeighbors(inst *tsp.Instance, p Params) *neighbor.Lists {
+// Neighbors override wins; otherwise the named strategy is built (its
+// CSR arrays drawn from st when non-nil), with a documented knn fallback
+// on unknown names or builder errors because the engine constructors
+// have no error path.
+func resolveNeighbors(st *neighbor.Storage, inst *tsp.Instance, p Params) *neighbor.Lists {
 	if p.Neighbors != nil {
 		return p.Neighbors
 	}
 	if p.Candidates == "" || p.Candidates == "knn" {
-		return neighbor.Build(inst, p.NeighborK)
+		return neighbor.BuildWith(st, inst, p.NeighborK)
 	}
-	l, _, err := neighbor.Select(inst, p.Candidates, p.NeighborK)
+	l, _, err := neighbor.SelectWith(st, inst, p.Candidates, p.NeighborK)
 	if err != nil {
-		return neighbor.Build(inst, p.NeighborK)
+		return neighbor.BuildWith(st, inst, p.NeighborK)
 	}
 	return l
 }
@@ -174,9 +175,14 @@ func resolveNeighbors(inst *tsp.Instance, p Params) *neighbor.Lists {
 // newSolver is New with an abort hook threaded into the construction LK
 // pass, so a cancelled Group stops building promptly. An aborted pass
 // still leaves a valid (just less optimized) initial incumbent.
-func newSolver(inst *tsp.Instance, p Params, seed int64, stop func() bool) *Solver {
+func newSolver(sc *Scratch, inst *tsp.Instance, p Params, seed int64, stop func() bool) *Solver {
 	p = p.normalize()
-	nbr := resolveNeighbors(inst, p)
+	var st *neighbor.Storage
+	var optSc *lk.Scratch
+	if sc != nil {
+		st, optSc = &sc.csr, &sc.opt
+	}
+	nbr := resolveNeighbors(st, inst, p)
 	rng := rand.New(rand.NewSource(seed))
 	s := &Solver{
 		Inst:   inst,
@@ -192,16 +198,25 @@ func newSolver(inst *tsp.Instance, p Params, seed int64, stop func() bool) *Solv
 		beta:     p.CloseBeta,
 		walkLen:  p.WalkLen,
 		dist:     inst.DistFunc(),
-		// Scratch is sized once here so the steady-state kick loop never
-		// allocates: the double-bridge rewrite needs at most n cities and
-		// the Close strategy's subset at most n-1.
-		segBuf: make([]int32, 0, inst.N()),
+	}
+	// Scratch is sized once here so the steady-state kick loop never
+	// allocates: the double-bridge rewrite needs at most n cities and the
+	// Close strategy's subset at most n-1. With a Scratch the arrays come
+	// from recycled memory instead.
+	if sc != nil {
+		s.kicker.segBuf = sc.ints(&sc.segBuf, inst.N())
+	} else {
+		s.kicker.segBuf = make([]int32, 0, inst.N())
 	}
 	if p.Kick == KickClose {
-		s.kicker.subset = make([]int32, 0, inst.N())
+		if sc != nil {
+			s.kicker.subset = sc.ints(&sc.subset, inst.N())
+		} else {
+			s.kicker.subset = make([]int32, 0, inst.N())
+		}
 	}
 	initial := construct.Build(p.Construct, inst, nbr, rng)
-	s.opt = lk.NewOptimizer(inst, nbr, initial, p.LK)
+	s.opt = lk.NewOptimizerWith(optSc, inst, nbr, initial, p.LK)
 	s.opt.OptimizeAll(stop)
 	s.best = lk.NewArrayTour(s.opt.Tour.Tour())
 	s.bestLen = s.opt.Length()

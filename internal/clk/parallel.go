@@ -126,7 +126,7 @@ type Group struct {
 func NewGroup(ctx context.Context, inst *tsp.Instance, p Params, gp GroupParams, seed int64) *Group {
 	stop := cancelPoll(ctx)
 	p = p.normalize()
-	p.Neighbors = resolveNeighbors(inst, p)
+	p.Neighbors = resolveNeighbors(nil, inst, p)
 	if gp.Workers <= 0 {
 		gp.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -158,7 +158,7 @@ func NewGroup(ctx context.Context, inst *tsp.Instance, p Params, gp GroupParams,
 			g.workers[i] = &worker{
 				id: i,
 				g:  g,
-				s:  newSolver(inst, p, seed+int64(i)*workerSeedSalt, stop),
+				s:  newSolver(nil, inst, p, seed+int64(i)*workerSeedSalt, stop),
 			}
 		}(i)
 	}

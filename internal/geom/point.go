@@ -1,6 +1,10 @@
 package geom
 
-import "math"
+import (
+	"fmt"
+	"math"
+	"strings"
+)
 
 // Point is a city location in the plane. GEO instances store latitude and
 // longitude in TSPLIB's DDD.MM degree-minute encoding in X and Y.
@@ -43,6 +47,29 @@ func (m MetricKind) String() string {
 		return "MAX_2D"
 	}
 	return "UNKNOWN"
+}
+
+// ParseMetric resolves a TSPLIB EDGE_WEIGHT_TYPE keyword to its metric.
+// Matching is case-insensitive and tolerates the underscore-free
+// spellings ("euc2d") used by JSON APIs; the empty string defaults to
+// Euc2D, mirroring ReadTSPLIB. EXPLICIT is not a metric — matrix-backed
+// instances carry no edge-weight function — and is rejected here.
+func ParseMetric(name string) (MetricKind, error) {
+	switch strings.ReplaceAll(strings.ToUpper(strings.TrimSpace(name)), "_", "") {
+	case "EUC2D", "":
+		return Euc2D, nil
+	case "CEIL2D":
+		return Ceil2D, nil
+	case "ATT":
+		return Att, nil
+	case "GEO":
+		return Geo, nil
+	case "MAN2D":
+		return Man2D, nil
+	case "MAX2D":
+		return Max2D, nil
+	}
+	return 0, fmt.Errorf("geom: unsupported EDGE_WEIGHT_TYPE %q", name)
 }
 
 // Dist computes the integral TSPLIB distance between two points under the

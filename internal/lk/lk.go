@@ -99,27 +99,7 @@ type Optimizer struct {
 // Every scratch buffer the search can need is allocated here, pre-sized
 // from the instance and MaxDepth, so Optimize never grows a slice.
 func NewOptimizer(inst *tsp.Instance, nbr *neighbor.Lists, tour tsp.Tour, params Params) *Optimizer {
-	o := &Optimizer{
-		inst:     inst,
-		nbr:      nbr,
-		params:   params,
-		Tour:     NewArrayTour(tour),
-		dist:     inst.DistFunc(),
-		inQueue:  make([]bool, inst.N()),
-		queue:    make([]int32, 0, inst.N()),
-		path:     make([]step, 0, params.MaxDepth),
-		bestPath: make([]step, 0, params.MaxDepth),
-		touched:  make([]int32, 0, 2*params.MaxDepth+2),
-	}
-	o.length = tour.Length(inst)
-	if params.RelaxDepth > 0 {
-		o.relaxDepth = params.RelaxDepth
-		o.relaxPerMille = int64(params.RelaxSlackPerMille)
-		if o.relaxPerMille <= 0 {
-			o.relaxPerMille = defaultRelaxSlackPerMille
-		}
-	}
-	return o
+	return NewOptimizerWith(nil, inst, nbr, tour, params)
 }
 
 // Length returns the current tour length (maintained incrementally).

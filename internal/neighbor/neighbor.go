@@ -129,15 +129,15 @@ func sortCands(s []candDist) {
 	})
 }
 
-// newUniform allocates a Lists where every city has exactly k candidates.
-func newUniform(n, k int) *Lists {
+// newUniform builds a Lists where every city has exactly k candidates,
+// drawing the backing arrays from st (nil = allocate fresh).
+func newUniform(st *Storage, n, k int) *Lists {
 	l := &Lists{
-		k:    k,
-		n:    n,
-		off:  make([]int32, n+1),
-		flat: make([]int32, n*k),
-		dist: make([]int64, n*k),
+		k:   k,
+		n:   n,
+		off: st.offsets(n + 1),
 	}
+	l.flat, l.dist = st.payload(n * k)
 	for c := 0; c <= n; c++ {
 		l.off[c] = int32(c * k)
 	}
@@ -156,7 +156,11 @@ func (l *Lists) fill(city int32, pairs []candDist) {
 // Build constructs k-nearest-neighbour candidate lists with precomputed
 // distances. k is clamped to n-1. Construction is parallel across
 // GOMAXPROCS workers (the k-d tree is built once and queried read-only).
-func Build(in *tsp.Instance, k int) *Lists {
+func Build(in *tsp.Instance, k int) *Lists { return BuildWith(nil, in, k) }
+
+// BuildWith is Build drawing the CSR backing arrays from st (nil =
+// allocate fresh). The returned Lists aliases st; see Storage.
+func BuildWith(st *Storage, in *tsp.Instance, k int) *Lists {
 	n := in.N()
 	if k > n-1 {
 		k = n - 1
@@ -164,7 +168,7 @@ func Build(in *tsp.Instance, k int) *Lists {
 	if k < 1 {
 		k = 1
 	}
-	l := newUniform(n, k)
+	l := newUniform(st, n, k)
 	dist := in.DistFunc()
 	if in.Explicit() || n <= 64 {
 		par.For(n, func(lo, hi int) {
@@ -213,15 +217,21 @@ func Build(in *tsp.Instance, k int) *Lists {
 // around it, padded with globally nearest cities when quadrants are sparse.
 // Quadrant lists avoid candidate starvation in strongly clustered instances.
 func BuildQuadrant(in *tsp.Instance, perQuad int) *Lists {
+	return BuildQuadrantWith(nil, in, perQuad)
+}
+
+// BuildQuadrantWith is BuildQuadrant drawing the CSR backing arrays from
+// st (nil = allocate fresh). The returned Lists aliases st; see Storage.
+func BuildQuadrantWith(st *Storage, in *tsp.Instance, perQuad int) *Lists {
 	n := in.N()
 	k := 4 * perQuad
 	if k > n-1 {
 		k = n - 1
 	}
 	if in.Explicit() {
-		return Build(in, k)
+		return BuildWith(st, in, k)
 	}
-	l := newUniform(n, k)
+	l := newUniform(st, n, k)
 	tree := geom.NewKDTree(in.Pts)
 	dist := in.DistFunc()
 	fetch := 4 * k
@@ -299,6 +309,12 @@ func BuildQuadrant(in *tsp.Instance, perQuad int) *Lists {
 // alpha selection, Delaunay adjacency) is supposed to emit clean edges, so
 // a bad entry is a bug worth surfacing at the boundary.
 func FromEdges(in *tsp.Instance, adj [][]int32) (*Lists, error) {
+	return FromEdgesWith(nil, in, adj)
+}
+
+// FromEdgesWith is FromEdges drawing the CSR backing arrays from st (nil =
+// allocate fresh). The returned Lists aliases st; see Storage.
+func FromEdgesWith(st *Storage, in *tsp.Instance, adj [][]int32) (*Lists, error) {
 	n := in.N()
 	if len(adj) != n {
 		return nil, fmt.Errorf("neighbor: FromEdges: adjacency has %d cities, instance has %d", len(adj), n)
@@ -342,7 +358,7 @@ func FromEdges(in *tsp.Instance, adj [][]int32) (*Lists, error) {
 			perCity[c] = s
 		}
 	})
-	l := &Lists{n: n, off: make([]int32, n+1)}
+	l := &Lists{n: n, off: st.offsets(n + 1)}
 	total := 0
 	for c, s := range perCity {
 		l.off[c] = int32(total)
@@ -352,8 +368,7 @@ func FromEdges(in *tsp.Instance, adj [][]int32) (*Lists, error) {
 		}
 	}
 	l.off[n] = int32(total)
-	l.flat = make([]int32, total)
-	l.dist = make([]int64, total)
+	l.flat, l.dist = st.payload(total)
 	for c, s := range perCity {
 		l.fill(int32(c), s)
 	}

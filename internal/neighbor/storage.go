@@ -1,0 +1,58 @@
+package neighbor
+
+// Storage recycles the CSR backing arrays of a Lists across builds. The
+// candidate tables are the largest per-solve allocation (off is n+1 int32,
+// flat/dist are ~n*k int32/int64), so a long-lived service that solves one
+// instance after another pools Storage objects instead of re-allocating
+// them per job (ROADMAP item 1; see internal/serve).
+//
+// A Storage backs AT MOST ONE live Lists at a time: the storage-aware
+// builders slice the recycled arrays directly into the Lists they return,
+// so building again from the same Storage overwrites the previous table.
+// The zero value is ready to use. A nil *Storage is accepted everywhere
+// and means "allocate fresh", which is how the storage-oblivious wrappers
+// (Build, BuildQuadrant, FromEdges, Select) behave.
+type Storage struct {
+	off  []int32
+	flat []int32
+	dist []int64
+}
+
+// offsets returns a length-nOff int32 slice backed by recycled memory,
+// growing the backing array when the capacity does not suffice. Contents
+// are unspecified; every builder overwrites the full slice.
+func (st *Storage) offsets(nOff int) []int32 {
+	if st == nil {
+		return make([]int32, nOff)
+	}
+	if cap(st.off) < nOff {
+		st.off = make([]int32, nOff)
+	}
+	st.off = st.off[:nOff]
+	return st.off
+}
+
+// payload returns length-total flat/dist slices backed by recycled memory.
+func (st *Storage) payload(total int) ([]int32, []int64) {
+	if st == nil {
+		return make([]int32, total), make([]int64, total)
+	}
+	if cap(st.flat) < total {
+		st.flat = make([]int32, total)
+	}
+	if cap(st.dist) < total {
+		st.dist = make([]int64, total)
+	}
+	st.flat = st.flat[:total]
+	st.dist = st.dist[:total]
+	return st.flat, st.dist
+}
+
+// Owns reports whether l's backing arrays came from this Storage — the
+// pool-hit assertion used by scratch-reuse tests.
+func (st *Storage) Owns(l *Lists) bool {
+	if st == nil || l == nil || len(st.off) == 0 || len(l.off) == 0 {
+		return false
+	}
+	return &st.off[0] == &l.off[0]
+}

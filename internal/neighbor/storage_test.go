@@ -1,0 +1,88 @@
+package neighbor
+
+import (
+	"testing"
+
+	"distclk/internal/tsp"
+)
+
+// Rebuilding from the same Storage must reuse the CSR backing arrays
+// (pointer identity), not allocate new ones — the pool-hit contract the
+// solve service relies on.
+func TestStorageReusesCSRBackingArrays(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 200, 1)
+	st := &Storage{}
+
+	l1 := BuildWith(st, in, 8)
+	if !st.Owns(l1) {
+		t.Fatalf("first build: Lists not backed by Storage")
+	}
+	first := &l1.flat[0]
+
+	l2 := BuildWith(st, in, 8)
+	if !st.Owns(l2) {
+		t.Fatalf("rebuild: Lists not backed by Storage")
+	}
+	if &l2.flat[0] != first {
+		t.Fatalf("rebuild allocated a fresh flat array instead of recycling")
+	}
+
+	// A smaller build must also recycle (capacity suffices).
+	small := tsp.Generate(tsp.FamilyUniform, 50, 2)
+	l3 := BuildWith(st, small, 8)
+	if !st.Owns(l3) || &l3.flat[0] != first {
+		t.Fatalf("smaller rebuild did not recycle the backing arrays")
+	}
+
+	// Every storage-aware builder draws from the same Storage.
+	if l := BuildQuadrantWith(st, in, 2); !st.Owns(l) {
+		t.Fatalf("BuildQuadrantWith: Lists not backed by Storage")
+	}
+	if l, _, err := SelectWith(st, in, "auto", 8); err != nil || !st.Owns(l) {
+		t.Fatalf("SelectWith(auto): err=%v owned=%v", err, st.Owns(l))
+	}
+	if l, err := BuildAlphaWith(st, in, 6, 50); err != nil || !st.Owns(l) {
+		t.Fatalf("BuildAlphaWith: err=%v owned=%v", err, st.Owns(l))
+	}
+}
+
+// A nil Storage must behave exactly like the storage-oblivious builders:
+// fresh arrays, Owns reports false.
+func TestNilStorageAllocatesFresh(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 100, 3)
+	var st *Storage
+	l := BuildWith(st, in, 8)
+	if st.Owns(l) {
+		t.Fatalf("nil Storage claims ownership")
+	}
+	l2 := Build(in, 8)
+	if l.n != l2.n || len(l.flat) != len(l2.flat) {
+		t.Fatalf("nil-storage build differs from plain Build")
+	}
+}
+
+// Lists built from the same instance with and without a Storage must be
+// identical: recycling may not change candidate content.
+func TestStorageBuildMatchesPlainBuild(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 300, 7)
+	st := &Storage{}
+	// Warm the storage with a different instance first so stale contents
+	// would surface as a diff.
+	BuildWith(st, tsp.Generate(tsp.FamilyUniform, 400, 8), 10)
+
+	a := Build(in, 10)
+	b := BuildWith(st, in, 10)
+	if a.n != b.n {
+		t.Fatalf("n mismatch: %d vs %d", a.n, b.n)
+	}
+	for i := range a.off {
+		if a.off[i] != b.off[i] {
+			t.Fatalf("off[%d] mismatch", i)
+		}
+	}
+	for i := range a.flat {
+		if a.flat[i] != b.flat[i] || a.dist[i] != b.dist[i] {
+			t.Fatalf("payload mismatch at %d", i)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import "sync"
+
+// Broadcaster fans an event stream out to dynamically attached
+// subscribers — the bridge between a solve's Sink and any number of live
+// SSE/JSONL streaming clients (internal/serve). It is itself a Sink, so
+// it composes with Filter/Multi like any other.
+//
+// Emit never blocks and never waits on a slow consumer: each subscriber
+// has a bounded buffer, and an event that does not fit is dropped for
+// that subscriber only, counted on its Dropped counter. A streaming
+// client that stalls or disconnects therefore cannot stall the solver
+// emitting into the broadcaster — the solver's hot loop stays decoupled
+// from network backpressure by design.
+type Broadcaster struct {
+	mu      sync.Mutex
+	subs    map[*Subscription]struct{}
+	closed  bool
+	dropped int64
+}
+
+// Subscription is one attached consumer. Receive from Events; call
+// Cancel when done (safe to call more than once, and after Close).
+type Subscription struct {
+	b       *Broadcaster
+	ch      chan Event
+	dropped int64 // guarded by b.mu
+	done    bool  // guarded by b.mu
+}
+
+// NewBroadcaster returns an empty broadcaster with no subscribers.
+func NewBroadcaster() *Broadcaster {
+	return &Broadcaster{subs: make(map[*Subscription]struct{})}
+}
+
+// Subscribe attaches a consumer with the given buffer capacity (minimum
+// 1). If the broadcaster is already closed the returned subscription's
+// channel is closed immediately.
+func (b *Broadcaster) Subscribe(buf int) *Subscription {
+	if buf < 1 {
+		buf = 1
+	}
+	s := &Subscription{b: b, ch: make(chan Event, buf)}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		s.done = true
+		close(s.ch)
+		return s
+	}
+	b.subs[s] = struct{}{}
+	return s
+}
+
+// Emit delivers e to every subscriber whose buffer has room, dropping it
+// for the rest. Never blocks.
+func (b *Broadcaster) Emit(e Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for s := range b.subs {
+		select {
+		case s.ch <- e:
+		default:
+			s.dropped++
+			b.dropped++
+		}
+	}
+}
+
+// Close detaches every subscriber and closes their channels; later Emits
+// are no-ops and later Subscribes return closed subscriptions.
+func (b *Broadcaster) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for s := range b.subs {
+		s.done = true
+		close(s.ch)
+		delete(b.subs, s)
+	}
+}
+
+// Dropped reports the total events dropped across all subscribers over
+// the broadcaster's lifetime.
+func (b *Broadcaster) Dropped() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// Subscribers reports the number of currently attached subscriptions.
+func (b *Broadcaster) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Events is the subscription's receive channel. It is closed by Cancel
+// or by the broadcaster's Close.
+func (s *Subscription) Events() <-chan Event { return s.ch }
+
+// Dropped reports how many events this subscriber missed to a full
+// buffer.
+func (s *Subscription) Dropped() int64 {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	return s.dropped
+}
+
+// Cancel detaches the subscription and closes its channel. Idempotent;
+// pending buffered events remain readable until drained.
+func (s *Subscription) Cancel() {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	if s.done {
+		return
+	}
+	s.done = true
+	delete(s.b.subs, s)
+	close(s.ch)
+}

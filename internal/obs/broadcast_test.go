@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBroadcasterDeliversToAllSubscribers(t *testing.T) {
+	b := NewBroadcaster()
+	s1 := b.Subscribe(4)
+	s2 := b.Subscribe(4)
+	for i := 0; i < 3; i++ {
+		b.Emit(Event{Kind: KindImprove, Value: int64(i)})
+	}
+	b.Close()
+	for name, s := range map[string]*Subscription{"s1": s1, "s2": s2} {
+		var got []int64
+		for e := range s.Events() {
+			got = append(got, e.Value)
+		}
+		if len(got) != 3 {
+			t.Fatalf("%s: got %d events, want 3", name, len(got))
+		}
+	}
+	if b.Dropped() != 0 {
+		t.Fatalf("dropped %d events on roomy buffers", b.Dropped())
+	}
+}
+
+// A full subscriber loses events (counted) without blocking Emit or
+// affecting other subscribers.
+func TestBroadcasterDropsOnFullBufferWithoutBlocking(t *testing.T) {
+	b := NewBroadcaster()
+	slow := b.Subscribe(1)
+	fast := b.Subscribe(16)
+	for i := 0; i < 10; i++ {
+		b.Emit(Event{Value: int64(i)}) // would deadlock here if Emit blocked
+	}
+	if d := slow.Dropped(); d != 9 {
+		t.Fatalf("slow subscriber dropped %d, want 9", d)
+	}
+	if d := fast.Dropped(); d != 0 {
+		t.Fatalf("fast subscriber dropped %d, want 0", d)
+	}
+	if d := b.Dropped(); d != 9 {
+		t.Fatalf("broadcaster total dropped %d, want 9", d)
+	}
+	b.Close()
+	n := 0
+	for range fast.Events() {
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("fast subscriber received %d, want 10", n)
+	}
+}
+
+// Cancel mid-stream detaches the subscriber; concurrent Emits must not
+// panic (send-on-closed) or deadlock.
+func TestBroadcasterCancelDuringEmit(t *testing.T) {
+	b := NewBroadcaster()
+	subs := make([]*Subscription, 8)
+	for i := range subs {
+		subs[i] = b.Subscribe(2)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			b.Emit(Event{Value: int64(i)})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for _, s := range subs {
+			s.Cancel()
+			s.Cancel() // idempotent
+		}
+	}()
+	wg.Wait()
+	if n := b.Subscribers(); n != 0 {
+		t.Fatalf("%d subscribers still attached after cancel", n)
+	}
+	b.Close()
+}
+
+func TestBroadcasterSubscribeAfterCloseIsClosed(t *testing.T) {
+	b := NewBroadcaster()
+	b.Close()
+	b.Close() // idempotent
+	s := b.Subscribe(1)
+	if _, ok := <-s.Events(); ok {
+		t.Fatalf("subscription after Close delivered an event")
+	}
+	s.Cancel()                // still safe
+	b.Emit(Event{Value: 1})   // no-op
+	if b.Subscribers() != 0 { // nothing attached
+		t.Fatalf("closed broadcaster has subscribers")
+	}
+}
+
+// Broadcaster is a Sink: it composes with Filter.
+func TestBroadcasterAsFilteredSink(t *testing.T) {
+	b := NewBroadcaster()
+	s := b.Subscribe(8)
+	var sink Sink = Filter(b, func(k Kind) bool { return k == KindImprove })
+	sink.Emit(Event{Kind: KindImprove, Value: 42})
+	sink.Emit(Event{Kind: KindKickAccepted, Value: 1})
+	b.Close()
+	var got []Event
+	for e := range s.Events() {
+		got = append(got, e)
+	}
+	if len(got) != 1 || got[0].Value != 42 {
+		t.Fatalf("filtered broadcast got %+v, want one improve event", got)
+	}
+}

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cache is an LRU over marshaled response bodies, keyed by instance
+// hash + canonical params. Storing bytes (not structs) is what makes
+// repeat submissions byte-identical: a hit replays exactly what the
+// first solve wrote.
+type cache struct {
+	mu     sync.Mutex
+	max    int
+	ll     *list.List // front = most recent
+	m      map[string]*list.Element
+	hits   int64
+	misses int64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+func newCache(max int) *cache {
+	if max < 1 {
+		max = 1
+	}
+	return &cache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the cached body and bumps its recency.
+func (c *cache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key, evicting the least recently used entry
+// beyond capacity. Re-putting an existing key refreshes it.
+func (c *cache) put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheEntry).body = body
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *cache) stats() (hits, misses int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+
+	"distclk/internal/tsp"
+)
+
+// hashInstance derives the canonical content hash of an instance: the
+// metric plus the exact float64 bit patterns of every coordinate for
+// geometric instances, or every upper-triangle distance for explicit
+// ones. The instance name is deliberately excluded — it does not affect
+// the solve, and two uploads of the same geometry under different names
+// must share a cache entry.
+func hashInstance(in *tsp.Instance) string {
+	h := sha256.New()
+	var buf [8]byte
+	w := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	n := in.N()
+	if in.Explicit() {
+		h.Write([]byte("explicit"))
+		w(uint64(n))
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				w(uint64(in.Dist(i, j)))
+			}
+		}
+	} else {
+		h.Write([]byte("geom"))
+		w(uint64(in.Metric))
+		w(uint64(n))
+		for _, p := range in.Pts {
+			w(math.Float64bits(p.X))
+			w(math.Float64bits(p.Y))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

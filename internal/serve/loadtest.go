@@ -1,0 +1,280 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadConfig drives RunLoad, the built-in load-test harness behind
+// `solved -loadtest`. Zero values take the documented defaults.
+type LoadConfig struct {
+	// Workers lists the worker-pool sizes to sweep — the multi-core
+	// scaling column of the BENCH_PR8.json schema (default [1]).
+	Workers []int `json:"workers"`
+	// Clients is the number of concurrent clients per scenario
+	// (default 4).
+	Clients int `json:"clients"`
+	// Requests is the total request count per scenario (default 32).
+	Requests int `json:"requests"`
+	// N is the generated instance size (default 200).
+	N int `json:"n"`
+	// MaxKicks bounds each solve by kick count so run time tracks load,
+	// not wall-clock budgets (default 30).
+	MaxKicks int64 `json:"max_kicks"`
+	// QueueDepth is the service queue bound per priority class
+	// (default 2*Clients, so bursts shed load visibly but retries land).
+	QueueDepth int `json:"queue_depth"`
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1}
+	}
+	if c.Clients < 1 {
+		c.Clients = 4
+	}
+	if c.Requests < 1 {
+		c.Requests = 32
+	}
+	if c.N < minCities {
+		c.N = 200
+	}
+	if c.MaxKicks < 1 {
+		c.MaxKicks = 30
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 2 * c.Clients
+	}
+	return c
+}
+
+// LatencyMS summarizes one scenario's request latencies.
+type LatencyMS struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// Scenario is one load-test cell: a worker count crossed with a traffic
+// shape.
+type Scenario struct {
+	// Name is the traffic shape: "distinct" (every request a fresh
+	// instance — pure solve throughput) or "repeat" (one instance
+	// resubmitted — cache-hit path).
+	Name          string    `json:"name"`
+	Workers       int       `json:"workers"`
+	Clients       int       `json:"clients"`
+	Requests      int       `json:"requests"`
+	Completed     int       `json:"completed"`
+	Rejected      int       `json:"rejected"`
+	Errors        int       `json:"errors"`
+	CacheHits     int       `json:"cache_hits"`
+	ThroughputRPS float64   `json:"throughput_rps"`
+	Latency       LatencyMS `json:"latency_ms"`
+}
+
+// Report is the BENCH_PR8.json document (see results/README.md).
+type Report struct {
+	SchemaVersion int        `json:"schema_version"`
+	GeneratedAt   string     `json:"generated_at"`
+	GoVersion     string     `json:"go_version"`
+	GOOS          string     `json:"goos"`
+	GOARCH        string     `json:"goarch"`
+	GOMAXPROCS    int        `json:"gomaxprocs"`
+	NumCPU        int        `json:"num_cpu"`
+	Note          string     `json:"note,omitempty"`
+	Config        LoadConfig `json:"config"`
+	Scenarios     []Scenario `json:"scenarios"`
+}
+
+// RunLoad boots one ephemeral service per configured worker count,
+// drives it with concurrent HTTP clients over a real TCP listener, and
+// reports latency percentiles and throughput per scenario.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{
+		SchemaVersion: 1,
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		Config:        cfg,
+	}
+	if rep.GOMAXPROCS == 1 {
+		rep.Note = "single-core host: the worker-scaling column cannot show parallel speedup here; re-record on multi-core hardware for the scaling comparison"
+	}
+	for _, workers := range cfg.Workers {
+		for _, shape := range []string{"distinct", "repeat"} {
+			sc, err := runScenario(ctx, cfg, workers, shape)
+			if err != nil {
+				return nil, err
+			}
+			rep.Scenarios = append(rep.Scenarios, sc)
+		}
+	}
+	return rep, nil
+}
+
+// runScenario boots a fresh service (empty cache, cold pool) and pushes
+// cfg.Requests requests through cfg.Clients concurrent clients.
+func runScenario(ctx context.Context, cfg LoadConfig, workers int, shape string) (Scenario, error) {
+	sc := Scenario{Name: shape, Workers: workers, Clients: cfg.Clients, Requests: cfg.Requests}
+	srvCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	svc := New(srvCtx, Options{
+		Workers:    workers,
+		QueueDepth: cfg.QueueDepth,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return sc, err
+	}
+	hs := &http.Server{Handler: svc.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+	)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := 0; i < cfg.Requests; i++ {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	client := &http.Client{Timeout: 2 * time.Minute}
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				seed := int64(1)
+				if shape == "distinct" {
+					seed = int64(i + 1)
+				}
+				body := loadBody(cfg, seed)
+				elapsed, hit, rejected, err := oneRequest(ctx, client, base, body)
+				mu.Lock()
+				sc.Rejected += rejected
+				if err != nil {
+					sc.Errors++
+				} else {
+					sc.Completed++
+					if hit {
+						sc.CacheHits++
+					}
+					latencies = append(latencies, elapsed)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	start := time.Now()
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	if wall > 0 {
+		sc.ThroughputRPS = float64(sc.Completed) / wall
+	}
+	sc.Latency = summarize(latencies)
+	if err := svc.Shutdown(ctx); err != nil {
+		return sc, err
+	}
+	return sc, nil
+}
+
+// loadBody builds the request JSON for one synthetic instance: uniform
+// random coordinates, deterministic per seed so "repeat" always submits
+// identical bytes.
+func loadBody(cfg LoadConfig, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	coords := make([][2]float64, cfg.N)
+	for i := range coords {
+		coords[i] = [2]float64{rng.Float64() * 10000, rng.Float64() * 10000}
+	}
+	req := SolveRequest{
+		Name:   fmt.Sprintf("load-%d", seed),
+		Coords: coords,
+		Params: SolveParams{Seed: seed, MaxKicks: cfg.MaxKicks, BudgetMS: 30_000},
+	}
+	body, _ := json.Marshal(req)
+	return body
+}
+
+// oneRequest POSTs one solve, retrying on 429/503 load-shed responses.
+// Latency covers the final, successful attempt only; shed attempts are
+// counted separately so the report shows admission pressure.
+func oneRequest(ctx context.Context, client *http.Client, base string, body []byte) (ms float64, cacheHit bool, rejected int, err error) {
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/solve", bytes.NewReader(body))
+		if err != nil {
+			return 0, false, rejected, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		start := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, false, rejected, err
+		}
+		elapsed := float64(time.Since(start).Microseconds()) / 1000
+		func() {
+			defer resp.Body.Close()
+			var out SolveResponse
+			err = json.NewDecoder(resp.Body).Decode(&out)
+		}()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return elapsed, resp.Header.Get("X-Cache") == "hit", rejected, err
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			rejected++
+			if attempt > 100 {
+				return 0, false, rejected, fmt.Errorf("load: shed %d times, giving up", rejected)
+			}
+			select {
+			case <-time.After(50 * time.Millisecond):
+			case <-ctx.Done():
+				return 0, false, rejected, ctx.Err()
+			}
+		default:
+			return 0, false, rejected, fmt.Errorf("load: status %d", resp.StatusCode)
+		}
+	}
+}
+
+// summarize sorts and extracts the latency percentiles.
+func summarize(ms []float64) LatencyMS {
+	if len(ms) == 0 {
+		return LatencyMS{}
+	}
+	sort.Float64s(ms)
+	pick := func(p float64) float64 {
+		i := int(p*float64(len(ms))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(ms) {
+			i = len(ms) - 1
+		}
+		return ms[i]
+	}
+	return LatencyMS{P50: pick(0.50), P95: pick(0.95), P99: pick(0.99), Max: ms[len(ms)-1]}
+}

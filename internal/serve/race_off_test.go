@@ -1,0 +1,7 @@
+//go:build !race
+
+package serve
+
+// raceEnabled gates assertions that depend on sync.Pool determinism;
+// see race_on_test.go.
+const raceEnabled = false

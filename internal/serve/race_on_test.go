@@ -1,0 +1,9 @@
+//go:build race
+
+package serve
+
+// raceEnabled gates assertions that depend on sync.Pool determinism:
+// under the race detector the runtime intentionally drops a random
+// fraction of pool Puts to surface races, so exact hit/miss counts only
+// hold in non-race builds.
+const raceEnabled = true

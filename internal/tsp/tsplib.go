@@ -111,22 +111,9 @@ func ReadTSPLIB(r io.Reader) (*Instance, error) {
 		return inst, nil
 	}
 
-	var metric geom.MetricKind
-	switch weightType {
-	case "EUC_2D", "":
-		metric = geom.Euc2D
-	case "CEIL_2D":
-		metric = geom.Ceil2D
-	case "ATT":
-		metric = geom.Att
-	case "GEO":
-		metric = geom.Geo
-	case "MAN_2D":
-		metric = geom.Man2D
-	case "MAX_2D":
-		metric = geom.Max2D
-	default:
-		return nil, fmt.Errorf("tsp: unsupported EDGE_WEIGHT_TYPE %q", weightType)
+	metric, err := geom.ParseMetric(weightType)
+	if err != nil {
+		return nil, fmt.Errorf("tsp: %w", err)
 	}
 	if len(pts) != dimension {
 		return nil, fmt.Errorf("tsp: got %d coordinates, DIMENSION %d", len(pts), dimension)

@@ -1,0 +1,49 @@
+#!/bin/sh
+# Service smoke test: build cmd/solved, boot it on an ephemeral port,
+# POST a small instance, assert a 200 with a done/valid tour, assert the
+# identical repeat POST is a byte-identical cache hit, then drain via
+# SIGINT and require a clean exit 0. CI runs this after the unit suites;
+# `make service-smoke` runs it locally.
+set -eu
+
+PORT="${SOLVED_PORT:-18943}"
+ADDR="127.0.0.1:$PORT"
+TMP="$(mktemp -d)"
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/solved" ./cmd/solved
+"$TMP/solved" -listen "$ADDR" -workers 1 >"$TMP/solved.log" 2>&1 &
+PID=$!
+
+# Wait for the listener.
+i=0
+until curl -sf "http://$ADDR/v1/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "service-smoke: solved never came up"; cat "$TMP/solved.log"; exit 1
+    fi
+    sleep 0.2
+done
+
+BODY='{"coords":[[0,0],[10,0],[20,0],[20,10],[20,20],[10,20],[0,20],[0,10]],"params":{"max_kicks":5,"seed":7}}'
+
+code=$(curl -s -o "$TMP/r1" -D "$TMP/h1" -w '%{http_code}' -X POST -d "$BODY" "http://$ADDR/v1/solve")
+[ "$code" = 200 ] || { echo "service-smoke: first POST got $code"; cat "$TMP/r1"; exit 1; }
+grep -q '"status":"done"' "$TMP/r1" || { echo "service-smoke: solve not done"; cat "$TMP/r1"; exit 1; }
+# The 8-city ring above has exactly one optimal tour (length 80); the
+# solver must find it, which also proves the tour is a real permutation.
+grep -q '"length":80' "$TMP/r1" || { echo "service-smoke: expected length 80"; cat "$TMP/r1"; exit 1; }
+grep -qi '^x-cache: miss' "$TMP/h1" || { echo "service-smoke: first POST should be a cache miss"; cat "$TMP/h1"; exit 1; }
+
+code=$(curl -s -o "$TMP/r2" -D "$TMP/h2" -w '%{http_code}' -X POST -d "$BODY" "http://$ADDR/v1/solve")
+[ "$code" = 200 ] || { echo "service-smoke: repeat POST got $code"; exit 1; }
+grep -qi '^x-cache: hit' "$TMP/h2" || { echo "service-smoke: repeat POST should be a cache hit"; cat "$TMP/h2"; exit 1; }
+cmp -s "$TMP/r1" "$TMP/r2" || { echo "service-smoke: cached result not byte-identical"; exit 1; }
+
+# Graceful shutdown: SIGINT drains and exits 0.
+kill -INT "$PID"
+EXIT=0
+wait "$PID" || EXIT=$?
+[ "$EXIT" = 0 ] || { echo "service-smoke: solved exited $EXIT after SIGINT"; cat "$TMP/solved.log"; exit 1; }
+
+echo "service-smoke: OK (solve 200, cache hit byte-identical, clean drain)"
