@@ -17,6 +17,16 @@
 //
 //	distclk -standin E1k.1 -simnet -nodes 16 -drop 0.05 -viters 200
 //
+// Past the paper's 8 nodes, -topology picks a scalable overlay
+// (hier-hypercube or tree-of-rings keep the per-node degree flat) and the
+// exchange-protocol flags bound traffic: -delta sends tour diffs instead
+// of full tours (with a full keyframe every N deltas), -gossip replaces
+// neighbour broadcast with random fanout, and -batch coalesces queued or
+// in-window tours per sender. A 256-node virtual cluster:
+//
+//	distclk -standin E1k.1 -simnet -nodes 256 -topology tree-of-rings \
+//	        -delta 64 -batch 1ms -cv 4 -cr 16 -kpc 1 -viters 6
+//
 // Every node writes its local best; collect the minimum across nodes, as
 // the paper does.
 //
@@ -53,7 +63,10 @@ func main() {
 		n       = flag.Int("n", 1000, "size for -family")
 		seed    = flag.Int64("seed", 1, "random seed")
 		nodes   = flag.Int("nodes", 8, "cluster size (in-process mode)")
-		topoStr = flag.String("topology", "hypercube", "overlay: hypercube|ring|grid|complete")
+		topoStr = flag.String("topology", "hypercube", "overlay: hypercube|ring|grid|complete|hier-hypercube|tree-of-rings")
+		deltaKF = flag.Int("delta", 0, "tour-diff exchange: full keyframe every N deltas (0 = off, send full tours)")
+		gossip  = flag.Int("gossip", 0, "gossip fanout: broadcast to N random peers instead of topology neighbours (0 = off; not available in TCP mode)")
+		batch   = flag.Duration("batch", 0, "coalesce queued tours per sender (TCP mode: batch outgoing broadcasts within this window; 0 = off)")
 		kick    = flag.String("kick", "random-walk", "kicking strategy")
 		cand    = flag.String("candidates", "", "candidate-set strategy: auto|knn|quadrant|alpha|delaunay (empty = engine default knn)")
 		relax   = flag.Int("relax", 0, "relaxed-gain depth: LK chain depths below it may carry a bounded non-positive partial gain (0 = classic rule)")
@@ -97,6 +110,17 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	ex := dist.ExchangeConfig{
+		Delta:         *deltaKF > 0,
+		KeyframeEvery: *deltaKF,
+		Gossip:        *gossip > 0,
+		Fanout:        *gossip,
+		Coalesce:      *batch > 0,
+	}
+	if *gossip > 0 && *hubAddr != "" {
+		fmt.Fprintln(os.Stderr, "distclk: -gossip is not available in TCP mode (nodes only know their hub-assigned neighbours)")
+		os.Exit(1)
+	}
 	ea := core.DefaultConfig()
 	ea.CV, ea.CR = *cv, *cr
 	ea.CLK.Kick = strategy
@@ -110,15 +134,24 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	context.AfterFunc(ctx, stop)
-	ctx, cancel := context.WithTimeout(ctx, *budget)
-	defer cancel()
+	// Simnet runs are budgeted in virtual iterations (-viters), and a
+	// wall-clock cancellation mid-run would break their byte-identical
+	// replay, so the -time limit applies there only when set explicitly
+	// (large clusters can need minutes of wall time for setup alone).
+	timeSet := false
+	flag.Visit(func(f *flag.Flag) { timeSet = timeSet || f.Name == "time" })
+	if !*simMode || timeSet {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *budget)
+		defer cancel()
+	}
 
 	var best tsp.Tour
 	var bestLen int64
 	if *simMode {
-		best, bestLen = runSimnet(ctx, in, kind, ea, *nodes, *target, *seed, *simDrop, *simLat, *simIter)
+		best, bestLen = runSimnet(ctx, in, kind, ea, ex, *nodes, *target, *seed, *simDrop, *simLat, *simIter)
 	} else if *hubAddr != "" {
-		best, bestLen, err = runTCPNode(ctx, in, *hubAddr, *listen, ea, *target, *seed, *pprofAd, *metrics)
+		best, bestLen, err = runTCPNode(ctx, in, *hubAddr, *listen, ea, ex, *batch, *target, *seed, *pprofAd, *metrics)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "distclk:", err)
 			os.Exit(1)
@@ -130,12 +163,13 @@ func main() {
 			os.Exit(1)
 		}
 		res := dist.RunCluster(ctx, in, dist.ClusterConfig{
-			Nodes:  *nodes,
-			Topo:   kind,
-			EA:     ea,
-			Budget: core.Budget{Target: *target},
-			Seed:   *seed,
-			Obs:    observer,
+			Nodes:    *nodes,
+			Topo:     kind,
+			EA:       ea,
+			Budget:   core.Budget{Target: *target},
+			Seed:     *seed,
+			Exchange: ex,
+			Obs:      observer,
 		})
 		best, bestLen = res.BestTour, res.BestLength
 		fmt.Printf("cluster: %d nodes, %d broadcasts, best %d in %.2fs wall\n",
@@ -163,13 +197,14 @@ func main() {
 
 // runSimnet replays the cluster on simnet's virtual clock: deterministic
 // for a fixed seed, independent of host load, with injectable faults.
-func runSimnet(ctx context.Context, in *tsp.Instance, kind topology.Kind, ea core.Config, nodes int, target, seed int64, drop float64, latency time.Duration, viters int64) (tsp.Tour, int64) {
+func runSimnet(ctx context.Context, in *tsp.Instance, kind topology.Kind, ea core.Config, ex dist.ExchangeConfig, nodes int, target, seed int64, drop float64, latency time.Duration, viters int64) (tsp.Tour, int64) {
 	res := simnet.Run(ctx, in, simnet.Config{
-		Nodes:  nodes,
-		Topo:   kind,
-		EA:     ea,
-		Budget: core.Budget{Target: target, MaxIterations: viters},
-		Seed:   seed,
+		Nodes:    nodes,
+		Topo:     kind,
+		EA:       ea,
+		Budget:   core.Budget{Target: target, MaxIterations: viters},
+		Seed:     seed,
+		Exchange: ex,
 		Link: simnet.Link{
 			Latency:  simnet.Latency{Kind: simnet.LatencyLognormal, Base: latency},
 			DropProb: drop,
@@ -178,6 +213,11 @@ func runSimnet(ctx context.Context, in *tsp.Instance, kind topology.Kind, ea cor
 	fmt.Printf("simnet: %d nodes, %d broadcasts, best %d at virtual %.2fs (sent=%d delivered=%d dropped=%d)\n",
 		nodes, res.Broadcasts(), res.BestLength, res.VirtualElapsed.Seconds(),
 		res.Faults.Sent, res.Faults.Delivered, res.Faults.Drops())
+	if ex.Delta {
+		fmt.Printf("simnet: wire %d B (%d full / %d delta tours, %d gaps, %d coalesced)\n",
+			res.Faults.WireBytes, res.Faults.FullTours, res.Faults.DeltaTours,
+			res.Faults.DeltaGaps, res.Faults.Coalesced)
+	}
 	if res.TargetReachedAt > 0 {
 		fmt.Printf("simnet: target reached at virtual %.2fs\n", res.TargetReachedAt.Seconds())
 	}
@@ -188,8 +228,11 @@ func runSimnet(ctx context.Context, in *tsp.Instance, kind topology.Kind, ea cor
 	return res.BestTour, res.BestLength
 }
 
-func runTCPNode(ctx context.Context, in *tsp.Instance, hubAddr, listen string, ea core.Config, target, seed int64, pprofAd, metrics string) (tsp.Tour, int64, error) {
-	tn, err := dist.JoinTCP(ctx, hubAddr, listen, in.N())
+func runTCPNode(ctx context.Context, in *tsp.Instance, hubAddr, listen string, ea core.Config, ex dist.ExchangeConfig, batch time.Duration, target, seed int64, pprofAd, metrics string) (tsp.Tour, int64, error) {
+	tn, err := dist.JoinTCPConfig(ctx, hubAddr, listen, in.N(), dist.TCPConfig{
+		Exchange:    ex,
+		BatchWindow: batch,
+	})
 	if err != nil {
 		return nil, 0, err
 	}

@@ -32,7 +32,8 @@
 // classic single worker.
 //
 // Distributed EA only (require WithNodes): WithTopology, WithEAParameters,
-// WithKicksPerCall.
+// WithKicksPerCall, and the scaled exchange protocol — WithTourDiff,
+// WithGossip, WithBatching.
 package distclk
 
 import (
@@ -160,6 +161,7 @@ type options struct {
 	relaxDepth int
 	sink       obs.Sink
 	scratch    *clk.Scratch
+	exchange   dist.ExchangeConfig
 
 	// Which option groups were explicitly set — build's combination check
 	// (see the package-level options matrix) needs to tell defaults apart
@@ -172,6 +174,7 @@ type options struct {
 	workersAuto bool
 	mergeSet    bool
 	relaxSet    bool
+	exchangeSet bool
 }
 
 // Option configures a Solver.
@@ -346,8 +349,10 @@ func WithNodes(n int) Option {
 }
 
 // WithTopology selects the overlay for distributed solves: "hypercube"
-// (default, the paper's), "ring", "grid", or "complete". Requires
-// WithNodes.
+// (default, the paper's), "ring", "grid", "complete", or the hierarchical
+// overlays built for clusters far past the paper's 8 nodes —
+// "hier-hypercube" and "tree-of-rings", whose per-node degree stays flat
+// as the cluster grows. Requires WithNodes.
 func WithTopology(name string) Option {
 	return func(o *options) error {
 		o.topoSet = true
@@ -387,6 +392,55 @@ func WithKicksPerCall(k int64) Option {
 			return fmt.Errorf("distclk: kicks per call must be positive")
 		}
 		o.kpc = k
+		return nil
+	}
+}
+
+// WithTourDiff switches tour exchange to the delta wire protocol: each
+// (sender, peer) stream transmits only the changed segments of the tour
+// against the peer's last-known generation, with a full tour every
+// keyframe deltas (0 picks the default, 64) and automatic full-tour
+// fallback on generation gaps, size-ineffective diffs, or peer restarts.
+// Cuts bytes-on-wire roughly in proportion to how local successive
+// improvements are; at 1024 nodes it is what keeps exchange traffic
+// affordable. Requires WithNodes.
+func WithTourDiff(keyframe int) Option {
+	return func(o *options) error {
+		if keyframe < 0 {
+			return fmt.Errorf("distclk: negative tour-diff keyframe interval %d", keyframe)
+		}
+		o.exchangeSet = true
+		o.exchange.Delta = true
+		o.exchange.KeyframeEvery = keyframe
+		return nil
+	}
+}
+
+// WithGossip replaces topology-neighbour broadcast with gossip: every
+// broadcast goes to fanout peers sampled uniformly from the whole
+// cluster, spreading tours in O(log n) rounds regardless of overlay
+// diameter. Requires WithNodes.
+func WithGossip(fanout int) Option {
+	return func(o *options) error {
+		if fanout <= 0 {
+			return fmt.Errorf("distclk: gossip fanout must be positive, got %d", fanout)
+		}
+		o.exchangeSet = true
+		o.exchange.Gossip = true
+		o.exchange.Fanout = fanout
+		return nil
+	}
+}
+
+// WithBatching coalesces queued tours per sender: if a peer's inbox
+// already holds an undrained tour from the same sender, the better of the
+// two replaces it instead of queueing both. At large node counts this
+// bounds inbox growth during slow EA iterations without dropping
+// information (the discarded tour was dominated). Requires WithNodes.
+func WithBatching() Option {
+	return func(o *options) error {
+		o.exchangeSet = true
+		o.exchange.Coalesce = true
 		return nil
 	}
 }
@@ -490,6 +544,9 @@ func (o *options) combos() []error {
 		}
 		if o.kpcSet {
 			errs = append(errs, fmt.Errorf("distclk: WithKicksPerCall requires WithNodes (plain CLK kicks continuously; bound it with WithMaxKicks)"))
+		}
+		if o.exchangeSet {
+			errs = append(errs, fmt.Errorf("distclk: WithTourDiff/WithGossip/WithBatching configure the exchange protocol and require WithNodes (plain CLK exchanges no tours)"))
 		}
 	}
 	// workersAuto is exempt: on a single-core machine it resolves to one
@@ -719,12 +776,13 @@ func (s *Solver) solveCluster(ctx context.Context, nbr *neighbor.Lists, relax in
 	ea.KicksPerCall = s.o.kpc
 	ea.Workers = s.o.workers
 	res := dist.RunCluster(ctx, s.in, dist.ClusterConfig{
-		Nodes:  s.o.nodes,
-		Topo:   s.o.topo,
-		EA:     ea,
-		Budget: core.Budget{Target: s.o.target},
-		Seed:   s.o.seed,
-		Obs:    s.observer,
+		Nodes:    s.o.nodes,
+		Topo:     s.o.topo,
+		EA:       ea,
+		Budget:   core.Budget{Target: s.o.target},
+		Seed:     s.o.seed,
+		Exchange: s.o.exchange,
+		Obs:      s.observer,
 	})
 	return Result{
 		Tour:       res.BestTour,

@@ -113,6 +113,21 @@ func TestOptionsValidation(t *testing.T) {
 	if _, err := New(in, WithKicksPerCall(0)); err == nil {
 		t.Error("zero kicks per call accepted")
 	}
+	if _, err := New(in, WithTourDiff(-1)); err == nil {
+		t.Error("negative keyframe interval accepted")
+	}
+	if _, err := SolveDistributed(in, 2, WithGossip(0)); err == nil {
+		t.Error("zero gossip fanout accepted")
+	}
+	if _, err := New(in, WithTourDiff(8)); err == nil {
+		t.Error("WithTourDiff accepted without WithNodes")
+	}
+	if _, err := New(in, WithGossip(3)); err == nil {
+		t.Error("WithGossip accepted without WithNodes")
+	}
+	if _, err := New(in, WithBatching()); err == nil {
+		t.Error("WithBatching accepted without WithNodes")
+	}
 }
 
 func TestAllOptionsApply(t *testing.T) {
@@ -125,6 +140,9 @@ func TestAllOptionsApply(t *testing.T) {
 		WithEAParameters(32, 128),
 		WithWorkers(2),
 		WithBudget(500*time.Millisecond),
+		WithTourDiff(16),
+		WithGossip(1),
+		WithBatching(),
 	)
 	if err != nil {
 		t.Fatal(err)

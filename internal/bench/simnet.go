@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"distclk/internal/core"
+	"distclk/internal/dist"
 	"distclk/internal/simnet"
 	"distclk/internal/topology"
 )
@@ -35,9 +36,10 @@ type simnetRow struct {
 
 // Simnet reproduces the paper's node-scaling experiment (§3.2, speed-up at
 // 1/2/4/8 nodes) on the deterministic network simulator, then pushes past
-// the paper's hardware with a 64-virtual-node chaos run — drop, duplication,
-// reordering, a healing partition and node churn — all on one machine, in
-// virtual time. One JSONL row per run.
+// the paper's hardware with a 1024-virtual-node chaos run — drop,
+// duplication, reordering, a healing partition and node churn over the
+// tour-diff wire protocol — all on one machine, in virtual time. One JSONL
+// row per run.
 //
 // Methodology: a single-node calibration run fixes a target tour quality,
 // then each cluster size races to that target on the virtual clock. The
@@ -102,12 +104,17 @@ func (b *Bench) Simnet(w io.Writer) error {
 		}
 	}
 
-	// 64 virtual nodes under a hostile WAN: the paper stopped at 8 real
+	// 1024 virtual nodes under a hostile WAN: the paper stopped at 8 real
 	// machines; the simulator keeps the same algorithm honest at scales and
-	// fault rates no lab cluster reproduces deterministically.
+	// fault rates no lab cluster reproduces deterministically. The run
+	// exercises the full scaled exchange stack — a flat-degree hierarchical
+	// overlay, tour-diff broadcast with keyframes, and queued-tour
+	// coalescing — with an iteration budget small enough for CI.
 	chaos := base
-	chaos.Nodes = 64
-	chaos.Budget = core.Budget{Target: target, MaxIterations: 200}
+	chaos.Nodes = 1024
+	chaos.Topo = topology.TreeOfRings
+	chaos.Exchange = dist.ExchangeConfig{Delta: true, KeyframeEvery: 16, Coalesce: true}
+	chaos.Budget = core.Budget{Target: target, MaxIterations: 60}
 	chaos.Link = simnet.Link{
 		Latency:     simnet.Latency{Kind: simnet.LatencyLognormal, Base: 20 * time.Millisecond, Sigma: 0.7},
 		DropProb:    0.05,
@@ -129,7 +136,7 @@ func (b *Bench) Simnet(w io.Writer) error {
 		Experiment:  "simnet-chaos",
 		Instance:    spec.Paper,
 		N:           in.N(),
-		Nodes:       64,
+		Nodes:       chaos.Nodes,
 		Seed:        b.Opt.Seed,
 		Target:      target,
 		Best:        res.BestLength,

@@ -27,6 +27,11 @@ type ClusterConfig struct {
 	Budget core.Budget
 	// Seed derives per-node seeds (node i uses Seed + i*1e9+7i).
 	Seed int64
+	// Exchange selects the wire protocol (tour-diff broadcast, queued
+	// message coalescing, gossip peer sampling). The zero value is the
+	// legacy full-tour protocol. Ignored when Net is supplied — the
+	// caller configures its own transport then.
+	Exchange ExchangeConfig
 	// Obs, when set, supplies the run's observer (it must have at least
 	// Nodes recorders). When nil, RunCluster creates one internally so
 	// events and counters are always available on the result.
@@ -91,7 +96,7 @@ func RunCluster(ctx context.Context, inst *tsp.Instance, cfg ClusterConfig) Clus
 	}
 	nw := cfg.Net
 	if nw == nil {
-		nw = NewChanNetwork(cfg.Nodes, cfg.Topo)
+		nw = NewChanNetworkEx(cfg.Nodes, cfg.Topo, cfg.Exchange, cfg.Seed)
 	}
 	if on, ok := nw.(ObservableNetwork); ok {
 		on.SetObserver(observer)

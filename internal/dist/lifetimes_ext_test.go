@@ -1,0 +1,56 @@
+// External test package: it imports simnet, which itself imports dist
+// for the exchange protocol, so keeping this test in package dist would
+// form an import cycle.
+package dist_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"distclk/internal/core"
+	"distclk/internal/simnet"
+	"distclk/internal/topology"
+	"distclk/internal/tsp"
+)
+
+// TestHeterogeneousNodeLifetimes reproduces the paper's end-of-run
+// degeneration: "due to different running times on the nodes at the end of
+// a simulation more and more nodes might become inactive" — remaining
+// nodes must keep working as their neighbourhood drains. It runs on
+// simnet's virtual clock, so the lifetimes are exact iteration counts
+// instead of wall-clock races.
+func TestHeterogeneousNodeLifetimes(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 150, 31)
+	cfg := func() core.Config {
+		c := core.DefaultConfig()
+		c.KicksPerCall = 5
+		return c
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	res := simnet.Run(ctx, in, simnet.Config{
+		Nodes:  4,
+		Topo:   topology.Hypercube,
+		EA:     cfg,
+		Budget: core.Budget{MaxIterations: 12},
+		// Nodes 0 and 1 stop after 2 iterations; 2 and 3 run the full 12.
+		NodeIterations: []int64{2, 2, 0, 0},
+		Seed:           1,
+	})
+
+	for i, s := range res.Stats {
+		if s.BestLength == 0 {
+			t.Fatalf("node %d produced no result", i)
+		}
+	}
+	if res.Stats[2].Iterations != 12 || res.Stats[3].Iterations != 12 {
+		t.Fatalf("long-lived nodes cut short: %d, %d iterations",
+			res.Stats[2].Iterations, res.Stats[3].Iterations)
+	}
+	// Messages to inactive nodes pile up in their inboxes harmlessly (the
+	// paper's nodes simply stop reading); the network must not drop them.
+	if res.Faults.Drops() != 0 {
+		t.Fatalf("network dropped %d messages under churn", res.Faults.Drops())
+	}
+}

@@ -15,6 +15,8 @@ const (
 	msgHello     = byte(3) // node -> node: sender id
 	msgTour      = byte(4) // node -> node: sender id + tour
 	msgOptimum   = byte(5) // node -> node: target reached, shut down
+	msgTourFull  = byte(6) // node -> node: generation-stamped full tour (delta protocol keyframe)
+	msgTourDelta = byte(7) // node -> node: changed segments against a base generation
 )
 
 // maxFrame bounds accepted frame sizes (4 bytes per city on million-city
@@ -78,6 +80,102 @@ func decodeTour(buf []byte) (from int, length int64, t tsp.Tour, err error) {
 		t[i] = int32(binary.LittleEndian.Uint32(buf[16+4*i:]))
 	}
 	return from, length, t, nil
+}
+
+// encodeWireTour serializes a delta-protocol message. Full tours
+// (msgTourFull) carry [from u32][length u64][gen u32][n u32][cities];
+// deltas (msgTourDelta) carry [from u32][length u64][gen u32]
+// [basegen u32][segcount u32] then [pos u32][count u32][cities] per
+// segment. Payload sizes match WireTour.WireBytes by construction, so
+// obs byte counters and simnet bandwidth agree with real TCP frames.
+func encodeWireTour(w WireTour) (byte, []byte) {
+	if w.Full {
+		buf := make([]byte, fullHeaderBytes+4*len(w.Tour))
+		binary.LittleEndian.PutUint32(buf[0:], uint32(w.From))
+		binary.LittleEndian.PutUint64(buf[4:], uint64(w.Length))
+		binary.LittleEndian.PutUint32(buf[12:], w.Gen)
+		binary.LittleEndian.PutUint32(buf[16:], uint32(len(w.Tour)))
+		for i, c := range w.Tour {
+			binary.LittleEndian.PutUint32(buf[fullHeaderBytes+4*i:], uint32(c))
+		}
+		return msgTourFull, buf
+	}
+	buf := make([]byte, 0, w.WireBytes())
+	var tmp [8]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:4], v)
+		buf = append(buf, tmp[:4]...)
+	}
+	put32(uint32(w.From))
+	binary.LittleEndian.PutUint64(tmp[:], uint64(w.Length))
+	buf = append(buf, tmp[:]...)
+	put32(w.Gen)
+	put32(w.BaseGen)
+	put32(uint32(len(w.Segs)))
+	for _, s := range w.Segs {
+		put32(uint32(s.Pos))
+		put32(uint32(len(s.Cities)))
+		for _, c := range s.Cities {
+			put32(uint32(c))
+		}
+	}
+	return msgTourDelta, buf
+}
+
+// decodeWireTour parses a msgTourFull/msgTourDelta payload. n is the
+// expected instance size; deltas inherit it (their frames do not repeat
+// it), and full tours are checked against it.
+func decodeWireTour(typ byte, buf []byte, n int) (WireTour, error) {
+	var w WireTour
+	if typ == msgTourFull {
+		if len(buf) < fullHeaderBytes {
+			return w, fmt.Errorf("dist: short full-tour payload (%d bytes)", len(buf))
+		}
+		w.Full = true
+		w.From = int(binary.LittleEndian.Uint32(buf[0:]))
+		w.Length = int64(binary.LittleEndian.Uint64(buf[4:]))
+		w.Gen = binary.LittleEndian.Uint32(buf[12:])
+		w.N = int(binary.LittleEndian.Uint32(buf[16:]))
+		if w.N != n || len(buf) != fullHeaderBytes+4*w.N {
+			return w, fmt.Errorf("dist: full-tour payload size %d does not match n=%d", len(buf), w.N)
+		}
+		w.Tour = make(tsp.Tour, w.N)
+		for i := range w.Tour {
+			w.Tour[i] = int32(binary.LittleEndian.Uint32(buf[fullHeaderBytes+4*i:]))
+		}
+		return w, nil
+	}
+	if len(buf) < deltaHeaderBytes {
+		return w, fmt.Errorf("dist: short delta payload (%d bytes)", len(buf))
+	}
+	w.From = int(binary.LittleEndian.Uint32(buf[0:]))
+	w.Length = int64(binary.LittleEndian.Uint64(buf[4:]))
+	w.Gen = binary.LittleEndian.Uint32(buf[12:])
+	w.BaseGen = binary.LittleEndian.Uint32(buf[16:])
+	segs := int(binary.LittleEndian.Uint32(buf[20:]))
+	w.N = n
+	off := deltaHeaderBytes
+	for i := 0; i < segs; i++ {
+		if off+segHeaderBytes > len(buf) {
+			return w, fmt.Errorf("dist: truncated delta segment header")
+		}
+		pos := int32(binary.LittleEndian.Uint32(buf[off:]))
+		count := int(binary.LittleEndian.Uint32(buf[off+4:]))
+		off += segHeaderBytes
+		if count < 0 || off+4*count > len(buf) {
+			return w, fmt.Errorf("dist: truncated delta segment body")
+		}
+		cities := make([]int32, count)
+		for j := range cities {
+			cities[j] = int32(binary.LittleEndian.Uint32(buf[off+4*j:]))
+		}
+		off += 4 * count
+		w.Segs = append(w.Segs, Seg{Pos: pos, Cities: cities})
+	}
+	if off != len(buf) {
+		return w, fmt.Errorf("dist: delta payload has %d trailing bytes", len(buf)-off)
+	}
+	return w, nil
 }
 
 // encodeNeighbors serializes the hub's reply: assigned id, total expected

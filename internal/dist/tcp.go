@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"distclk/internal/core"
+	"distclk/internal/obs"
 	"distclk/internal/tsp"
 )
 
@@ -25,6 +26,16 @@ type TCPConfig struct {
 	// DefaultIOTimeout). Tests shorten it to fail fast; deployments over
 	// slow links raise it.
 	IOTimeout time.Duration
+	// Exchange selects the wire protocol. Delta runs the tour-diff codec
+	// per peer connection; the stream state lives with the connection, so
+	// a reconnect (peer crash/restart) naturally restarts with a full
+	// tour. Gossip is not available over TCP — nodes only know the
+	// hub-assigned neighbour addresses, not the whole cluster.
+	Exchange ExchangeConfig
+	// BatchWindow, when positive, batches outgoing broadcasts per peer:
+	// tours produced within one window are coalesced and only the best
+	// goes on the wire when the window closes.
+	BatchWindow time.Duration
 }
 
 func (c TCPConfig) ioTimeout() time.Duration {
@@ -45,6 +56,9 @@ type TCPNode struct {
 	instN     int
 	ln        net.Listener
 	ioTimeout time.Duration
+	ex        ExchangeConfig
+	batch     time.Duration
+	rec       *obs.Recorder // nil-safe; counts wire-protocol events
 
 	mu       sync.Mutex
 	peerCond *sync.Cond // broadcast on every peer add/remove
@@ -63,6 +77,18 @@ type tcpPeer struct {
 	conn    net.Conn
 	timeout time.Duration
 	wmu     sync.Mutex
+
+	// Delta-protocol stream state, scoped to this connection: a
+	// reconnect builds a fresh tcpPeer, so both sides restart from a
+	// full tour — the crash/restart fallback needs no extra signalling.
+	enc DeltaEncoder // guarded by wmu (encode order = write order)
+	dec DeltaDecoder // readLoop only (single goroutine)
+
+	// Batch-window slot: the best tour produced within the open window.
+	pmu        sync.Mutex
+	pendTour   tsp.Tour
+	pendLength int64
+	pendArmed  bool
 }
 
 func (p *tcpPeer) send(typ byte, payload []byte) error {
@@ -93,6 +119,8 @@ func JoinTCPConfig(ctx context.Context, hubAddr, listenAddr string, instN int, c
 		instN:     instN,
 		ln:        ln,
 		ioTimeout: cfg.ioTimeout(),
+		ex:        cfg.Exchange,
+		batch:     cfg.BatchWindow,
 		peers:     make(map[int]*tcpPeer),
 		inbox:     make(chan core.Incoming, InboxCapacity),
 		stoppedCh: make(chan struct{}),
@@ -251,11 +279,21 @@ func (n *TCPNode) readLoop(p *tcpPeer) {
 			if err != nil || tour.Validate(n.instN) != nil {
 				continue // corrupt tours are dropped, not fatal
 			}
-			select {
-			case n.inbox <- core.Incoming{From: from, Tour: tour, Length: length}:
-			default:
-				// Inbox full: drop; fresher tours will follow.
+			n.enqueue(core.Incoming{From: from, Tour: tour, Length: length})
+		case msgTourFull, msgTourDelta:
+			w, err := decodeWireTour(typ, payload, n.instN)
+			if err != nil {
+				continue // corrupt frames are dropped, not fatal
 			}
+			tour, ok := p.dec.Decode(w)
+			if !ok {
+				// Generation gap (lost frame, or we reconnected and the
+				// sender has not keyframed yet): discard, heal on the
+				// next full tour.
+				n.rec.DeltaGap(w.From)
+				continue
+			}
+			n.enqueue(core.Incoming{From: w.From, Tour: tour, Length: w.Length})
 		case msgOptimum:
 			n.setStopped()
 			n.forwardOptimum(payload)
@@ -280,21 +318,108 @@ func (n *TCPNode) forwardOptimum(payload []byte) {
 	}
 }
 
-// Broadcast implements core.Comm: send the tour to every connected peer.
+func (n *TCPNode) enqueue(in core.Incoming) {
+	select {
+	case n.inbox <- in:
+	default:
+		// Inbox full: drop; fresher tours will follow.
+	}
+}
+
+// Broadcast implements core.Comm: send the tour to every connected peer,
+// through the batch window and delta codec when configured.
 func (n *TCPNode) Broadcast(t tsp.Tour, length int64) {
-	payload := encodeTour(n.ID, length, t)
 	n.mu.Lock()
 	peers := make([]*tcpPeer, 0, len(n.peers))
 	for _, p := range n.peers {
 		peers = append(peers, p)
 	}
 	n.mu.Unlock()
+	if n.batch > 0 {
+		for _, p := range peers {
+			n.pend(p, t, length)
+		}
+		return
+	}
+	var payload []byte
+	if !n.ex.Delta {
+		payload = encodeTour(n.ID, length, t)
+	}
 	for _, p := range peers {
-		if err := p.send(msgTour, payload); err != nil {
+		if err := n.sendTour(p, t, length, payload); err != nil {
 			n.removePeer(p)
 		}
 	}
 }
+
+// pend stores the tour in the peer's batch slot, keeping only the best
+// per window; the first pend of a window arms the flush timer.
+func (n *TCPNode) pend(p *tcpPeer, t tsp.Tour, length int64) {
+	p.pmu.Lock()
+	arm := !p.pendArmed
+	switch {
+	case p.pendTour == nil:
+		p.pendTour, p.pendLength = t.Clone(), length
+	case length < p.pendLength:
+		p.pendTour, p.pendLength = t.Clone(), length
+		n.rec.CoalescedMsg(length, p.id)
+	default:
+		n.rec.CoalescedMsg(p.pendLength, p.id)
+	}
+	p.pendArmed = true
+	p.pmu.Unlock()
+	if arm {
+		time.AfterFunc(n.batch, func() { n.flush(p) })
+	}
+}
+
+// flush closes the peer's batch window and sends the surviving tour.
+func (n *TCPNode) flush(p *tcpPeer) {
+	p.pmu.Lock()
+	t, length := p.pendTour, p.pendLength
+	p.pendTour, p.pendArmed = nil, false
+	p.pmu.Unlock()
+	if t == nil || n.closed.Load() {
+		return
+	}
+	var payload []byte
+	if !n.ex.Delta {
+		payload = encodeTour(n.ID, length, t)
+	}
+	if err := n.sendTour(p, t, length, payload); err != nil {
+		n.removePeer(p)
+	}
+}
+
+// sendTour writes one tour to one peer. legacyPayload is the shared
+// msgTour encoding for the non-delta protocol (nil under delta, where
+// every peer stream encodes its own diff under wmu so that generation
+// order matches write order).
+func (n *TCPNode) sendTour(p *tcpPeer, t tsp.Tour, length int64, legacyPayload []byte) error {
+	if !n.ex.Delta {
+		return p.send(msgTour, legacyPayload)
+	}
+	p.wmu.Lock()
+	w := p.enc.Encode(n.ID, t, length, n.ex.Keyframe())
+	typ, payload := encodeWireTour(w)
+	p.conn.SetWriteDeadline(time.Now().Add(p.timeout))
+	err := writeFrame(p.conn, typ, payload)
+	p.conn.SetWriteDeadline(time.Time{})
+	p.wmu.Unlock()
+	if err == nil {
+		if w.Full {
+			n.rec.FullSent(int64(len(payload)), p.id)
+		} else {
+			n.rec.DeltaSent(int64(len(payload)), p.id)
+		}
+	}
+	return err
+}
+
+// SetRecorder attaches an obs recorder so wire-protocol events (full vs
+// delta sends, generation gaps, batch coalescing) are counted. Call
+// before Broadcast traffic starts; nil is allowed.
+func (n *TCPNode) SetRecorder(rec *obs.Recorder) { n.rec = rec }
 
 // Drain implements core.Comm.
 func (n *TCPNode) Drain() []core.Incoming {

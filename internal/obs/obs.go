@@ -78,6 +78,22 @@ const (
 	// published by another worker (or the merger). Node = adopting worker,
 	// From = publishing worker (-1 = the merger), Value = adopted length.
 	KindAdopt
+	// KindFullSent: a whole tour went on the wire to one peer — first
+	// contact, keyframe cadence, or a delta that would not have been
+	// smaller. Node = sender, From = receiver, Value = wire bytes.
+	KindFullSent
+	// KindDeltaSent: only the changed segments of a tour went on the wire
+	// to one peer. Node = sender, From = receiver, Value = wire bytes.
+	KindDeltaSent
+	// KindDeltaGap: a delta arrived whose base generation did not match
+	// the receiver's reconstruction state (loss, reorder, or restart); it
+	// was discarded and the stream heals at the sender's next full tour.
+	// Node = receiver, From = sender.
+	KindDeltaGap
+	// KindCoalesced: an undrained queued tour was merged with a newer one
+	// from the same sender; only the better survived. Node = receiver,
+	// From = sender, Value = surviving length.
+	KindCoalesced
 
 	numKinds
 )
@@ -104,6 +120,10 @@ var kindNames = [numKinds]string{
 	"node-restart",
 	"merge",
 	"adopt",
+	"full-sent",
+	"delta-sent",
+	"delta-gap",
+	"coalesced",
 }
 
 // String names the kind; these names are the JSONL trace vocabulary.
@@ -120,7 +140,11 @@ func (k Kind) String() string {
 // Counters.
 func (k Kind) EALevel() bool {
 	switch k {
-	case KindKickAccepted, KindKickReverted, KindLKImprove, KindPerturb:
+	case KindKickAccepted, KindKickReverted, KindLKImprove, KindPerturb,
+		KindFullSent, KindDeltaSent, KindCoalesced:
+		// The send/coalesce kinds fire once per peer per broadcast — at
+		// 1024 nodes that is far too chatty for unbounded collection;
+		// their totals live in Counters.
 		return false
 	}
 	return true

@@ -24,6 +24,11 @@ type Counters struct {
 	MsgDrops           atomic.Int64 // tours lost in transit to this node
 	Merges             atomic.Int64 // in-node elite merge passes completed
 	Adoptions          atomic.Int64 // shared-best adoptions by stale workers
+	FullSends          atomic.Int64 // whole tours sent (per peer)
+	DeltaSends         atomic.Int64 // segment diffs sent (per peer)
+	DeltaGaps          atomic.Int64 // deltas discarded for a generation gap
+	Coalesced          atomic.Int64 // queued tours merged away before drain
+	WireBytes          atomic.Int64 // payload bytes this node put on the wire
 }
 
 // CounterSnapshot is a point-in-time copy of one node's counters, safe to
@@ -42,6 +47,11 @@ type CounterSnapshot struct {
 	MsgDrops           int64 `json:"msg_drops"`
 	Merges             int64 `json:"merges,omitempty"`
 	Adoptions          int64 `json:"adoptions,omitempty"`
+	FullSends          int64 `json:"full_sends,omitempty"`
+	DeltaSends         int64 `json:"delta_sends,omitempty"`
+	DeltaGaps          int64 `json:"delta_gaps,omitempty"`
+	Coalesced          int64 `json:"coalesced,omitempty"`
+	WireBytes          int64 `json:"wire_bytes,omitempty"`
 }
 
 // Recorder is one node's handle into the observability layer: it stamps
@@ -224,6 +234,48 @@ func (r *Recorder) Adopted(length int64, from int) {
 	r.emit(KindAdopt, length, from)
 }
 
+// FullSent records a whole tour put on the wire for peer `to`; bytes is
+// the encoded payload size. Called on the sender's recorder.
+func (r *Recorder) FullSent(bytes int64, to int) {
+	if r == nil {
+		return
+	}
+	r.c.FullSends.Add(1)
+	r.c.WireBytes.Add(bytes)
+	r.emit(KindFullSent, bytes, to)
+}
+
+// DeltaSent records a segment diff put on the wire for peer `to`; bytes
+// is the encoded payload size. Called on the sender's recorder.
+func (r *Recorder) DeltaSent(bytes int64, to int) {
+	if r == nil {
+		return
+	}
+	r.c.DeltaSends.Add(1)
+	r.c.WireBytes.Add(bytes)
+	r.emit(KindDeltaSent, bytes, to)
+}
+
+// DeltaGap records a delta this node had to discard because its base
+// generation did not match the reconstruction state. from is the sender.
+func (r *Recorder) DeltaGap(from int) {
+	if r == nil {
+		return
+	}
+	r.c.DeltaGaps.Add(1)
+	r.emit(KindDeltaGap, 0, from)
+}
+
+// CoalescedMsg records that a queued tour from `from` was merged with a
+// newer one before this node drained it; length is the survivor's.
+func (r *Recorder) CoalescedMsg(length int64, from int) {
+	if r == nil {
+		return
+	}
+	r.c.Coalesced.Add(1)
+	r.emit(KindCoalesced, length, from)
+}
+
 // Optimum records that the node reached the target length.
 func (r *Recorder) Optimum(length int64) {
 	if r == nil {
@@ -286,6 +338,11 @@ func (r *Recorder) Snapshot() CounterSnapshot {
 		MsgDrops:           r.c.MsgDrops.Load(),
 		Merges:             r.c.Merges.Load(),
 		Adoptions:          r.c.Adoptions.Load(),
+		FullSends:          r.c.FullSends.Load(),
+		DeltaSends:         r.c.DeltaSends.Load(),
+		DeltaGaps:          r.c.DeltaGaps.Load(),
+		Coalesced:          r.c.Coalesced.Load(),
+		WireBytes:          r.c.WireBytes.Load(),
 	}
 }
 

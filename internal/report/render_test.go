@@ -100,8 +100,16 @@ func TestManifestShape(t *testing.T) {
 		if len(e.Baselines) == 0 {
 			t.Errorf("%s: no baselines to diff against", e.ID)
 		}
-		if e.Runs < 2 {
-			t.Errorf("%s: fewer than 2 runs", e.ID)
+		// Paper reproductions need multiple seeds behind every claim. The
+		// scaling extension checks deterministic protocol/topology
+		// properties and its 1024-node cells are the cost ceiling of the
+		// whole manifest, so a single seeded run is its deliberate budget.
+		minRuns := 2
+		if e.ID == "scaling" {
+			minRuns = 1
+		}
+		if e.Runs < minRuns {
+			t.Errorf("%s: fewer than %d runs", e.ID, minRuns)
 		}
 		for _, name := range e.Instances {
 			if _, err := r.Testbed.SpecByName(name); err != nil {

@@ -275,6 +275,72 @@ func (r *Runner) SimRuns(name string, nodes int, iters int64, kick clk.KickStrat
 	return out, nil
 }
 
+// ScaleInstance materializes (and caches) an n-city uniform instance for
+// the scaling experiment's runs past the paper testbed sizes (the
+// stand-ins cap at the 120-city smoke floor; delta-activation needs a
+// longer improvement runway).
+func (r *Runner) ScaleInstance(n int) *tsp.Instance {
+	key := fmt.Sprintf("scale/uniform/%d", n)
+	if in, ok := r.instances[key]; ok {
+		return in
+	}
+	in := tsp.Generate(tsp.FamilyUniform, n, smokeInstanceSeed)
+	in.Name = fmt.Sprintf("uniform%d", n)
+	r.instances[key] = in
+	return in
+}
+
+// ScaleHKBound computes (and caches) the Held-Karp denominator for a
+// ScaleInstance.
+func (r *Runner) ScaleHKBound(n int) int64 {
+	key := fmt.Sprintf("scale/uniform/%d", n)
+	if v, ok := r.hk[key]; ok {
+		return v
+	}
+	res := heldkarp.LowerBound(r.ScaleInstance(n), heldkarp.Options{Iterations: smokeHKIters})
+	r.hk[key] = res.Bound
+	return res.Bound
+}
+
+// SimRunsEx performs (and caches) `runs` simnet cluster runs under an
+// explicit simnet.Config — topology, exchange protocol, link model, EA
+// constants and budget all come from the caller, unlike SimRuns' fixed
+// hypercube. Run r overrides cfg.Seed with seed+101*r; key must uniquely
+// describe (instance, cfg) for the cache. The trace axis is virtual
+// microseconds, exactly as SimRuns.
+func (r *Runner) SimRunsEx(key string, in *tsp.Instance, cfg simnet.Config, runs int, seed int64) []SimRun {
+	ck := fmt.Sprintf("ex/%s/%d/%d", key, runs, seed)
+	if out, ok := r.simCache[ck]; ok {
+		return out
+	}
+	out := make([]SimRun, runs)
+	for run := 0; run < runs; run++ {
+		c := cfg
+		c.Seed = seed + 101*int64(run)
+		res := simnet.Run(context.Background(), in, c)
+		tr := Trace{
+			Label: fmt.Sprintf("%s/%v%d/run%d", in.Name, cfg.Topo, cfg.Nodes, run),
+			Final: res.BestLength,
+		}
+		best := int64(1 << 62)
+		for _, e := range res.Events {
+			if e.Kind != obs.KindImprove && e.Kind != obs.KindImproveReceived {
+				continue
+			}
+			if e.Value < best {
+				best = e.Value
+				tr.X = append(tr.X, e.At.Microseconds())
+				tr.L = append(tr.L, e.Value)
+			}
+		}
+		tr.X = append(tr.X, res.VirtualElapsed.Microseconds())
+		tr.L = append(tr.L, res.BestLength)
+		out[run] = SimRun{Trace: tr, Res: res}
+	}
+	r.simCache[ck] = out
+	return out
+}
+
 // traces projects SimRuns to their quality traces.
 func traces(runs []SimRun) []Trace {
 	out := make([]Trace, len(runs))

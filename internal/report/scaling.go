@@ -1,0 +1,219 @@
+package report
+
+import (
+	"fmt"
+	"time"
+
+	"distclk/internal/core"
+	"distclk/internal/dist"
+	"distclk/internal/simnet"
+	"distclk/internal/topology"
+)
+
+// The scaling experiment extends the paper past its 8-machine cluster:
+// simnet runs the same EA on up to 1024 virtual nodes over the
+// hierarchical topologies and the tour-diff wire protocol, entirely in
+// virtual time. Two parts:
+//
+//   - A topology sweep at smoke-tier cost: {8, 64, 256, 1024} nodes ×
+//     {ring, hier-hypercube, tree-of-rings} on the E1k.1 stand-in,
+//     recording quality vs virtual CPU, diameter, and bytes on wire.
+//   - A delta-activation run sized so the diff protocol dominates: a
+//     600-city instance keeps every node in active LK descent, so almost
+//     every broadcast after a stream's first full ships as a delta.
+//
+// Sweep budgets are deliberately tiny (the 1024-node rows are the cost
+// ceiling of the whole manifest); the delta-activation run is the single
+// most expensive artifact in the repository and is documented as such.
+const (
+	scaleSweepIters  = 6
+	scaleSweepKicks  = 1
+	scaleDeltaCities = 600
+	scaleDeltaIters  = 24
+	scaleDeltaCV     = 64
+	scaleDeltaCR     = 256
+	scaleDeltaLatMS  = 50
+)
+
+// scaleSweepTopos is the topology axis of the sweep, in render order.
+var scaleSweepTopos = []topology.Kind{topology.Ring, topology.HierHypercube, topology.TreeOfRings}
+
+// scaleSweepCfg builds the sweep Config for one (topology, nodes) cell.
+func scaleSweepCfg(topo topology.Kind, nodes int) simnet.Config {
+	ea := core.DefaultConfig()
+	ea.CV, ea.CR = smokeCV, smokeCR
+	ea.KicksPerCall = scaleSweepKicks
+	return simnet.Config{
+		Nodes:    nodes,
+		Topo:     topo,
+		EA:       ea,
+		Budget:   core.Budget{MaxIterations: scaleSweepIters},
+		Exchange: dist.ExchangeConfig{Delta: true, KeyframeEvery: 16, Coalesce: true},
+		Link: simnet.Link{
+			Latency: simnet.Latency{Kind: simnet.LatencyFixed, Base: 5 * time.Millisecond},
+		},
+	}
+}
+
+// scaleDeltaCfg builds the delta-activation Config: a 1024-node ring with
+// per-node search long enough that local improvements, not stream-first
+// fulls, dominate the exchange count. The 50ms links keep foreign
+// adoptions rare (an adopted tour resets every outgoing diff baseline,
+// forcing full-tour fallbacks on the next broadcast).
+func scaleDeltaCfg() simnet.Config {
+	ea := core.DefaultConfig()
+	ea.CV, ea.CR = scaleDeltaCV, scaleDeltaCR
+	ea.KicksPerCall = 1
+	return simnet.Config{
+		Nodes:    1024,
+		Topo:     topology.Ring,
+		EA:       ea,
+		Budget:   core.Budget{MaxIterations: scaleDeltaIters},
+		Exchange: dist.ExchangeConfig{Delta: true, KeyframeEvery: 64, Coalesce: true},
+		Link: simnet.Link{
+			Latency: simnet.Latency{Kind: simnet.LatencyFixed, Base: scaleDeltaLatMS * time.Millisecond},
+		},
+	}
+}
+
+// legacyWireBytes is what the run would have shipped under the legacy
+// full-tour protocol: every exchanged tour at full encoding.
+func legacyWireBytes(f simnet.FaultStats, cities int) int64 {
+	return (f.FullTours + f.DeltaTours) * int64(dist.FullWireBytes(cities))
+}
+
+// deltaShare is the delta fraction of all exchanged tours.
+func deltaShare(f simnet.FaultStats) float64 {
+	total := f.FullTours + f.DeltaTours
+	if total == 0 {
+		return 0
+	}
+	return float64(f.DeltaTours) / float64(total)
+}
+
+func runScaling(r *Runner, e *Experiment) (*Artifact, error) {
+	name := e.Instances[0]
+	in, err := r.Instance(name)
+	if err != nil {
+		return nil, err
+	}
+	hk, err := r.HKBound(name)
+	if err != nil {
+		return nil, err
+	}
+
+	sweepTbl := &Table{Header: []string{"topology", "nodes", "diameter", "virtual ms", "gap@50%", "gap final", "delta share", "wire KB", "vs full-tour KB"}}
+	sweepCSV := CSVFile{
+		Name: "smoke/scaling.csv",
+		Comment: schemaComment(e, "smoke/scaling.csv",
+			"columns: topology, nodes, diameter (hop bound of the overlay), virtual_ms,",
+			"  gap50_pct / gap_final_pct (% over the Held-Karp bound at 50% / 100% of the",
+			"  run's virtual time — the quality-vs-virtual-CPU curve), broadcasts,",
+			"  full_tours / delta_tours (wire messages by kind), delta_pct, wire_bytes,",
+			"  legacy_bytes (what full-tour-only exchange would have shipped), coalesced",
+			fmt.Sprintf("budgets: %d EA iterations/node, %d kick/call, c_v=%d c_r=%d, keyframe 16,",
+				scaleSweepIters, scaleSweepKicks, smokeCV, smokeCR),
+			"  coalescing on, fixed 5ms links, no faults"),
+		Header: []string{"topology", "nodes", "diameter", "virtual_ms", "gap50_pct", "gap_final_pct",
+			"broadcasts", "full_tours", "delta_tours", "delta_pct", "wire_bytes", "legacy_bytes", "coalesced"},
+	}
+	var sweepSavings, sweepLegacy int64
+	allCellsSaved := true
+	diam1024 := map[topology.Kind]int{}
+	for _, topo := range scaleSweepTopos {
+		for _, nodes := range e.Nodes {
+			key := fmt.Sprintf("scaling/%s/%v/%d", name, topo, nodes)
+			runs := r.SimRunsEx(key, in, scaleSweepCfg(topo, nodes), e.Runs, e.Seed)
+			res := runs[0].Res
+			tr := runs[0].Trace
+			f := res.Faults
+			d := topology.Diameter(topo, nodes)
+			if nodes == 1024 {
+				diam1024[topo] = d
+			}
+			vms := msVal(float64(res.VirtualElapsed.Microseconds()))
+			half := res.VirtualElapsed.Microseconds() / 2
+			legacy := legacyWireBytes(f, in.N())
+			sweepSavings += legacy - f.WireBytes
+			sweepLegacy += legacy
+			if f.WireBytes >= legacy {
+				allCellsSaved = false
+			}
+			share := deltaShare(f)
+			sweepTbl.AddRow(topo.String(), nodes, d, fmt.Sprintf("%.0f", vms),
+				gapCell(float64(tr.At(half)), hk), gapCell(float64(tr.Final), hk),
+				fmt.Sprintf("%.0f%%", share*100),
+				fmt.Sprintf("%.0f", float64(f.WireBytes)/1024), fmt.Sprintf("%.0f", float64(legacy)/1024))
+			sweepCSV.AddRow(topo.String(), nodes, d, fmt.Sprintf("%.0f", vms),
+				fmt.Sprintf("%.3f", gapVal(float64(tr.At(half)), hk)),
+				fmt.Sprintf("%.3f", gapVal(float64(tr.Final), hk)),
+				res.Broadcasts(), f.FullTours, f.DeltaTours,
+				fmt.Sprintf("%.1f", share*100), f.WireBytes, legacy, f.Coalesced)
+		}
+	}
+
+	dIn := r.ScaleInstance(scaleDeltaCities)
+	dHK := r.ScaleHKBound(scaleDeltaCities)
+	dRuns := r.SimRunsEx(fmt.Sprintf("scaling/delta/%d", scaleDeltaCities), dIn, scaleDeltaCfg(), 1, e.Seed)
+	dRes := dRuns[0].Res
+	df := dRes.Faults
+	dShare := deltaShare(df)
+	deltaTbl := &Table{Header: []string{"run", "broadcasts", "full tours", "delta tours", "delta share", "wire KB", "vs full-tour KB", "gap final"}}
+	deltaTbl.AddRow(fmt.Sprintf("uniform%d, 1024-node ring", scaleDeltaCities),
+		dRes.Broadcasts(), df.FullTours, df.DeltaTours, fmt.Sprintf("%.1f%%", dShare*100),
+		fmt.Sprintf("%.0f", float64(df.WireBytes)/1024),
+		fmt.Sprintf("%.0f", float64(legacyWireBytes(df, scaleDeltaCities))/1024),
+		gapCell(float64(dRes.BestLength), dHK))
+	deltaCSV := CSVFile{
+		Name: "smoke/scaling_delta.csv",
+		Comment: schemaComment(e, "smoke/scaling_delta.csv",
+			"columns: cities, nodes, topology, iterations, broadcasts, full_tours,",
+			"  delta_tours, delta_pct, delta_gaps, wire_bytes, legacy_bytes, coalesced,",
+			"  virtual_ms, gap_final_pct (% over the Held-Karp bound)",
+			fmt.Sprintf("config: %d-city uniform instance (seed %d), 1024-node ring, %d EA",
+				scaleDeltaCities, smokeInstanceSeed, scaleDeltaIters),
+			fmt.Sprintf("  iterations/node at 1 kick/call, c_v=%d c_r=%d, keyframe 64, coalescing on,",
+				scaleDeltaCV, scaleDeltaCR),
+			fmt.Sprintf("  fixed %dms links — sized so nodes stay in active LK descent and the", scaleDeltaLatMS),
+			"  tour-diff protocol dominates the wire (see DESIGN.md §12)"),
+		Header: []string{"cities", "nodes", "topology", "iterations", "broadcasts", "full_tours",
+			"delta_tours", "delta_pct", "delta_gaps", "wire_bytes", "legacy_bytes", "coalesced",
+			"virtual_ms", "gap_final_pct"},
+	}
+	deltaCSV.AddRow(scaleDeltaCities, 1024, topology.Ring.String(), scaleDeltaIters,
+		dRes.Broadcasts(), df.FullTours, df.DeltaTours, fmt.Sprintf("%.1f", dShare*100),
+		df.DeltaGaps, df.WireBytes, legacyWireBytes(df, scaleDeltaCities), df.Coalesced,
+		fmt.Sprintf("%.0f", msVal(float64(dRes.VirtualElapsed.Microseconds()))),
+		fmt.Sprintf("%.3f", gapVal(float64(dRes.BestLength), dHK)))
+
+	ringD, hierD, treeD := diam1024[topology.Ring], diam1024[topology.HierHypercube], diam1024[topology.TreeOfRings]
+	deltas := []Delta{
+		{
+			Exp: e.ID, Row: e.Baselines[0].Row, Metric: e.Baselines[0].Metric,
+			Paper: e.Baselines[0].Paper,
+			Repro: fmt.Sprintf("%.1f%% of %d exchanged tours are deltas (%d full / %d delta)",
+				dShare*100, df.FullTours+df.DeltaTours, df.FullTours, df.DeltaTours),
+			Claim: e.Baselines[0].Claim, OK: dShare > 0.80,
+		},
+		{
+			Exp: e.ID, Row: e.Baselines[1].Row, Metric: e.Baselines[1].Metric,
+			Paper: e.Baselines[1].Paper,
+			Repro: fmt.Sprintf("%.0f%% of legacy bytes saved across the sweep (%d KB of %d KB)",
+				float64(sweepSavings)/float64(sweepLegacy)*100, sweepSavings/1024, sweepLegacy/1024),
+			Claim: e.Baselines[1].Claim, OK: allCellsSaved,
+		},
+		{
+			Exp: e.ID, Row: e.Baselines[2].Row, Metric: e.Baselines[2].Metric,
+			Paper: e.Baselines[2].Paper,
+			Repro: fmt.Sprintf("diameter at 1024 nodes: ring %d, hier-hypercube %d, tree-of-rings %d",
+				ringD, hierD, treeD),
+			Claim: e.Baselines[2].Claim, OK: hierD < ringD && treeD < ringD,
+		},
+	}
+	notes := []string{
+		"the sweep holds per-node budgets fixed, so virtual time barely moves with cluster size while total virtual CPU grows 128x from 8 to 1024 nodes — quality per virtual-CPU-second is the curve to read. Full per-cell counters in results/smoke/scaling.csv.",
+		fmt.Sprintf("the delta-activation run is sized so the wire protocol, not stream setup, dominates: every (sender, peer) stream opens with one unavoidable full tour (2048 on a 1024-ring), after which active LK descent on the %d-city instance ships almost every broadcast as a segment diff. Counters in results/smoke/scaling_delta.csv; wire format and fallback rules in DESIGN.md §12.", scaleDeltaCities),
+	}
+	return &Artifact{Exp: e, Body: sectionBody(e, []*Table{sweepTbl, deltaTbl}, notes),
+		CSVs: []CSVFile{sweepCSV, deltaCSV}, Deltas: deltas}, nil
+}

@@ -1,0 +1,174 @@
+package simnet
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"distclk/internal/core"
+	"distclk/internal/dist"
+	"distclk/internal/topology"
+	"distclk/internal/tsp"
+)
+
+// deltaExchange is the scaled wire protocol under test: tour-diff
+// broadcast with a short keyframe interval (more delta traffic per run)
+// plus queued-message coalescing.
+func deltaExchange() dist.ExchangeConfig {
+	return dist.ExchangeConfig{Delta: true, KeyframeEvery: 8, Coalesce: true}
+}
+
+// TestDeltaExchangeUnderFaults is the wire-protocol correctness harness:
+// drop, dup, reorder, bandwidth, a partition, and crash/restarts all hit
+// the delta streams at once, and every delivered tour must still
+// reconstruct byte-for-byte — the simulator carries each sender's full
+// tour alongside the encoded form as an oracle, so a single divergence
+// lands in FaultStats.DeltaMismatches.
+func TestDeltaExchangeUnderFaults(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 120, 91)
+	ea := core.DefaultConfig()
+	// One kick per call: broadcasts fire on *local* improvements, and
+	// gentle kicks keep each node's lineage alive long enough for its
+	// diffs to stay small — a ring (sparse exchange) for the same reason.
+	// Dense topologies make every improvement foreign-lineage, which
+	// correctly falls back to full frames but starves the delta path
+	// this test exists to exercise.
+	ea.KicksPerCall = 1
+	cfg := Config{
+		Nodes:    16,
+		Topo:     topology.Ring,
+		EA:       ea,
+		Budget:   core.Budget{MaxIterations: 150},
+		Seed:     7,
+		Link:     chaosLink(),
+		Exchange: deltaExchange(),
+		Partitions: []Partition{{
+			At:     300 * time.Millisecond,
+			Heal:   700 * time.Millisecond,
+			Groups: [][]int{{0, 1, 2, 3, 4, 5, 6, 7}},
+		}},
+		Crashes: []Crash{
+			{Node: 3, At: 250 * time.Millisecond, Restart: 600 * time.Millisecond, Fresh: true},
+			{Node: 11, At: 400 * time.Millisecond}, // never restarts
+		},
+	}
+
+	res := Run(context.Background(), in, cfg)
+
+	if res.Faults.DeltaMismatches != 0 {
+		t.Fatalf("delta reconstruction diverged from the sender's tour %d times",
+			res.Faults.DeltaMismatches)
+	}
+	if res.Faults.DeltaTours == 0 {
+		t.Fatal("no delta frames sent — the protocol under test never engaged")
+	}
+	if res.Faults.FullTours == 0 {
+		t.Fatal("no full keyframes sent — fallback path never engaged")
+	}
+	if res.Faults.DeltaGaps == 0 {
+		t.Fatal("chaos schedule produced no generation gaps — fault coverage too weak")
+	}
+	if res.Faults.WireBytes == 0 {
+		t.Fatal("bandwidth model charged zero wire bytes")
+	}
+	if res.BestTour == nil {
+		t.Fatal("cluster produced no best tour under delta exchange")
+	}
+	if err := res.BestTour.Validate(in.N()); err != nil {
+		t.Fatalf("best tour invalid under delta exchange: %v", err)
+	}
+
+	// Replay determinism must survive the extra codec machinery: the event
+	// log, fault ledger, and result stay byte-identical.
+	res2 := Run(context.Background(), in, cfg)
+	if res.Faults != res2.Faults {
+		t.Fatalf("fault ledgers diverged:\n  %+v\n  %+v", res.Faults, res2.Faults)
+	}
+	if res.BestLength != res2.BestLength || res.VirtualElapsed != res2.VirtualElapsed {
+		t.Fatalf("results diverged: %d/%v vs %d/%v",
+			res.BestLength, res.VirtualElapsed, res2.BestLength, res2.VirtualElapsed)
+	}
+	if !bytes.Equal(marshalLog(t, res.Events), marshalLog(t, res2.Events)) {
+		t.Fatal("event logs diverged between replays under delta exchange")
+	}
+}
+
+// TestDeltaCrashRestartFallsBackToFull pins the restart contract: a fresh
+// node has no decoder state, so the first frame it accepts from each
+// neighbour after restart must be a full tour (deltas against generations
+// it never saw are discarded as gaps, then the stream heals at the next
+// keyframe). The oracle check doubles as the assertion that healing is
+// exact, not merely plausible.
+func TestDeltaCrashRestartFallsBackToFull(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 120, 19)
+	ea := core.DefaultConfig()
+	ea.KicksPerCall = 5
+	cfg := Config{
+		Nodes:    8,
+		Topo:     topology.Ring,
+		EA:       ea,
+		Budget:   core.Budget{MaxIterations: 16},
+		Seed:     3,
+		Exchange: dist.ExchangeConfig{Delta: true, KeyframeEvery: 64},
+		// Generous keyframe interval: without the crash below, streams
+		// would send one full frame then deltas for the whole run.
+		Crashes: []Crash{
+			{Node: 2, At: 400 * time.Millisecond, Restart: 500 * time.Millisecond, Fresh: true},
+		},
+	}
+
+	res := Run(context.Background(), in, cfg)
+
+	if res.Faults.DeltaMismatches != 0 {
+		t.Fatalf("reconstruction mismatches after crash/restart: %d",
+			res.Faults.DeltaMismatches)
+	}
+	// 8 ring nodes = 16 directed streams = 16 initial fulls; the restarted
+	// node re-keys its outbound streams, so strictly more fulls than that.
+	if res.Faults.FullTours <= 16 {
+		t.Fatalf("restart did not force extra keyframes: %d full tours (want > 16)",
+			res.Faults.FullTours)
+	}
+	if res.Faults.DeltaTours == 0 {
+		t.Fatal("no deltas flowed on the healthy streams")
+	}
+}
+
+// TestGossipExchangeDeterministic runs gossip peer sampling (random
+// fanout over the whole cluster instead of topology neighbours) through
+// the simulator twice: the samples draw from the single fault rng, so
+// replays must stay byte-identical.
+func TestGossipExchangeDeterministic(t *testing.T) {
+	in := tsp.Generate(tsp.FamilyUniform, 100, 55)
+	ea := core.DefaultConfig()
+	ea.KicksPerCall = 5
+	cfg := Config{
+		Nodes:    12,
+		Topo:     topology.Ring,
+		EA:       ea,
+		Budget:   core.Budget{MaxIterations: 8},
+		Seed:     13,
+		Link:     Link{Latency: Latency{Kind: LatencyFixed, Base: 10 * time.Millisecond}},
+		Exchange: dist.ExchangeConfig{Delta: true, KeyframeEvery: 8, Gossip: true, Fanout: 3},
+	}
+
+	a := Run(context.Background(), in, cfg)
+	b := Run(context.Background(), in, cfg)
+
+	if a.Faults != b.Faults {
+		t.Fatalf("gossip fault ledgers diverged:\n  %+v\n  %+v", a.Faults, b.Faults)
+	}
+	if !bytes.Equal(marshalLog(t, a.Events), marshalLog(t, b.Events)) {
+		t.Fatal("gossip event logs diverged between replays")
+	}
+	if a.Faults.DeltaMismatches != 0 {
+		t.Fatalf("gossip reconstruction mismatches: %d", a.Faults.DeltaMismatches)
+	}
+	// Gossip with fanout 3 on 12 nodes must reach beyond the 2 ring
+	// neighbours; Sent growing past deterministic ring traffic is implied
+	// by the ledger equality above, so just sanity-check volume.
+	if a.Faults.DeltaTours+a.Faults.FullTours == 0 {
+		t.Fatal("gossip sent no tours")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"distclk/internal/clk"
 	"distclk/internal/core"
+	"distclk/internal/dist"
 	"distclk/internal/neighbor"
 	"distclk/internal/obs"
 	"distclk/internal/topology"
@@ -39,6 +40,13 @@ type Config struct {
 	Seed int64
 	// Link is the fault model applied to every overlay edge.
 	Link Link
+	// Exchange selects the wire protocol (tour-diff broadcast, queued
+	// message coalescing, gossip peer sampling). The zero value is the
+	// legacy full-tour protocol, which replays existing runs
+	// byte-identically — delta mode consumes the same fault stream but
+	// different bandwidth delays, so enabling it changes virtual
+	// timelines by design.
+	Exchange dist.ExchangeConfig
 	// InboxCapacity bounds each node's queue (default 1024, matching
 	// dist.InboxCapacity); overflow drops are counted and evented.
 	InboxCapacity int
@@ -127,7 +135,7 @@ func Run(ctx context.Context, inst *tsp.Instance, cfg Config) Result {
 		observer = obs.NewVirtualObserver(cfg.Nodes, nil, sched.Now)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + faultSeedSalt))
-	nw := newNetwork(cfg.Nodes, cfg.Topo, cfg.Link, cfg.InboxCapacity, sched, rng, observer)
+	nw := newNetwork(cfg.Nodes, cfg.Topo, cfg.Link, cfg.InboxCapacity, cfg.Exchange, sched, rng, observer)
 
 	nodes := make([]*core.Node, cfg.Nodes)
 	stats := make([]core.Stats, cfg.Nodes)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"distclk/internal/core"
+	"distclk/internal/dist"
 	"distclk/internal/obs"
 	"distclk/internal/topology"
 	"distclk/internal/tsp"
@@ -62,8 +63,9 @@ type Link struct {
 	// sends overtake it even under near-fixed latency.
 	ReorderProb float64
 	// Bandwidth, in bytes per virtual second, adds a transfer delay
-	// proportional to the tour payload (16 header + 4 bytes/city, the TCP
-	// frame shape). 0 = infinite.
+	// proportional to the encoded payload — 16 header + 4 bytes/city for
+	// the legacy protocol, the actual WireTour size (segment diffs are
+	// far smaller) under delta exchange. 0 = infinite.
 	Bandwidth int64
 }
 
@@ -99,6 +101,21 @@ type FaultStats struct {
 	DroppedPartition int64 `json:"dropped_partition"`
 	DroppedCrash     int64 `json:"dropped_crash"`
 	DroppedInbox     int64 `json:"dropped_inbox"`
+
+	// Delta-exchange ledger (zero unless Config.Exchange.Delta is on).
+	// FullTours/DeltaTours count what senders encoded; WireBytes is the
+	// payload total the bandwidth model charged; DeltaGaps counts
+	// delivered deltas discarded for a base-generation mismatch (loss,
+	// reorder, dup, or restart upstream); Coalesced counts queued tours
+	// merged away before drain. DeltaMismatches counts reconstructions
+	// that differed from the sender's tour — the always-on full-tour
+	// oracle; any non-zero value is a wire-protocol bug.
+	FullTours       int64 `json:"full_tours,omitempty"`
+	DeltaTours      int64 `json:"delta_tours,omitempty"`
+	WireBytes       int64 `json:"wire_bytes,omitempty"`
+	DeltaGaps       int64 `json:"delta_gaps,omitempty"`
+	Coalesced       int64 `json:"coalesced,omitempty"`
+	DeltaMismatches int64 `json:"delta_mismatches,omitempty"`
 }
 
 // Drops sums every drop class.
@@ -114,6 +131,7 @@ type Network struct {
 	topo topology.Kind
 	link Link
 	cap  int
+	ex   dist.ExchangeConfig
 
 	sched *scheduler
 	rng   *rand.Rand
@@ -124,18 +142,27 @@ type Network struct {
 	partitioned bool
 	groupOf     []int
 
+	// Delta-protocol codec state: encs[sender][peer] and
+	// decs[receiver][sender]. Maps are key-accessed only (never ranged),
+	// and a crash clears the crashed node's whole row — its
+	// reconstruction state and its send streams die with the process, so
+	// it resumes with full tours on restart.
+	encs []map[int]*dist.DeltaEncoder
+	decs []map[int]*dist.DeltaDecoder
+
 	stopped   bool
 	stoppedAt time.Duration
 
 	stats FaultStats
 }
 
-func newNetwork(n int, topo topology.Kind, link Link, capacity int, sched *scheduler, rng *rand.Rand, o *obs.Observer) *Network {
-	return &Network{
+func newNetwork(n int, topo topology.Kind, link Link, capacity int, ex dist.ExchangeConfig, sched *scheduler, rng *rand.Rand, o *obs.Observer) *Network {
+	nw := &Network{
 		n:       n,
 		topo:    topo,
 		link:    link,
 		cap:     capacity,
+		ex:      ex,
 		sched:   sched,
 		rng:     rng,
 		obs:     o,
@@ -143,11 +170,40 @@ func newNetwork(n int, topo topology.Kind, link Link, capacity int, sched *sched
 		crashed: make([]bool, n),
 		groupOf: make([]int, n),
 	}
+	if ex.Delta {
+		nw.encs = make([]map[int]*dist.DeltaEncoder, n)
+		nw.decs = make([]map[int]*dist.DeltaDecoder, n)
+	}
+	return nw
 }
 
 // Comm returns node id's view of the network.
 func (nw *Network) Comm(id int) core.Comm {
 	return &comm{nw: nw, id: id, neighbors: topology.Neighbors(nw.topo, nw.n, id)}
+}
+
+func (nw *Network) encoder(from, to int) *dist.DeltaEncoder {
+	if nw.encs[from] == nil {
+		nw.encs[from] = make(map[int]*dist.DeltaEncoder, 4)
+	}
+	e := nw.encs[from][to]
+	if e == nil {
+		e = &dist.DeltaEncoder{}
+		nw.encs[from][to] = e
+	}
+	return e
+}
+
+func (nw *Network) decoder(to, from int) *dist.DeltaDecoder {
+	if nw.decs[to] == nil {
+		nw.decs[to] = make(map[int]*dist.DeltaDecoder, 4)
+	}
+	d := nw.decs[to][from]
+	if d == nil {
+		d = &dist.DeltaDecoder{}
+		nw.decs[to][from] = d
+	}
+	return d
 }
 
 // Drops reports how many tours were discarded in transit, all causes.
@@ -156,10 +212,22 @@ func (nw *Network) Drops() int64 { return nw.stats.Drops() }
 // Stats returns the fault tallies so far.
 func (nw *Network) Stats() FaultStats { return nw.stats }
 
+// wireMsg is one in-flight delta-protocol frame: the encoded form plus
+// the sender's actual tour at encode time, kept as the reconstruction
+// oracle (decoded tours are compared against it; any mismatch is a
+// protocol bug and lands in FaultStats.DeltaMismatches).
+type wireMsg struct {
+	from   int
+	length int64
+	wire   dist.WireTour
+	oracle tsp.Tour // shared read-only across peers of one broadcast
+}
+
 // send pushes one copy of the tour onto the from→to edge, applying the
 // fault model in a fixed draw order (partition, loss, latency, bandwidth,
-// reorder) so replays consume the rand stream identically.
-func (nw *Network) send(from, to int, t tsp.Tour, length int64) {
+// reorder) so replays consume the rand stream identically. w is non-nil
+// under delta exchange; bandwidth then charges the encoded wire size.
+func (nw *Network) send(from, to int, t tsp.Tour, length int64, w *dist.WireTour, oracle tsp.Tour) {
 	if nw.partitioned && nw.groupOf[from] != nw.groupOf[to] {
 		nw.stats.DroppedPartition++
 		nw.obs.Recorder(to).MsgDropped(length, from)
@@ -173,23 +241,32 @@ func (nw *Network) send(from, to int, t tsp.Tour, length int64) {
 	delay := nw.link.Latency.sample(nw.rng)
 	if nw.link.Bandwidth > 0 {
 		bytes := int64(16 + 4*len(t))
+		if w != nil {
+			bytes = int64(w.WireBytes())
+		}
 		delay += time.Duration(bytes * int64(time.Second) / nw.link.Bandwidth)
 	}
 	if nw.link.ReorderProb > 0 && nw.rng.Float64() < nw.link.ReorderProb {
 		delay += nw.link.Latency.sample(nw.rng)
 		nw.stats.Reordered++
 	}
+	if w != nil {
+		msg := wireMsg{from: from, length: length, wire: *w, oracle: oracle}
+		nw.sched.after(delay, func() { nw.deliverWire(to, msg) })
+		return
+	}
 	msg := core.Incoming{From: from, Tour: t.Clone(), Length: length}
 	nw.sched.after(delay, func() { nw.deliver(to, msg) })
 }
 
-// deliver lands a message at its (possibly meanwhile crashed or congested)
-// destination.
+// deliver lands a legacy full-tour message at its (possibly meanwhile
+// crashed or congested) destination.
 func (nw *Network) deliver(to int, msg core.Incoming) {
 	switch {
 	case nw.crashed[to]:
 		nw.stats.DroppedCrash++
 		nw.obs.Recorder(to).MsgDropped(msg.Length, msg.From)
+	case nw.ex.Coalesce && nw.coalesce(to, msg):
 	case len(nw.inboxes[to]) >= nw.cap:
 		nw.stats.DroppedInbox++
 		nw.obs.Recorder(to).MsgDropped(msg.Length, msg.From)
@@ -198,6 +275,90 @@ func (nw *Network) deliver(to int, msg core.Incoming) {
 		nw.stats.Delivered++
 		nw.obs.Recorder(to).MsgDelivered(msg.Length, msg.From)
 	}
+}
+
+// deliverWire lands a delta-protocol frame: the receiver's stream state
+// decodes it (mirroring a TCP node's readLoop, which decodes before the
+// inbox bound applies), then coalescing and the capacity bound run on
+// the reconstructed tour.
+func (nw *Network) deliverWire(to int, msg wireMsg) {
+	if nw.crashed[to] {
+		nw.stats.DroppedCrash++
+		nw.obs.Recorder(to).MsgDropped(msg.length, msg.from)
+		return
+	}
+	tour, ok := nw.decoder(to, msg.from).Decode(msg.wire)
+	if !ok {
+		// The link delivered the frame; the protocol discarded it
+		// (base-generation gap after loss/reorder/dup/restart upstream).
+		nw.stats.Delivered++
+		nw.stats.DeltaGaps++
+		nw.obs.Recorder(to).DeltaGap(msg.from)
+		return
+	}
+	if !sameTour(tour, msg.oracle) {
+		nw.stats.DeltaMismatches++
+	}
+	in := core.Incoming{From: msg.from, Tour: tour, Length: msg.length}
+	switch {
+	case nw.ex.Coalesce && nw.coalesce(to, in):
+	case len(nw.inboxes[to]) >= nw.cap:
+		nw.stats.DroppedInbox++
+		nw.obs.Recorder(to).MsgDropped(in.Length, in.From)
+	default:
+		nw.inboxes[to] = append(nw.inboxes[to], in)
+		nw.stats.Delivered++
+		nw.obs.Recorder(to).MsgDelivered(in.Length, in.From)
+	}
+}
+
+// coalesce merges msg into an already-queued message from the same
+// sender, keeping the better tour. It reports whether a merge happened.
+func (nw *Network) coalesce(to int, msg core.Incoming) bool {
+	box := nw.inboxes[to]
+	for i := range box {
+		if box[i].From != msg.From {
+			continue
+		}
+		if msg.Length < box[i].Length {
+			box[i] = msg
+		}
+		nw.stats.Delivered++
+		nw.stats.Coalesced++
+		nw.obs.Recorder(to).MsgDelivered(msg.Length, msg.From)
+		nw.obs.Recorder(to).CoalescedMsg(box[i].Length, msg.From)
+		return true
+	}
+	return false
+}
+
+// sameTour reports whether a and b are the same cycle as the wire codec
+// transmits it: both normalized to start at city 0, in either traversal
+// orientation (the encoder picks whichever orientation diffs smaller).
+func sameTour(a, b tsp.Tour) bool {
+	n := len(a)
+	if n != len(b) {
+		return false
+	}
+	fwd := true
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			fwd = false
+			break
+		}
+	}
+	if fwd {
+		return true
+	}
+	if n < 2 || a[0] != b[0] {
+		return false
+	}
+	for i := 1; i < n; i++ {
+		if a[i] != b[n-i] {
+			return false
+		}
+	}
+	return true
 }
 
 // applyPartition activates a scripted split. Listed groups get ids 1..k;
@@ -224,10 +385,17 @@ func (nw *Network) healPartition() {
 	nw.obs.Record(obs.KindPartitionHeal, -1, 0, -1)
 }
 
-// crash kills a node: pending inbox lost, future traffic dropped.
+// crash kills a node: pending inbox lost, future traffic dropped, and
+// its delta-protocol state (reconstruction bases and send streams) dies
+// with the process — after a restart it sends full tours again, and its
+// peers' deltas gap until their next keyframe.
 func (nw *Network) crash(id int) {
 	nw.crashed[id] = true
 	nw.inboxes[id] = nil
+	if nw.ex.Delta {
+		nw.encs[id] = nil
+		nw.decs[id] = nil
+	}
 	nw.obs.Record(obs.KindNodeCrash, id, 0, -1)
 }
 
@@ -245,14 +413,43 @@ type comm struct {
 	nw        *Network
 	id        int
 	neighbors []int
+	scratch   []int // gossip sample reuse; event loop is single-threaded
 }
 
-// Broadcast sends a copy of the tour toward every topology neighbour,
-// running each copy through the link fault model.
+// Broadcast sends a copy of the tour toward every topology neighbour —
+// or a gossip sample of the whole cluster — running each copy through
+// the link fault model. Under delta exchange each peer stream encodes
+// its own diff; a duplicated frame is the same WireTour twice (the
+// second copy gaps at the decoder, as on a real wire).
 func (c *comm) Broadcast(t tsp.Tour, length int64) {
 	nw := c.nw
-	for _, o := range c.neighbors {
+	peers := c.neighbors
+	if nw.ex.Gossip {
+		c.scratch = dist.SamplePeers(nw.rng, nw.n, c.id, nw.ex.GossipFanout(), c.scratch)
+		peers = c.scratch
+	}
+	var oracle tsp.Tour
+	if nw.ex.Delta {
+		// The codec transmits the canonical form, so the reconstruction
+		// oracle is the canonical form too (same cycle, same length).
+		oracle = t.Canonical()
+	}
+	for _, o := range peers {
 		nw.stats.Sent++
+		var w *dist.WireTour
+		if nw.ex.Delta {
+			wt := nw.encoder(c.id, o).Encode(c.id, t, length, nw.ex.Keyframe())
+			w = &wt
+			bytes := int64(wt.WireBytes())
+			nw.stats.WireBytes += bytes
+			if wt.Full {
+				nw.stats.FullTours++
+				nw.obs.Recorder(c.id).FullSent(bytes, o)
+			} else {
+				nw.stats.DeltaTours++
+				nw.obs.Recorder(c.id).DeltaSent(bytes, o)
+			}
+		}
 		copies := 1
 		if nw.link.DupProb > 0 && nw.rng.Float64() < nw.link.DupProb {
 			copies = 2
@@ -260,7 +457,7 @@ func (c *comm) Broadcast(t tsp.Tour, length int64) {
 			nw.obs.Recorder(o).MsgDuplicated(length, c.id)
 		}
 		for k := 0; k < copies; k++ {
-			nw.send(c.id, o, t, length)
+			nw.send(c.id, o, t, length, w, oracle)
 		}
 	}
 }

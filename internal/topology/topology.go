@@ -18,6 +18,25 @@ const (
 	Grid
 	// Complete connects every pair of nodes.
 	Complete
+	// HierHypercube is a hypercube of hypercubes: ids split into a group
+	// half and a local half; every node joins a small hypercube inside its
+	// group, and group gateways (local id 0) form a hypercube among
+	// themselves. Degree stays ~log2(n)/2 for non-gateways, which keeps
+	// fan-out flat as clusters grow to thousands of nodes.
+	HierHypercube
+	// TreeOfRings groups nodes into rings of ringSize; the rings form a
+	// treeArity-ary tree, with each child ring's head (position 0) linked
+	// to its parent ring's head. Constant degree ≤ 2+treeArity+1 with
+	// O(log n) ring-hops of diameter.
+	TreeOfRings
+)
+
+// Fixed layout parameters for TreeOfRings. Ring size 8 matches the
+// paper's 8-node clusters (each ring is one "paper cluster"); arity 4
+// keeps the tree shallow at 4096 nodes (512 rings → depth 5).
+const (
+	ringSize  = 8
+	treeArity = 4
 )
 
 // String names the topology.
@@ -31,13 +50,17 @@ func (k Kind) String() string {
 		return "grid"
 	case Complete:
 		return "complete"
+	case HierHypercube:
+		return "hier-hypercube"
+	case TreeOfRings:
+		return "tree-of-rings"
 	}
 	return "unknown"
 }
 
 // Parse maps a topology name to its constant.
 func Parse(s string) (Kind, error) {
-	for _, k := range []Kind{Hypercube, Ring, Grid, Complete} {
+	for _, k := range []Kind{Hypercube, Ring, Grid, Complete, HierHypercube, TreeOfRings} {
 		if k.String() == s {
 			return k, nil
 		}
@@ -99,8 +122,124 @@ func Neighbors(k Kind, n, id int) []int {
 			}
 		}
 		return out
+	case HierHypercube:
+		return hierHypercubeNeighbors(n, id)
+	case TreeOfRings:
+		return treeOfRingsNeighbors(n, id)
 	}
 	return nil
+}
+
+// hierHypercubeNeighbors splits the ceil(log2 n) address bits into a low
+// "local" half and a high "group" half. Every node flips its local bits
+// (intra-group hypercube); only the group gateway — local id 0, which is
+// the smallest id of any non-empty group and therefore always present —
+// additionally flips group bits (inter-group hypercube). Links to ids
+// >= n are dropped, as in the flat hypercube.
+func hierHypercubeNeighbors(n, id int) []int {
+	bits := int(math.Ceil(math.Log2(float64(n))))
+	if bits == 0 {
+		bits = 1
+	}
+	lbits := bits / 2
+	if lbits == 0 {
+		lbits = 1
+	}
+	var out []int
+	for b := 0; b < lbits && b < bits; b++ {
+		o := id ^ (1 << uint(b))
+		if o < n {
+			out = append(out, o)
+		}
+	}
+	if id&((1<<uint(lbits))-1) == 0 { // gateway: local part is zero
+		for b := lbits; b < bits; b++ {
+			o := id ^ (1 << uint(b))
+			if o < n {
+				out = append(out, o)
+			}
+		}
+	}
+	return out
+}
+
+// treeOfRingsNeighbors lays ids out as consecutive rings of ringSize
+// (the last ring may be partial); ring r occupies ids [r*ringSize,
+// (r+1)*ringSize). Rings form a treeArity-ary tree by ring index, and
+// ring r's head (position 0) links to its parent ring's head. A partial
+// tail ring degrades gracefully: 2 members become a single edge, 1
+// member hangs off the parent head alone.
+func treeOfRingsNeighbors(n, id int) []int {
+	ring := id / ringSize
+	pos := id % ringSize
+	base := ring * ringSize
+	size := n - base // members in this ring
+	if size > ringSize {
+		size = ringSize
+	}
+	var out []int
+	switch {
+	case size == 2:
+		out = append(out, base+1-pos)
+	case size > 2:
+		out = append(out, base+(pos+size-1)%size, base+(pos+1)%size)
+	}
+	if pos == 0 {
+		if ring > 0 { // link up to parent ring's head
+			parent := (ring - 1) / treeArity
+			out = append(out, parent*ringSize)
+		}
+		for c := 0; c < treeArity; c++ { // links down to child ring heads
+			child := ring*treeArity + 1 + c
+			if child*ringSize < n {
+				out = append(out, child*ringSize)
+			}
+		}
+	}
+	return out
+}
+
+// Diameter returns the longest shortest-path hop count over all node
+// pairs (BFS from every node), or -1 when the topology is disconnected.
+// It quantifies how many exchange rounds an improvement needs to reach
+// the whole cluster.
+func Diameter(k Kind, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	adj := make([][]int, n)
+	for id := 0; id < n; id++ {
+		adj[id] = Neighbors(k, n, id)
+	}
+	diameter := 0
+	dist := make([]int, n)
+	queue := make([]int, 0, n)
+	for src := 0; src < n; src++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue = append(queue[:0], src)
+		reached := 1
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, o := range adj[cur] {
+				if dist[o] < 0 {
+					dist[o] = dist[cur] + 1
+					if dist[o] > diameter {
+						diameter = dist[o]
+					}
+					reached++
+					queue = append(queue, o)
+				}
+			}
+		}
+		if reached != n {
+			return -1
+		}
+	}
+	return diameter
 }
 
 // Validate checks symmetry and connectivity of the topology for n nodes;

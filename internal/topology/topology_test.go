@@ -32,8 +32,21 @@ func TestHypercubeEight(t *testing.T) {
 }
 
 func TestValidateAllKindsAndSizes(t *testing.T) {
-	for _, k := range []Kind{Hypercube, Ring, Grid, Complete} {
-		for n := 2; n <= 17; n++ {
+	for _, k := range []Kind{Hypercube, Ring, Grid, Complete, HierHypercube, TreeOfRings} {
+		for n := 2; n <= 33; n++ {
+			if err := Validate(k, n); err != nil {
+				t.Errorf("%v n=%d: %v", k, n, err)
+			}
+		}
+	}
+}
+
+// TestValidateAtScale: the hierarchical topologies exist for 512–4096
+// node clusters; symmetry and connectivity must hold there too,
+// including awkward non-power-of-two and non-multiple-of-ring sizes.
+func TestValidateAtScale(t *testing.T) {
+	for _, k := range []Kind{Hypercube, Ring, HierHypercube, TreeOfRings} {
+		for _, n := range []int{256, 513, 1024, 4096} {
 			if err := Validate(k, n); err != nil {
 				t.Errorf("%v n=%d: %v", k, n, err)
 			}
@@ -42,7 +55,7 @@ func TestValidateAllKindsAndSizes(t *testing.T) {
 }
 
 func TestSingleNodeHasNoNeighbors(t *testing.T) {
-	for _, k := range []Kind{Hypercube, Ring, Grid, Complete} {
+	for _, k := range []Kind{Hypercube, Ring, Grid, Complete, HierHypercube, TreeOfRings} {
 		if got := Neighbors(k, 1, 0); len(got) != 0 {
 			t.Errorf("%v: single node has neighbours %v", k, got)
 		}
@@ -73,8 +86,121 @@ func TestCompleteDegree(t *testing.T) {
 	}
 }
 
+// TestHierHypercubeAdjacency pins the exact 64-node shape: 6 address
+// bits split 3 local + 3 group; everyone flips local bits, only gateways
+// (local id 0) flip group bits.
+func TestHierHypercubeAdjacency(t *testing.T) {
+	want := map[int][]int{
+		0:  {1, 2, 4, 8, 16, 32}, // gateway of group 0
+		5:  {1, 4, 7},            // interior node: local links only
+		8:  {0, 9, 10, 12, 24, 40},
+		63: {59, 61, 62},
+	}
+	for id, w := range want {
+		got := Neighbors(HierHypercube, 64, id)
+		sort.Ints(got)
+		if !equalInts(got, w) {
+			t.Errorf("node %d: neighbours %v, want %v", id, got, w)
+		}
+	}
+}
+
+// TestTreeOfRingsAdjacency pins the 20-node shape: two full rings of 8
+// plus a partial ring of 4, tree arity 4.
+func TestTreeOfRingsAdjacency(t *testing.T) {
+	want := map[int][]int{
+		0:  {1, 7, 8, 16}, // root head: ring edges + child heads 8, 16
+		8:  {0, 9, 15},    // ring-1 head: parent head + ring edges
+		16: {0, 17, 19},   // partial-ring head
+		19: {16, 18},      // partial-ring interior wraps mod 4
+		3:  {2, 4},        // plain ring member
+	}
+	for id, w := range want {
+		got := Neighbors(TreeOfRings, 20, id)
+		sort.Ints(got)
+		if !equalInts(got, w) {
+			t.Errorf("node %d: neighbours %v, want %v", id, got, w)
+		}
+	}
+	// Degenerate tails: a 2-member ring is a single edge plus the uplink;
+	// a 1-member ring hangs off its parent alone.
+	if got := Neighbors(TreeOfRings, 18, 16); !equalSorted(got, []int{0, 17}) {
+		t.Errorf("n=18 node 16: %v, want [0 17]", got)
+	}
+	if got := Neighbors(TreeOfRings, 17, 16); !equalSorted(got, []int{0}) {
+		t.Errorf("n=17 node 16: %v, want [0]", got)
+	}
+}
+
+// TestDiameter pins hop diameters at 64 nodes: the scaling experiment
+// reports these, and they encode the topology trade-off (flat hypercube
+// shortest, ring longest, hierarchical kinds in between with lower
+// degree).
+func TestDiameter(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		n    int
+		want int
+	}{
+		{Hypercube, 64, 6},
+		{Ring, 64, 32},
+		{Complete, 64, 1},
+		{HierHypercube, 64, 9},
+		{TreeOfRings, 64, 11},
+		{Hypercube, 1, 0},
+	}
+	for _, c := range cases {
+		if got := Diameter(c.k, c.n); got != c.want {
+			t.Errorf("Diameter(%v, %d) = %d, want %d", c.k, c.n, got, c.want)
+		}
+	}
+}
+
+// TestHierDegreeStaysFlat: the point of the hierarchical kinds is
+// bounded fan-out at large n — interior nodes must not grow with n.
+func TestHierDegreeStaysFlat(t *testing.T) {
+	for _, n := range []int{1024, 4096} {
+		for id := 0; id < n; id++ {
+			if d := len(Neighbors(TreeOfRings, n, id)); d > 2+treeArity+1 {
+				t.Fatalf("tree-of-rings n=%d node %d: degree %d", n, id, d)
+			}
+		}
+		// Non-gateway hier-hypercube nodes carry only the local half.
+		lbits := 0
+		for 1<<uint(lbits+lbits) < n {
+			lbits++
+		}
+		for id := 0; id < n; id++ {
+			if id%(1<<uint(lbits)) == 0 {
+				continue
+			}
+			if d := len(Neighbors(HierHypercube, n, id)); d > lbits {
+				t.Fatalf("hier-hypercube n=%d node %d: degree %d > %d", n, id, d, lbits)
+			}
+		}
+	}
+}
+
+func equalInts(got, want []int) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalSorted(got, want []int) bool {
+	g := append([]int(nil), got...)
+	sort.Ints(g)
+	return equalInts(g, want)
+}
+
 func TestParseRoundTrip(t *testing.T) {
-	for _, k := range []Kind{Hypercube, Ring, Grid, Complete} {
+	for _, k := range []Kind{Hypercube, Ring, Grid, Complete, HierHypercube, TreeOfRings} {
 		got, err := Parse(k.String())
 		if err != nil || got != k {
 			t.Errorf("Parse(%q) = %v, %v", k.String(), got, err)
