@@ -10,7 +10,7 @@ BENCH_PATTERN ?= ^(BenchmarkFlip|BenchmarkOptimizeAfterKick|BenchmarkCLKKicksPer
 BENCH_OUT     ?= BENCH_PR7.json
 BENCH_TIME    ?= 1s
 
-.PHONY: check build vet fmt lint distlint test race bench repro repro-smoke doc-links loadtest service-smoke
+.PHONY: check build vet fmt lint distlint ignore-audit suppressions test race bench repro repro-smoke doc-links loadtest service-smoke
 
 # loadtest: worker counts the solve-service load test sweeps, and where
 # its latency/throughput report lands (see results/README.md).
@@ -34,9 +34,20 @@ fmt:
 	fi
 
 ## distlint: the repo's own invariant analyzers (determinism, hot-path
-## allocations, context hygiene, no library panics) — see DESIGN.md §8
+## allocations, context hygiene, no library panics, goroutine lifetimes,
+## lock discipline, atomic hygiene, event/counter sync) gated against the
+## committed suppressions baseline — see DESIGN.md §8
 distlint:
-	$(GO) run ./cmd/distlint ./...
+	$(GO) run ./cmd/distlint -baseline lint/suppressions.txt ./...
+
+## ignore-audit: report //lint:ignore comments whose rule no longer fires
+## (use `go run ./cmd/distlint -fix-ignore-audit ./...` to delete them)
+ignore-audit:
+	$(GO) run ./cmd/distlint -ignore-audit ./...
+
+## suppressions: regenerate the committed suppressions baseline
+suppressions:
+	$(GO) run ./cmd/distlint -write-baseline lint/suppressions.txt ./...
 
 ## lint: the one static gate CI runs — invariant analyzers + vet + gofmt
 lint: distlint vet fmt

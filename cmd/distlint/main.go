@@ -1,14 +1,21 @@
 // Command distlint runs the repository's invariant analyzers
 // (internal/lint) over the given package patterns and exits 1 on any
-// finding. It is the static half of the determinism / zero-alloc / context
-// hygiene contracts; `make lint` and the CI lint job run it as
+// finding. It is the static half of the determinism / zero-alloc /
+// context-hygiene / concurrency-safety contracts; `make lint` and the CI
+// lint job run it as
 //
-//	go run ./cmd/distlint ./...
+//	go run ./cmd/distlint -baseline lint/suppressions.txt ./...
 //
 // Output is one `file:line:col: rule: message` line per finding, sorted
-// and stable. -json emits the same findings as a JSON array for tooling.
-// Suppress an intentional finding at its line (or the line above) with
-// `//lint:ignore <rule> <reason>` — the reason is mandatory.
+// and stable. -json emits the findings as a JSON array, -sarif as a
+// SARIF 2.1.0 log for GitHub code scanning. Suppress an intentional
+// finding at its line (or the line above) with
+// `//lint:ignore <rule> <reason>` — the reason is mandatory, and every
+// suppression must be recorded in the committed baseline
+// (lint/suppressions.txt): -baseline diffs the tree against it and fails
+// on drift in either direction, -write-baseline regenerates it.
+// -ignore-audit reports suppressions whose rule no longer fires at their
+// line; -fix-ignore-audit deletes those dead suppressions in place.
 package main
 
 import (
@@ -22,9 +29,14 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text lines")
+	sarifOut := flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log for code scanning")
 	rules := flag.Bool("rules", false, "list the analyzers and exit")
+	baseline := flag.String("baseline", "", "suppressions baseline `file` to gate against; mismatches fail the run")
+	writeBaseline := flag.String("write-baseline", "", "regenerate the suppressions baseline into `file` and exit")
+	ignoreAudit := flag.Bool("ignore-audit", false, "report //lint:ignore comments whose rule no longer fires; any dead ignore fails the run")
+	fixIgnoreAudit := flag.Bool("fix-ignore-audit", false, "delete dead //lint:ignore rules from the source in place")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: distlint [-json] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: distlint [-json|-sarif] [-baseline file] [-write-baseline file] [-ignore-audit|-fix-ignore-audit] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -43,35 +55,98 @@ func main() {
 	}
 	pkgs, err := lint.Load(".", patterns...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "distlint: %v\n", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	for _, p := range pkgs {
 		for _, te := range p.TypeErrors {
 			fmt.Fprintf(os.Stderr, "distlint: warning: %s: %v\n", p.Path, te)
 		}
 	}
+	root, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+
+	if *writeBaseline != "" {
+		text := lint.FormatBaseline(lint.Ignores(pkgs), root)
+		if err := os.WriteFile(*writeBaseline, []byte(text), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "distlint: wrote %s\n", *writeBaseline)
+		return
+	}
+
+	if *ignoreAudit || *fixIgnoreAudit {
+		dead := lint.AuditIgnores(pkgs, analyzers)
+		for _, d := range dead {
+			fmt.Println(d)
+		}
+		if *fixIgnoreAudit {
+			changed, err := lint.FixIgnores(dead)
+			if err != nil {
+				fatal(err)
+			}
+			for _, f := range changed {
+				fmt.Fprintf(os.Stderr, "distlint: rewrote %s\n", f)
+			}
+			return
+		}
+		if len(dead) > 0 {
+			fmt.Fprintf(os.Stderr, "distlint: %d dead ignore(s); run -fix-ignore-audit to delete them\n", len(dead))
+			os.Exit(1)
+		}
+		return
+	}
 
 	diags := lint.Check(pkgs, analyzers)
-	if *jsonOut {
+	failed := len(diags) > 0
+
+	switch {
+	case *sarifOut:
+		out, err := lint.SARIF(diags, analyzers, root)
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(append(out, '\n'))
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
 			diags = []lint.Diagnostic{}
 		}
 		if err := enc.Encode(diags); err != nil {
-			fmt.Fprintf(os.Stderr, "distlint: %v\n", err)
-			os.Exit(2)
+			fatal(err)
 		}
-	} else {
+	default:
 		for _, d := range diags {
 			fmt.Println(d)
 		}
-	}
-	if len(diags) > 0 {
-		if !*jsonOut {
+		if failed {
 			fmt.Fprintf(os.Stderr, "distlint: %d finding(s)\n", len(diags))
 		}
+	}
+
+	if *baseline != "" {
+		recorded, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		current := lint.FormatBaseline(lint.Ignores(pkgs), root)
+		if drift := lint.DiffBaseline(current, string(recorded)); len(drift) > 0 {
+			for _, line := range drift {
+				fmt.Fprintf(os.Stderr, "distlint: baseline: %s\n", line)
+			}
+			fmt.Fprintf(os.Stderr, "distlint: suppressions drifted from %s; regenerate with -write-baseline and commit the diff\n", *baseline)
+			failed = true
+		}
+	}
+
+	if failed {
 		os.Exit(1)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "distlint: %v\n", err)
+	os.Exit(2)
 }

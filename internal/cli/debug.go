@@ -51,6 +51,7 @@ func serveBackground(name, addr string, h http.Handler) error {
 		return fmt.Errorf("cli: %s listener: %w", name, err)
 	}
 	fmt.Fprintf(os.Stderr, "%s: serving on http://%s\n", name, ln.Addr())
+	//lint:ignore goroleak debug server lives for the whole process by design; Serve returns when the listener dies with it
 	go func() {
 		srv := &http.Server{Handler: h}
 		_ = srv.Serve(ln)

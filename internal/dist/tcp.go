@@ -95,6 +95,7 @@ func (p *tcpPeer) send(typ byte, payload []byte) error {
 	p.wmu.Lock()
 	defer p.wmu.Unlock()
 	p.conn.SetWriteDeadline(time.Now().Add(p.timeout))
+	//lint:ignore locksafety wmu exists to serialize frame writes on this one connection and the write is bounded by the deadline above
 	err := writeFrame(p.conn, typ, payload)
 	p.conn.SetWriteDeadline(time.Time{})
 	return err
@@ -126,6 +127,7 @@ func JoinTCPConfig(ctx context.Context, hubAddr, listenAddr string, instN int, c
 		stoppedCh: make(chan struct{}),
 	}
 	n.peerCond = sync.NewCond(&n.mu)
+	//lint:ignore goroleak bounded by the listener: Close() in TCPNode.Close unblocks Accept and the loop returns
 	go n.acceptLoop()
 
 	var d net.Dialer
@@ -233,6 +235,7 @@ func (n *TCPNode) addPeer(id int, conn net.Conn) {
 	n.peers[id] = p
 	n.peerCond.Broadcast()
 	n.mu.Unlock()
+	//lint:ignore goroleak bounded by the connection: Close (via removePeer or TCPNode.Close) fails the blocking read and the loop returns
 	go n.readLoop(p)
 }
 
@@ -252,6 +255,7 @@ func (n *TCPNode) acceptLoop() {
 		if err != nil {
 			return
 		}
+		//lint:ignore goroleak bounded by the read deadline: the handshake read times out after ioTimeout and the goroutine exits
 		go func(c net.Conn) {
 			c.SetReadDeadline(time.Now().Add(n.ioTimeout))
 			typ, payload, err := readFrame(c)
@@ -403,6 +407,7 @@ func (n *TCPNode) sendTour(p *tcpPeer, t tsp.Tour, length int64, legacyPayload [
 	w := p.enc.Encode(n.ID, t, length, n.ex.Keyframe())
 	typ, payload := encodeWireTour(w)
 	p.conn.SetWriteDeadline(time.Now().Add(p.timeout))
+	//lint:ignore locksafety wmu serializes encoder state and frame writes per connection; the write is bounded by the deadline above
 	err := writeFrame(p.conn, typ, payload)
 	p.conn.SetWriteDeadline(time.Time{})
 	p.wmu.Unlock()

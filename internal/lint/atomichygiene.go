@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicHygiene guards mixed atomic/plain field access, the data race the
+// race detector only catches when both sides happen to run in one test:
+//
+//   - a struct field whose address is ever passed to a sync/atomic
+//     function (atomic.AddInt64(&s.n, 1), atomic.LoadUint32(&s.flag), ...)
+//     must never be read or written plainly anywhere else in the package —
+//     the plain access races with the atomic one and voids its ordering
+//     guarantees;
+//   - a field of one of the sync/atomic wrapper types (atomic.Int64,
+//     atomic.Pointer[T], atomic.Bool, ...) must only be used through its
+//     methods or by address: copying it smuggles an unsynchronized
+//     snapshot out of the atomic domain.
+//
+// Fields are tracked by their types.Var identity, so two structs with a
+// same-named field do not contaminate each other. The analysis is
+// per-package: the flagged fields are unexported in practice, so package
+// scope is module scope for them.
+var AtomicHygiene = &Analyzer{
+	Name: "atomichygiene",
+	Doc:  "a field accessed via sync/atomic must never be read or written plainly elsewhere",
+	Run:  runAtomicHygiene,
+}
+
+func runAtomicHygiene(pass *Pass) {
+	pkg := pass.Pkg
+	if pkg.Name == "main" {
+		return
+	}
+	atomicFields, atomicUses := collectAtomicFields(pkg)
+	if len(atomicFields) == 0 {
+		checkAtomicTyped(pass, pkg)
+		return
+	}
+	for _, f := range pkg.Files {
+		walkWithParents(f, func(n ast.Node, parents []ast.Node) {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			obj, ok := pkg.Info.Uses[sel.Sel].(*types.Var)
+			if !ok || !atomicFields[obj] {
+				return
+			}
+			if atomicUses[sel] {
+				return // the sanctioned &s.f inside a sync/atomic call
+			}
+			verb := "read"
+			if isWriteContext(sel, parents) {
+				verb = "written"
+			}
+			pass.Reportf(sel.Pos(), "field %s is accessed via sync/atomic elsewhere but %s plainly here; use the atomic API for every access", obj.Name(), verb)
+		})
+	}
+	checkAtomicTyped(pass, pkg)
+}
+
+// collectAtomicFields finds every struct field whose address is passed to
+// a sync/atomic function, plus the selector nodes that constitute those
+// sanctioned accesses.
+func collectAtomicFields(pkg *Package) (map[*types.Var]bool, map[*ast.SelectorExpr]bool) {
+	fields := make(map[*types.Var]bool)
+	uses := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleePkgFunc(pkg, call)
+			if fn == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				unary, ok := arg.(*ast.UnaryExpr)
+				if !ok || unary.Op != token.AND {
+					continue
+				}
+				sel, ok := unary.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if obj, ok := pkg.Info.Uses[sel.Sel].(*types.Var); ok && obj.IsField() {
+					fields[obj] = true
+					uses[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	return fields, uses
+}
+
+// checkAtomicTyped flags value copies of sync/atomic wrapper-typed fields
+// (atomic.Int64 and friends): the only legal uses are method calls and
+// taking the address.
+func checkAtomicTyped(pass *Pass, pkg *Package) {
+	for _, f := range pkg.Files {
+		walkWithParents(f, func(n ast.Node, parents []ast.Node) {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			obj, ok := pkg.Info.Uses[sel.Sel].(*types.Var)
+			if !ok || !obj.IsField() || !isAtomicWrapperType(obj.Type()) {
+				return
+			}
+			if len(parents) == 0 {
+				return
+			}
+			switch p := parents[len(parents)-1].(type) {
+			case *ast.SelectorExpr:
+				return // receiver of a method call: s.counter.Add(1)
+			case *ast.UnaryExpr:
+				if p.Op == token.AND {
+					return // &s.counter handed to something atomic-aware
+				}
+			}
+			pass.Reportf(sel.Pos(), "atomic value %s is copied; sync/atomic types must be used via their methods or by address", obj.Name())
+		})
+	}
+}
+
+func isAtomicWrapperType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// isWriteContext reports whether the selector is being assigned to
+// (including ++/-- and compound assignment).
+func isWriteContext(sel *ast.SelectorExpr, parents []ast.Node) bool {
+	if len(parents) == 0 {
+		return false
+	}
+	switch p := parents[len(parents)-1].(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == ast.Expr(sel) {
+				return true
+			}
+		}
+	case *ast.IncDecStmt:
+		return p.X == ast.Expr(sel)
+	}
+	return false
+}
+
+// walkWithParents runs visit over every node with the stack of its
+// ancestors (nearest last).
+func walkWithParents(root ast.Node, visit func(n ast.Node, parents []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		visit(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}

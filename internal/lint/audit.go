@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// The ignore audit keeps suppressions honest over time: an ignore whose
+// target line no longer triggers the named rule is dead weight — it
+// documents a finding that does not exist and would silently swallow a
+// future, different finding on the same line. AuditIgnores detects them;
+// FixIgnores deletes them from the source.
+
+// DeadIgnore is one (suppression, rule) pair that no longer fires.
+type DeadIgnore struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Rule   string `json:"rule"`
+	Reason string `json:"reason"`
+}
+
+func (d DeadIgnore) String() string {
+	return fmt.Sprintf("%s:%d: //lint:ignore %s is dead: the rule no longer fires here (%s)", d.File, d.Line, d.Rule, d.Reason)
+}
+
+// AuditIgnores re-runs the analyzers with suppression disabled and
+// returns every ignore rule with no raw diagnostic on its covered lines
+// (the ignore's own line or the line below), sorted by file/line/rule.
+func AuditIgnores(pkgs []*Package, analyzers []*Analyzer) []DeadIgnore {
+	type key struct {
+		file string
+		line int
+		rule string
+	}
+	raw := make(map[key]bool)
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			a.Run(&Pass{Pkg: pkg, analyzer: a, diags: &diags})
+		}
+		for _, d := range diags {
+			raw[key{d.File, d.Line, d.Rule}] = true
+		}
+	}
+	var dead []DeadIgnore
+	for _, s := range Ignores(pkgs) {
+		for _, r := range s.Rules {
+			if raw[key{s.File, s.Line, r}] || raw[key{s.File, s.Line + 1, r}] {
+				continue
+			}
+			dead = append(dead, DeadIgnore{File: s.File, Line: s.Line, Rule: r, Reason: s.Reason})
+		}
+	}
+	sort.Slice(dead, func(i, j int) bool {
+		a, b := dead[i], dead[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return dead
+}
+
+// FixIgnores removes the dead rules from their //lint:ignore comments in
+// place: a comment whose rules all died is deleted (the whole line when
+// it stands alone, the trailing comment otherwise); a partially dead one
+// has its rule list rewritten. It returns the files rewritten.
+func FixIgnores(dead []DeadIgnore) ([]string, error) {
+	deadByFile := make(map[string]map[int]map[string]bool)
+	for _, d := range dead {
+		if deadByFile[d.File] == nil {
+			deadByFile[d.File] = make(map[int]map[string]bool)
+		}
+		if deadByFile[d.File][d.Line] == nil {
+			deadByFile[d.File][d.Line] = make(map[string]bool)
+		}
+		deadByFile[d.File][d.Line][d.Rule] = true
+	}
+	var changed []string
+	for _, file := range sortedKeys(deadByFile) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return changed, fmt.Errorf("audit fix: %w", err)
+		}
+		lines := strings.Split(string(data), "\n")
+		out := make([]string, 0, len(lines))
+		for i, line := range lines {
+			deadRules := deadByFile[file][i+1]
+			if len(deadRules) == 0 {
+				out = append(out, line)
+				continue
+			}
+			fixed, drop := rewriteIgnoreLine(line, deadRules)
+			if !drop {
+				out = append(out, fixed)
+			}
+		}
+		if err := os.WriteFile(file, []byte(strings.Join(out, "\n")), 0o644); err != nil {
+			return changed, fmt.Errorf("audit fix: %w", err)
+		}
+		changed = append(changed, file)
+	}
+	return changed, nil
+}
+
+// rewriteIgnoreLine strips the dead rules from the line's //lint:ignore
+// comment. It returns the rewritten line, or drop=true when the whole
+// line should be removed (a standalone comment whose rules all died).
+func rewriteIgnoreLine(line string, deadRules map[string]bool) (string, bool) {
+	idx := strings.Index(line, ignorePrefix)
+	if idx < 0 {
+		return line, false // defensive: the parser said there was a comment here
+	}
+	comment := line[idx:]
+	fields := strings.Fields(strings.TrimPrefix(comment, ignorePrefix))
+	if len(fields) < 2 {
+		return line, false
+	}
+	var live []string
+	for _, r := range strings.Split(fields[0], ",") {
+		if !deadRules[r] {
+			live = append(live, r)
+		}
+	}
+	if len(live) > 0 {
+		rebuilt := ignorePrefix + " " + strings.Join(live, ",") + " " + strings.Join(fields[1:], " ")
+		return line[:idx] + rebuilt, false
+	}
+	before := strings.TrimRight(line[:idx], " \t")
+	if before == "" {
+		return "", true // standalone comment line: delete it
+	}
+	return before, false // trailing comment: keep the code
+}

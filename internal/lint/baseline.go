@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The suppressions baseline is the committed ledger of every
+// //lint:ignore in the tree, counted per (file, rule). CI regenerates it
+// from the source and diffs against the committed copy, so a new ignore
+// cannot land silently: the author must touch lint/suppressions.txt in
+// the same change, which puts the growth in front of a reviewer.
+//
+// The format is one `<count> <rule> <file>` line per (file, rule) pair,
+// sorted, with `#` comments ignored:
+//
+//	2 goroleak internal/dist/tcp.go
+//	1 locksafety internal/dist/tcp.go
+
+// FormatBaseline renders the suppression sites as baseline text. Paths
+// are made relative to root.
+func FormatBaseline(sites []IgnoreSite, root string) string {
+	counts := make(map[string]int)
+	for _, s := range sites {
+		for _, r := range s.Rules {
+			counts[r+" "+relPath(root, s.File)]++
+		}
+	}
+	var b strings.Builder
+	b.WriteString("# distlint suppressions baseline: one `<count> <rule> <file>` line per suppressed rule.\n")
+	b.WriteString("# Regenerate with `go run ./cmd/distlint -write-baseline lint/suppressions.txt ./...`.\n")
+	for _, key := range sortedKeys(counts) {
+		fmt.Fprintf(&b, "%d %s\n", counts[key], key)
+	}
+	return b.String()
+}
+
+// DiffBaseline compares the baseline generated from the current tree
+// against the committed one and returns one human-readable line per
+// mismatch (empty means in sync). Both unexplained growth and stale
+// entries fail: the baseline must describe exactly the tree.
+func DiffBaseline(current, recorded string) []string {
+	cur := parseBaseline(current)
+	rec := parseBaseline(recorded)
+	keys := make(map[string]bool, len(cur)+len(rec))
+	for _, k := range sortedKeys(cur) {
+		keys[k] = true
+	}
+	for _, k := range sortedKeys(rec) {
+		keys[k] = true
+	}
+	var out []string
+	for _, k := range sortedKeys(keys) {
+		c, r := cur[k], rec[k]
+		switch {
+		case c == r:
+		case r == 0:
+			out = append(out, fmt.Sprintf("new suppression not in baseline: %d × %s", c, k))
+		case c == 0:
+			out = append(out, fmt.Sprintf("stale baseline entry (no such suppression in the tree): %s", k))
+		default:
+			out = append(out, fmt.Sprintf("suppression count changed for %s: baseline has %d, tree has %d", k, r, c))
+		}
+	}
+	return out
+}
+
+// parseBaseline reads `<count> <rule> <file>` lines into a map keyed
+// "rule file". Blank lines and # comments are skipped; malformed lines
+// are kept as impossible keys so they surface in the diff.
+func parseBaseline(text string) map[string]int {
+	out := make(map[string]int)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			out["<malformed line> "+line] = -1
+			continue
+		}
+		n, err := strconv.Atoi(fields[0])
+		if err != nil {
+			out["<malformed line> "+line] = -1
+			continue
+		}
+		out[fields[1]+" "+fields[2]] += n
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak guards goroutine lifetimes in library packages: the paper's
+// distributed CLK and the PR 8 solve service are long-lived processes, so
+// a fire-and-forget `go` statement is a slow leak — every spawned
+// goroutine must carry visible evidence that something bounds it. The
+// analyzer accepts any of:
+//
+//   - the goroutine observes a context.Context (uses a ctx-typed value
+//     anywhere in its body, or receives one as an argument),
+//   - it blocks on a channel (receive, range, or select) — the idiomatic
+//     done/stop-channel and closed-work-queue worker shapes,
+//   - it participates in a sync.WaitGroup (calls Done, or blocks in Wait),
+//   - or, for `go f(...)`, the same-package callee's body satisfies one of
+//     the above.
+//
+// A goroutine bounded by something the analyzer cannot see (a listener
+// whose Close unblocks Accept, a read deadline) is silenced with a
+// reasoned //lint:ignore — the reason documents the actual bound.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "every go statement in library packages must observe a ctx, a channel, or a WaitGroup (or carry a reasoned ignore)",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	pkg := pass.Pkg
+	if pkg.Name == "main" {
+		return
+	}
+	decls := funcDecls(pkg)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goBounded(pkg, decls, g.Call, make(map[*ast.FuncDecl]bool)) {
+				pass.Reportf(g.Pos(), "goroutine has no visible lifetime bound: make it observe a context, a done/stop channel, or a waited sync.WaitGroup (or document the bound in a //lint:ignore reason)")
+			}
+			return true
+		})
+	}
+}
+
+// funcDecls maps each package-level function/method object to its
+// declaration so callee bodies can be inspected interprocedurally.
+func funcDecls(pkg *Package) map[*types.Func]*ast.FuncDecl {
+	m := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				m[fn] = fd
+			}
+		}
+	}
+	return m
+}
+
+// goBounded reports whether the spawned call shows lifetime-bound
+// evidence: a bounding argument, a bounded function-literal body, or a
+// same-package callee whose body is bounded.
+func goBounded(pkg *Package, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr, visited map[*ast.FuncDecl]bool) bool {
+	for _, arg := range call.Args {
+		if isBoundingType(pkg.TypeOf(arg)) {
+			return true
+		}
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		return bodyBounded(pkg, decls, lit.Body, visited)
+	}
+	if fn := calleeFunc(pkg, call); fn != nil {
+		if fd, ok := decls[fn]; ok {
+			if visited[fd] {
+				return false
+			}
+			visited[fd] = true
+			return bodyBounded(pkg, decls, fd.Body, visited)
+		}
+	}
+	return false
+}
+
+// bodyBounded scans a function body for lifetime-bound evidence. Calls to
+// same-package functions are followed (cycle-safe), so a goroutine whose
+// loop delegates its blocking to a helper still passes.
+func bodyBounded(pkg *Package, decls map[*types.Func]*ast.FuncDecl, body *ast.BlockStmt, visited map[*ast.FuncDecl]bool) bool {
+	bounded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if bounded {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if isContextType(pkg.TypeOf(n)) {
+				bounded = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				bounded = true
+			}
+		case *ast.RangeStmt:
+			if t := pkg.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					bounded = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok {
+					name := fn.Name()
+					if (name == "Done" || name == "Wait") && isWaitGroupRecv(fn) {
+						bounded = true
+						return false
+					}
+					if fd, ok := decls[fn]; ok && !visited[fd] {
+						visited[fd] = true
+						if bodyBounded(pkg, decls, fd.Body, visited) {
+							bounded = true
+						}
+					}
+				}
+			} else if id, ok := n.Fun.(*ast.Ident); ok {
+				if fn, ok := pkg.Info.Uses[id].(*types.Func); ok {
+					if fd, ok := decls[fn]; ok && !visited[fd] {
+						visited[fd] = true
+						if bodyBounded(pkg, decls, fd.Body, visited) {
+							bounded = true
+						}
+					}
+				}
+			}
+		}
+		return !bounded
+	})
+	return bounded
+}
+
+// isBoundingType reports whether an argument of type t hands the goroutine
+// a lifetime signal: a context, a channel, or a WaitGroup pointer.
+func isBoundingType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isContextType(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Chan:
+		return true
+	case *types.Pointer:
+		return isWaitGroupType(u.Elem())
+	}
+	return false
+}
+
+func isWaitGroupType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// isWaitGroupRecv reports whether fn is a method on sync.WaitGroup.
+func isWaitGroupRecv(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return isWaitGroupType(t)
+}
+
+// calleeFunc resolves `go f(...)` / `go x.m(...)` to the called function
+// object (package function or method), or nil.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pkg.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"sort"
 	"strings"
 )
 
@@ -16,9 +17,42 @@ const ignorePrefix = "//lint:ignore"
 // diagnostics for the named rules on its own line (trailing comment) or on
 // the line directly below (standalone comment).
 type ignore struct {
-	file  string
-	line  int
-	rules []string
+	file   string
+	line   int
+	rules  []string
+	reason string
+}
+
+// IgnoreSite is one well-formed //lint:ignore suppression found in the
+// tree — the unit the suppressions baseline and the ignore audit work on.
+type IgnoreSite struct {
+	File   string   `json:"file"`
+	Line   int      `json:"line"`
+	Rules  []string `json:"rules"`
+	Reason string   `json:"reason"`
+}
+
+// Ignores returns every well-formed suppression in pkgs sorted by file
+// and line, with rule names validated against the full registry.
+func Ignores(pkgs []*Package) []IgnoreSite {
+	known := map[string]bool{badIgnoreRule: true}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var out []IgnoreSite
+	for _, pkg := range pkgs {
+		igs, _ := parseIgnores(pkg, known)
+		for _, ig := range igs {
+			out = append(out, IgnoreSite{File: ig.file, Line: ig.line, Rules: ig.rules, Reason: ig.reason})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
 }
 
 // parseIgnores scans every comment in the package for //lint:ignore
@@ -69,7 +103,7 @@ func parseIgnores(pkg *Package, known map[string]bool) ([]ignore, []Diagnostic) 
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				igs = append(igs, ignore{file: pos.Filename, line: pos.Line, rules: rules})
+				igs = append(igs, ignore{file: pos.Filename, line: pos.Line, rules: rules, reason: strings.Join(fields[1:], " ")})
 			}
 		}
 	}

@@ -101,7 +101,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the registered analyzers in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{NoDeterminism, HotPathAlloc, CtxHygiene, NoPanic}
+	return []*Analyzer{
+		NoDeterminism, HotPathAlloc, CtxHygiene, NoPanic,
+		GoroLeak, LockSafety, AtomicHygiene, EventSync,
+	}
 }
 
 // Check runs the analyzers over the packages, applies //lint:ignore

@@ -30,6 +30,62 @@ func TestNoPanic(t *testing.T) {
 	analyzertest.Run(t, "./testdata/src/nopanic", lint.NoPanic)
 }
 
+func TestGoroLeak(t *testing.T) {
+	analyzertest.Run(t, "./testdata/src/goroleak", lint.GoroLeak)
+}
+
+// TestGoroLeakOutOfScope pins the scoping rule: package main may spawn
+// process-lifetime goroutines without findings.
+func TestGoroLeakOutOfScope(t *testing.T) {
+	analyzertest.Run(t, "./testdata/src/goroleak_off", lint.GoroLeak)
+}
+
+func TestLockSafety(t *testing.T) {
+	analyzertest.Run(t, "./testdata/src/locksafety", lint.LockSafety)
+}
+
+func TestLockSafetyOutOfScope(t *testing.T) {
+	analyzertest.Run(t, "./testdata/src/locksafety_off", lint.LockSafety)
+}
+
+func TestAtomicHygiene(t *testing.T) {
+	analyzertest.Run(t, "./testdata/src/atomichygiene", lint.AtomicHygiene)
+}
+
+func TestAtomicHygieneOutOfScope(t *testing.T) {
+	analyzertest.Run(t, "./testdata/src/atomichygiene_off", lint.AtomicHygiene)
+}
+
+func TestEventSync(t *testing.T) {
+	analyzertest.Run(t, "./testdata/src/eventsync", lint.EventSync)
+}
+
+// TestEventSyncOutOfScope pins the scoping rule: without the
+// //distlint:events directive (or an internal/obs path) skewed kinds and
+// counters are not findings.
+func TestEventSyncOutOfScope(t *testing.T) {
+	analyzertest.Run(t, "./testdata/src/eventsync_off", lint.EventSync)
+}
+
+// TestRegistry pins the analyzer set and its stable order: the
+// suppressions baseline, SARIF rule list, and DESIGN.md §8 all key off
+// these names.
+func TestRegistry(t *testing.T) {
+	want := []string{
+		"nodeterminism", "hotpathalloc", "ctxhygiene", "nopanic",
+		"goroleak", "locksafety", "atomichygiene", "eventsync",
+	}
+	all := lint.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+	}
+}
+
 // TestRepoIsClean runs every analyzer over the whole module, mirroring
 // CI's `go run ./cmd/distlint ./...` gate so a violation fails plain
 // `go test ./...` too. Skipped under -short: it type-checks the entire

@@ -1,0 +1,545 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockSafety guards mutex discipline in library packages, the bug class
+// most likely to wedge a long-lived cluster or solve service:
+//
+//  1. pairing — a Lock()/RLock() must be released by a `defer Unlock()`
+//     or an Unlock() on every linear path; a return inside the held
+//     region without a deferred release is a finding, as is a lock still
+//     held at the end of the function;
+//  2. no blocking under a lock — a channel send, a blocking receive, a
+//     select without a default case, or a network write while a mutex is
+//     held lets one stalled peer freeze every other lock user (the
+//     classic fan-out deadlock); non-blocking selects (with default) are
+//     the sanctioned shape;
+//  3. ordering — an interprocedural per-package lock-acquisition-order
+//     graph over mutex identities (Type.field or package var): a cycle
+//     (A taken under B and B taken under A, possibly through a call)
+//     is a deadlock candidate and is reported on every edge of the cycle.
+//
+// The analysis is linear in source order inside each function —
+// deliberately simple, so a finding always points at a shape a reviewer
+// can see. Patterns it cannot prove (a per-connection write mutex whose
+// write is bounded by a deadline, a helper that unlocks a caller's lock)
+// are silenced with a reasoned //lint:ignore.
+var LockSafety = &Analyzer{
+	Name: "locksafety",
+	Doc:  "Lock paired with defer/Unlock on every path, no blocking channel/network ops under a mutex, no lock-order cycles",
+	Run:  runLockSafety,
+}
+
+// lock-event kinds, collected in source order per function.
+const (
+	evLock = iota
+	evUnlock
+	evDeferUnlock
+	evReturn
+	evSend
+	evRecv
+	evSelect
+	evNetWrite
+	evCall
+)
+
+type lockEvent struct {
+	kind  int
+	pos   token.Pos
+	key   string      // mutex receiver expression, e.g. "b.mu"
+	rw    bool        // RLock/RUnlock family
+	ident string      // mutex identity for the order graph, e.g. "Broadcaster.mu"
+	fn    *types.Func // callee for evCall
+	label string      // human label for blocking events
+}
+
+// lockEdge is one acquisition-order edge: to was acquired while from was
+// held.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	via      string // callee name when the edge crosses a call, else ""
+}
+
+func runLockSafety(pass *Pass) {
+	pkg := pass.Pkg
+	if pkg.Name == "main" {
+		return
+	}
+	decls := funcDecls(pkg)
+	ordered := orderedDecls(pkg)
+	netWriters := netWriterFuncs(pkg, ordered)
+	lockSets := lockSetClosure(pkg, decls, ordered)
+
+	var edges []lockEdge
+	analyze := func(name string, body *ast.BlockStmt) {
+		events := collectLockEvents(pkg, body, netWriters)
+		edges = append(edges, checkLockFlow(pass, name, events, lockSets)...)
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			analyze(fd.Name.Name, fd.Body)
+			// Function literals are separate execution contexts (often
+			// goroutines): each gets its own linear analysis.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					analyze("func literal in "+fd.Name.Name, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	reportLockCycles(pass, edges)
+}
+
+// mutexCall classifies a call as Lock/Unlock/RLock/RUnlock on a
+// sync.Mutex/RWMutex/Locker receiver. It returns the receiver key (the
+// printed expression) and identity (Type.field or package var name; ""
+// when the mutex is local and cannot participate in the order graph).
+func mutexCall(pkg *Package, call *ast.CallExpr) (key, ident string, kind int, rw, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", 0, false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		kind = evLock
+	case "RLock":
+		kind, rw = evLock, true
+	case "Unlock":
+		kind = evUnlock
+	case "RUnlock":
+		kind, rw = evUnlock, true
+	default:
+		return "", "", 0, false, false
+	}
+	recv := sel.X
+	if !isMutexType(pkg.TypeOf(recv)) {
+		return "", "", 0, false, false
+	}
+	return types.ExprString(recv), mutexIdentity(pkg, recv), kind, rw, true
+}
+
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// mutexIdentity names a mutex for the package-wide order graph: a struct
+// field becomes "Type.field" (instance-independent), a package-level var
+// its name. Locals return "".
+func mutexIdentity(pkg *Package, expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		obj, ok := pkg.Info.Uses[e.Sel].(*types.Var)
+		if !ok || !obj.IsField() {
+			return ""
+		}
+		t := pkg.TypeOf(e.X)
+		if t == nil {
+			return ""
+		}
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + obj.Name()
+		}
+		return ""
+	case *ast.Ident:
+		if obj, ok := pkg.Info.Uses[e].(*types.Var); ok && obj.Parent() == pkg.Types.Scope() {
+			return obj.Name()
+		}
+	}
+	return ""
+}
+
+// netWriterFuncs computes the same-package functions that perform a
+// network write directly or transitively — a call to one of those while
+// holding a lock is as bad as the write itself.
+func netWriterFuncs(pkg *Package, ordered []declEntry) map[*types.Func]bool {
+	writers := make(map[*types.Func]bool)
+	// Seed: direct writes.
+	for _, d := range ordered {
+		direct := false
+		ast.Inspect(d.fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isNetWrite(pkg, call) {
+				direct = true
+			}
+			return !direct
+		})
+		if direct {
+			writers[d.fn] = true
+		}
+	}
+	// Fixpoint: propagate through same-package calls.
+	for changed := true; changed; {
+		changed = false
+		for _, d := range ordered {
+			if writers[d.fn] {
+				continue
+			}
+			ast.Inspect(d.fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := calleeFunc(pkg, call); callee != nil && writers[callee] {
+					writers[d.fn] = true
+					changed = true
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return writers
+}
+
+// isNetWrite reports a write-ish method call that can block on a peer:
+// Write/WriteTo/ReadFrom on a named type from package net, or on any
+// interface value (io.Writer, net.Conn, ...). An interface hides a
+// socket as easily as a buffer, and only the socket case matters for
+// lock discipline, so interface writes count while provably-local
+// concrete writers (*bytes.Buffer, *strings.Builder) do not.
+func isNetWrite(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteTo", "ReadFrom":
+	default:
+		return false
+	}
+	t := pkg.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Interface); ok {
+		return true
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net"
+}
+
+// collectLockEvents walks the body in source order and flattens the
+// lock-relevant operations. Comm operations of a select with a default
+// case are non-blocking and produce no events; a select without default
+// is one blocking event.
+func collectLockEvents(pkg *Package, body *ast.BlockStmt, netWriters map[*types.Func]bool) []lockEvent {
+	var events []lockEvent
+	skip := make(map[ast.Node]bool) // nodes already classified by a parent
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil || skip[n] {
+			return !skip[n]
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate goroutine/closure: its own discipline
+		case *ast.DeferStmt:
+			if key, ident, kind, rw, ok := mutexCall(pkg, n.Call); ok {
+				skip[n.Call] = true
+				if kind == evUnlock {
+					events = append(events, lockEvent{kind: evDeferUnlock, pos: n.Pos(), key: key, rw: rw, ident: ident})
+				}
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					if cc.Comm == nil {
+						hasDefault = true
+					} else {
+						skip[cc.Comm] = true // the comm op is part of the select
+					}
+				}
+			}
+			if !hasDefault {
+				events = append(events, lockEvent{kind: evSelect, pos: n.Pos(), label: "select without default"})
+			}
+		case *ast.SendStmt:
+			events = append(events, lockEvent{kind: evSend, pos: n.Pos(), label: "channel send"})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				events = append(events, lockEvent{kind: evRecv, pos: n.Pos(), label: "channel receive"})
+			}
+		case *ast.RangeStmt:
+			if t := pkg.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					events = append(events, lockEvent{kind: evRecv, pos: n.Pos(), label: "range over channel"})
+				}
+			}
+		case *ast.ReturnStmt:
+			events = append(events, lockEvent{kind: evReturn, pos: n.Pos()})
+		case *ast.CallExpr:
+			if key, ident, kind, rw, ok := mutexCall(pkg, n); ok {
+				events = append(events, lockEvent{kind: kind, pos: n.Pos(), key: key, rw: rw, ident: ident})
+				return true
+			}
+			if isNetWrite(pkg, n) {
+				events = append(events, lockEvent{kind: evNetWrite, pos: n.Pos(), label: "network write"})
+				return true
+			}
+			if callee := calleeFunc(pkg, n); callee != nil {
+				if netWriters[callee] {
+					events = append(events, lockEvent{kind: evNetWrite, pos: n.Pos(), label: "network write (via " + callee.Name() + ")"})
+				}
+				events = append(events, lockEvent{kind: evCall, pos: n.Pos(), fn: callee})
+			}
+		}
+		return true
+	})
+	return events
+}
+
+// heldLock is one currently-held acquisition.
+type heldLock struct {
+	key      string
+	ident    string
+	rw       bool
+	pos      token.Pos
+	deferred bool // released by a deferred Unlock (held to function end)
+}
+
+// checkLockFlow runs the linear pairing/blocking analysis over one
+// function's events and returns the acquisition-order edges it observed.
+func checkLockFlow(pass *Pass, name string, events []lockEvent, lockSets map[*types.Func]map[string]bool) []lockEdge {
+	var held []heldLock
+	var edges []lockEdge
+	find := func(key string, rw bool) int {
+		for i, h := range held {
+			if h.key == key && h.rw == rw {
+				return i
+			}
+		}
+		return -1
+	}
+	anyHeld := func() (heldLock, bool) {
+		if len(held) == 0 {
+			return heldLock{}, false
+		}
+		return held[len(held)-1], true
+	}
+	for _, ev := range events {
+		switch ev.kind {
+		case evLock:
+			if i := find(ev.key, ev.rw); i >= 0 {
+				pass.Reportf(ev.pos, "%s is locked twice without an intervening unlock in %s (self-deadlock)", ev.key, name)
+				continue
+			}
+			// Order-graph edges: the new lock is acquired under every
+			// currently held identity.
+			if ev.ident != "" {
+				for _, h := range held {
+					if h.ident != "" && h.ident != ev.ident {
+						edges = append(edges, lockEdge{from: h.ident, to: ev.ident, pos: ev.pos})
+					}
+				}
+			}
+			held = append(held, heldLock{key: ev.key, ident: ev.ident, rw: ev.rw, pos: ev.pos})
+		case evDeferUnlock:
+			if i := find(ev.key, ev.rw); i >= 0 {
+				held[i].deferred = true
+			} else {
+				// defer before the matching Lock (rare but legal): treat
+				// the next Lock of this key as defer-paired.
+				held = append(held, heldLock{key: ev.key, ident: ev.ident, rw: ev.rw, pos: ev.pos, deferred: true})
+			}
+		case evUnlock:
+			if i := find(ev.key, ev.rw); i >= 0 && !held[i].deferred {
+				held = append(held[:i], held[i+1:]...)
+			}
+			// An unlock with no matching lock (helpers releasing a
+			// caller's lock) is out of scope for the linear analysis.
+		case evReturn:
+			for _, h := range held {
+				if !h.deferred {
+					pass.Reportf(ev.pos, "return in %s while %s is held with no defer %s.Unlock(); unlock before returning or defer the unlock", name, h.key, h.key)
+				}
+			}
+		case evSend, evRecv, evSelect, evNetWrite:
+			if h, ok := anyHeld(); ok {
+				pass.Reportf(ev.pos, "%s while holding %s in %s: a stalled counterpart wedges every other user of the lock; move the blocking operation outside the critical section", ev.label, h.key, name)
+			}
+		case evCall:
+			// Interprocedural order edges: everything the callee (and its
+			// callees) lock is acquired under the held identities. A call
+			// that re-acquires a held identity is an immediate deadlock
+			// candidate.
+			set := lockSets[ev.fn]
+			if len(set) == 0 {
+				continue
+			}
+			targets := sortedKeys(set)
+			for _, h := range held {
+				if h.ident == "" {
+					continue
+				}
+				for _, to := range targets {
+					if to == h.ident {
+						pass.Reportf(ev.pos, "%s locks %s, which is already held in %s (self-deadlock through the call)", ev.fn.Name(), h.ident, name)
+						continue
+					}
+					edges = append(edges, lockEdge{from: h.ident, to: to, pos: ev.pos, via: ev.fn.Name()})
+				}
+			}
+		}
+	}
+	for _, h := range held {
+		if !h.deferred {
+			pass.Reportf(h.pos, "%s.Lock() in %s has no Unlock on the fall-through path; pair it with a defer or unlock before every exit", h.key, name)
+		}
+	}
+	return edges
+}
+
+// lockSetClosure computes, for every same-package function, the set of
+// mutex identities it may acquire directly or through same-package calls.
+func lockSetClosure(pkg *Package, decls map[*types.Func]*ast.FuncDecl, ordered []declEntry) map[*types.Func]map[string]bool {
+	sets := make(map[*types.Func]map[string]bool, len(ordered))
+	calls := make(map[*types.Func][]*types.Func, len(ordered))
+	for _, d := range ordered {
+		set := make(map[string]bool)
+		ast.Inspect(d.fd.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, ident, kind, _, ok := mutexCall(pkg, call); ok {
+				if kind == evLock && ident != "" {
+					set[ident] = true
+				}
+				return true
+			}
+			if callee := calleeFunc(pkg, call); callee != nil {
+				if _, same := decls[callee]; same {
+					calls[d.fn] = append(calls[d.fn], callee)
+				}
+			}
+			return true
+		})
+		sets[d.fn] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range ordered {
+			for _, callee := range calls[d.fn] {
+				for _, id := range sortedKeys(sets[callee]) {
+					if !sets[d.fn][id] {
+						sets[d.fn][id] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return sets
+}
+
+// reportLockCycles finds cycles in the package's acquisition-order graph
+// and reports each distinct cycle once, at its lexicographically first
+// edge.
+func reportLockCycles(pass *Pass, edges []lockEdge) {
+	if len(edges) == 0 {
+		return
+	}
+	adj := make(map[string]map[string]lockEdge)
+	for _, e := range edges {
+		if adj[e.from] == nil {
+			adj[e.from] = make(map[string]lockEdge)
+		}
+		if _, dup := adj[e.from][e.to]; !dup {
+			adj[e.from][e.to] = e
+		}
+	}
+	nodes := sortedKeys(adj)
+	reported := make(map[string]bool)
+	for _, start := range nodes {
+		cycle := findCycle(adj, start)
+		if cycle == nil {
+			continue
+		}
+		key := canonicalCycle(cycle)
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		first := adj[cycle[0]][cycle[1]]
+		pass.Reportf(first.pos, "lock-order cycle (deadlock candidate): %s; acquire these mutexes in one global order", strings.Join(append(cycle, cycle[0]), " -> "))
+	}
+}
+
+// findCycle returns a cycle reachable from start as [n0, n1, ... nk]
+// (edge nk->n0 closes it), or nil.
+func findCycle(adj map[string]map[string]lockEdge, start string) []string {
+	var path []string
+	onPath := make(map[string]int)
+	visited := make(map[string]bool)
+	var dfs func(n string) []string
+	dfs = func(n string) []string {
+		if i, ok := onPath[n]; ok {
+			return append([]string(nil), path[i:]...)
+		}
+		if visited[n] {
+			return nil
+		}
+		visited[n] = true
+		onPath[n] = len(path)
+		path = append(path, n)
+		for _, t := range sortedKeys(adj[n]) {
+			if c := dfs(t); c != nil {
+				return c
+			}
+		}
+		path = path[:len(path)-1]
+		delete(onPath, n)
+		return nil
+	}
+	return dfs(start)
+}
+
+// canonicalCycle rotates the cycle to start at its smallest node so the
+// same cycle found from different roots deduplicates.
+func canonicalCycle(cycle []string) string {
+	min := 0
+	for i, n := range cycle {
+		if n < cycle[min] {
+			min = i
+		}
+	}
+	rotated := append(append([]string(nil), cycle[min:]...), cycle[:min]...)
+	return strings.Join(rotated, "->")
+}

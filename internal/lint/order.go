@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// declEntry pairs a package-level function object with its declaration.
+type declEntry struct {
+	fn *types.Func
+	fd *ast.FuncDecl
+}
+
+// orderedDecls returns the package's function declarations in source
+// order (token.Pos is monotone in parse order), so fixpoint loops over
+// them visit functions deterministically. The lint package carries a
+// determinism contract itself: analyzer output must be byte-stable.
+func orderedDecls(pkg *Package) []declEntry {
+	var out []declEntry
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				out = append(out, declEntry{fn: fn, fd: fd})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].fd.Pos() < out[j].fd.Pos() })
+	return out
+}
+
+// sortedKeys returns m's keys in sorted order — the package's one
+// sanctioned map range, so every analyzer loop that consumes it is
+// deterministic by construction.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	//lint:ignore nodeterminism the keys are sorted before the caller sees them; this helper exists so no analyzer ranges a map directly
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

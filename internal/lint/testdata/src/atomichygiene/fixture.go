@@ -1,0 +1,42 @@
+// Package fixture exercises the atomichygiene analyzer: a field touched
+// via sync/atomic must never be accessed plainly, and atomic wrapper
+// values must never be copied.
+package fixture
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	hits atomic.Int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) good() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *counter) bad() int64 {
+	c.n = 4    // want `atomichygiene: field n is accessed via sync/atomic elsewhere but written plainly here`
+	c.n++      // want `atomichygiene: field n is accessed via sync/atomic elsewhere but written plainly here`
+	return c.n // want `atomichygiene: field n is accessed via sync/atomic elsewhere but read plainly here`
+}
+
+func (c *counter) copyWrapper() atomic.Int64 {
+	return c.hits // want `atomichygiene: atomic value hits is copied`
+}
+
+func (c *counter) useWrapper() int64 {
+	c.hits.Add(1)
+	return c.hits.Load()
+}
+
+func takesPtr(v *atomic.Int64) {
+	v.Add(1)
+}
+
+func (c *counter) byAddress() {
+	takesPtr(&c.hits)
+}

@@ -1,0 +1,12 @@
+// Package main is out of atomichygiene scope, so the mixed access below
+// is not a finding.
+package main
+
+import "sync/atomic"
+
+var n int64
+
+func main() {
+	atomic.AddInt64(&n, 1)
+	n++
+}

@@ -1,0 +1,14 @@
+// Package fixture carries one live and one dead suppression for the
+// ignore-audit tests: the first still has a panic behind it, the second
+// suppresses a rule that no longer fires on its line.
+package fixture
+
+func lib() {
+	//lint:ignore nopanic deliberate invariant crash kept for the audit test
+	panic("boom")
+}
+
+func quiet() int {
+	//lint:ignore nopanic nothing panics here any more
+	return 1
+}

@@ -1,0 +1,6 @@
+// Package fixture exercises the eventsync analyzer: the directive below
+// opts it into the event-vocabulary contract normally carried by
+// internal/obs.
+//
+//distlint:events
+package fixture

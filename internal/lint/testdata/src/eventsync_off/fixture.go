@@ -1,0 +1,20 @@
+// Package fixture is out of eventsync scope: no //distlint:events
+// directive and not internal/obs, so the skew below is not a finding.
+package fixture
+
+type Kind uint8
+
+const (
+	KindStart Kind = iota
+	KindLost
+)
+
+var kindNames = [...]string{"start"}
+
+type Counters struct {
+	Started int64
+}
+
+type CounterSnapshot struct {
+	Ghost int64
+}

@@ -1,0 +1,78 @@
+// Package fixture exercises the goroleak analyzer: every go statement in
+// a library package must show a visible lifetime bound — a context, a
+// channel, or a waited WaitGroup.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+func leaky() {
+	go func() { // want `goroleak: goroutine has no visible lifetime bound`
+		for {
+		}
+	}()
+}
+
+func spawnsUnbounded() {
+	go spin() // want `goroleak: goroutine has no visible lifetime bound`
+}
+
+func spin() {
+	for {
+	}
+}
+
+func ctxBody(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func ctxArg(ctx context.Context) {
+	go worker(ctx)
+}
+
+func worker(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func stopChan(stop chan struct{}) {
+	go func() {
+		<-stop
+	}()
+}
+
+func waited(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+type node struct {
+	stop chan struct{}
+}
+
+// start's goroutine is bounded through the same-package callee: loop
+// ranges over the stop channel.
+func (n *node) start() {
+	go n.loop()
+}
+
+func (n *node) loop() {
+	for range n.stop {
+	}
+}
+
+// listener's bound (a Close that fails the accept) is invisible to the
+// analyzer; the reasoned ignore is the sanctioned escape hatch.
+func listener() {
+	//lint:ignore goroleak bounded by the listener: Close unblocks the accept and the loop returns
+	go accept()
+}
+
+func accept() {
+	for {
+	}
+}

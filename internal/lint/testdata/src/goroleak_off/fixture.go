@@ -1,0 +1,16 @@
+// Package main is out of goroleak scope: a binary may spawn
+// process-lifetime goroutines freely, so nothing below is a finding.
+package main
+
+func main() {
+	go func() {
+		for {
+		}
+	}()
+	go spin()
+}
+
+func spin() {
+	for {
+	}
+}

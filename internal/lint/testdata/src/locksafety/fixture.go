@@ -1,0 +1,101 @@
+// Package fixture exercises the locksafety analyzer: Lock/Unlock
+// pairing, blocking operations under a held mutex, and the
+// interprocedural lock-acquisition-order graph.
+package fixture
+
+import (
+	"io"
+	"sync"
+)
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func lockTwice(b *box) {
+	b.mu.Lock()
+	b.mu.Lock() // want `locksafety: b\.mu is locked twice without an intervening unlock in lockTwice`
+	b.mu.Unlock()
+}
+
+func returnsHeld(b *box) int {
+	b.mu.Lock()
+	if b.n > 0 {
+		return b.n // want `locksafety: return in returnsHeld while b\.mu is held with no defer`
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+func neverUnlocks(b *box) {
+	b.mu.Lock() // want `locksafety: b\.mu\.Lock\(\) in neverUnlocks has no Unlock on the fall-through path`
+	b.n++
+}
+
+func sendHeld(b *box, ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ch <- b.n // want `locksafety: channel send while holding b\.mu in sendHeld`
+}
+
+func writeHeld(b *box, w io.Writer) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	w.Write(nil) // want `locksafety: network write while holding b\.mu in writeHeld`
+}
+
+// tryNotify is the sanctioned shape: a select with a default case never
+// blocks, so holding the lock across it is fine.
+func tryNotify(b *box, ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case ch <- b.n:
+	default:
+	}
+}
+
+// deferred is the canonical clean pairing.
+func deferred(b *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// rlocked pins the RLock/RUnlock family pairing.
+func rlocked(b *box, mu *sync.RWMutex) int {
+	mu.RLock()
+	defer mu.RUnlock()
+	return b.n
+}
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func lockAB(p *pair) {
+	p.a.Lock()
+	p.b.Lock() // want `locksafety: lock-order cycle \(deadlock candidate\): pair\.a -> pair\.b -> pair\.a`
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func lockBA(p *pair) {
+	p.b.Lock()
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+func (p *pair) lockA() {
+	p.a.Lock()
+	defer p.a.Unlock()
+}
+
+func callsWhileHeld(p *pair) {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.lockA() // want `locksafety: lockA locks pair\.a, which is already held in callsWhileHeld`
+}

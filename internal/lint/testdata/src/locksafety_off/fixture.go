@@ -1,0 +1,13 @@
+// Package main is out of locksafety scope: short-lived binaries are not
+// held to library lock discipline, so nothing below is a finding.
+package main
+
+import "sync"
+
+var mu sync.Mutex
+
+func main() {
+	mu.Lock()
+	ch := make(chan int, 1)
+	ch <- 1
+}

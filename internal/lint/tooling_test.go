@@ -1,0 +1,225 @@
+package lint_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"distclk/internal/lint"
+)
+
+func TestFormatBaseline(t *testing.T) {
+	sites := []lint.IgnoreSite{
+		{File: "/repo/internal/dist/tcp.go", Line: 10, Rules: []string{"goroleak"}},
+		{File: "/repo/internal/dist/tcp.go", Line: 40, Rules: []string{"goroleak", "locksafety"}},
+		{File: "/repo/internal/clk/clk.go", Line: 5, Rules: []string{"nodeterminism"}},
+	}
+	got := lint.FormatBaseline(sites, "/repo")
+	want := strings.Join([]string{
+		"2 goroleak internal/dist/tcp.go",
+		"1 locksafety internal/dist/tcp.go",
+		"1 nodeterminism internal/clk/clk.go",
+	}, "\n") + "\n"
+	var body []string
+	for _, line := range strings.Split(got, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		body = append(body, line)
+	}
+	if b := strings.Join(body, "\n") + "\n"; b != want {
+		t.Errorf("baseline body:\n%s\nwant:\n%s", b, want)
+	}
+}
+
+func TestDiffBaseline(t *testing.T) {
+	recorded := "1 goroleak internal/dist/tcp.go\n1 nopanic internal/geom/point.go\n"
+	cases := []struct {
+		name    string
+		current string
+		want    []string // substrings, one per expected drift line
+	}{
+		{"in sync", recorded, nil},
+		{"comments ignored", "# header\n" + recorded, nil},
+		{"new suppression", recorded + "1 locksafety internal/dist/tcp.go\n", []string{"new suppression not in baseline"}},
+		{"stale entry", "1 goroleak internal/dist/tcp.go\n", []string{"stale baseline entry"}},
+		{"count changed", "2 goroleak internal/dist/tcp.go\n1 nopanic internal/geom/point.go\n", []string{"baseline has 1, tree has 2"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			drift := lint.DiffBaseline(tc.current, recorded)
+			if len(drift) != len(tc.want) {
+				t.Fatalf("drift = %q, want %d line(s)", drift, len(tc.want))
+			}
+			for i, sub := range tc.want {
+				if !strings.Contains(drift[i], sub) {
+					t.Errorf("drift[%d] = %q, want substring %q", i, drift[i], sub)
+				}
+			}
+		})
+	}
+}
+
+func TestSARIF(t *testing.T) {
+	diags := []lint.Diagnostic{
+		{File: "/repo/internal/dist/tcp.go", Line: 12, Col: 3, Rule: "goroleak", Message: "goroutine has no visible lifetime bound"},
+	}
+	out, err := lint.SARIF(diags, lint.All(), "/repo")
+	if err != nil {
+		t.Fatalf("SARIF: %v", err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %s, want 2.1.0", log.Version)
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "distlint" {
+		t.Errorf("driver = %s, want distlint", run.Tool.Driver.Name)
+	}
+	// every analyzer plus badignore appears in the rule list
+	if want := len(lint.All()) + 1; len(run.Tool.Driver.Rules) != want {
+		t.Errorf("rules = %d, want %d", len(run.Tool.Driver.Rules), want)
+	}
+	res := run.Results[0]
+	if res.RuleID != "goroleak" || res.Level != "error" {
+		t.Errorf("result = %s/%s, want goroleak/error", res.RuleID, res.Level)
+	}
+	loc := res.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/dist/tcp.go" {
+		t.Errorf("uri = %s, want repo-relative internal/dist/tcp.go", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 12 {
+		t.Errorf("startLine = %d, want 12", loc.Region.StartLine)
+	}
+}
+
+func TestAuditIgnores(t *testing.T) {
+	pkgs, err := lint.Load(".", "./testdata/src/auditdead")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	dead := lint.AuditIgnores(pkgs, lint.All())
+	if len(dead) != 1 {
+		t.Fatalf("dead = %v, want exactly the one dead nopanic ignore", dead)
+	}
+	if dead[0].Rule != "nopanic" || !strings.Contains(dead[0].Reason, "no longer") && !strings.Contains(dead[0].Reason, "any more") {
+		t.Errorf("dead[0] = %+v, want the quiet() nopanic ignore", dead[0])
+	}
+	if filepath.Base(dead[0].File) != "fixture.go" {
+		t.Errorf("dead[0].File = %s, want fixture.go", dead[0].File)
+	}
+}
+
+func TestFixIgnores(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.go")
+	src := strings.Join([]string{
+		"package f",
+		"",
+		"func a() {",
+		"\t//lint:ignore goroleak dead standalone comment",
+		"\tgo f()",
+		"}",
+		"",
+		"func b() int {",
+		"\treturn 1 //lint:ignore nopanic dead trailing comment",
+		"}",
+		"",
+		"func c() {",
+		"\t//lint:ignore goroleak,nopanic only goroleak is dead here",
+		"\tgo f()",
+		"}",
+		"",
+		"func f() {}",
+		"",
+	}, "\n")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dead := []lint.DeadIgnore{
+		{File: path, Line: 4, Rule: "goroleak"},
+		{File: path, Line: 9, Rule: "nopanic"},
+		{File: path, Line: 13, Rule: "goroleak"},
+	}
+	changed, err := lint.FixIgnores(dead)
+	if err != nil {
+		t.Fatalf("FixIgnores: %v", err)
+	}
+	if len(changed) != 1 || changed[0] != path {
+		t.Fatalf("changed = %v, want [%s]", changed, path)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(got)
+	if strings.Contains(text, "dead standalone comment") {
+		t.Errorf("standalone dead ignore not deleted:\n%s", text)
+	}
+	if strings.Contains(text, "dead trailing comment") {
+		t.Errorf("trailing dead ignore not stripped:\n%s", text)
+	}
+	if !strings.Contains(text, "\treturn 1\n") {
+		t.Errorf("code before the trailing comment was lost:\n%s", text)
+	}
+	if !strings.Contains(text, "//lint:ignore nopanic only goroleak is dead here") {
+		t.Errorf("partially dead ignore not rewritten to the surviving rule:\n%s", text)
+	}
+}
+
+// TestSuppressionsBaselineIsCurrent mirrors CI's suppressions-budget
+// gate: the committed lint/suppressions.txt must describe exactly the
+// tree's //lint:ignore comments. Skipped under -short with the rest of
+// the whole-module checks.
+func TestSuppressionsBaselineIsCurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; covered by make lint")
+	}
+	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded, err := os.ReadFile(filepath.Join(root, "lint", "suppressions.txt"))
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	current := lint.FormatBaseline(lint.Ignores(pkgs), root)
+	for _, line := range lint.DiffBaseline(current, string(recorded)) {
+		t.Errorf("suppressions baseline drift: %s", line)
+	}
+}

@@ -142,6 +142,7 @@ func runScenario(ctx context.Context, cfg LoadConfig, workers int, shape string)
 		return sc, err
 	}
 	hs := &http.Server{Handler: svc.Handler()}
+	//lint:ignore goroleak bounded by the deferred hs.Close below: Serve returns when the listener is torn down at loadtest exit
 	go hs.Serve(ln)
 	defer hs.Close()
 	base := "http://" + ln.Addr().String()
